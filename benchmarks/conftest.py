@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures on the
+simulated platform.  Runs are deterministic, so a single round is exact;
+``--benchmark-only`` selects this suite.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def one_shot(benchmark):
+    """Run the experiment once (deterministic simulation) and return its
+    result, while still reporting wall-clock through pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,17 @@
+"""Fig. 2 — Wordcount, normal vs cross-domain, input-size sweep."""
+
+from repro.experiments import format_table
+from repro.experiments import fig2_wordcount
+
+
+def test_fig2(one_shot):
+    result = one_shot(fig2_wordcount.run,
+                      sizes_mb=fig2_wordcount.QUICK_SIZES_MB, seed=0)
+    print()
+    print(format_table(result))
+    normal = result.column("normal_s")
+    cross = result.column("cross_domain_s")
+    # Paper shapes: cross-domain always slower; runtime grows with input.
+    assert all(c >= n for n, c in zip(normal, cross))
+    assert normal == sorted(normal)
+    assert cross == sorted(cross)

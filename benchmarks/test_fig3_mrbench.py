@@ -1,0 +1,26 @@
+"""Fig. 3 — MRBench map/reduce scaling on normal vs cross-domain."""
+
+from repro.experiments import format_table
+from repro.experiments import fig3_mrbench
+
+
+def test_fig3a_map_scaling(one_shot):
+    result = one_shot(fig3_mrbench.run_map_scaling,
+                      scales=fig3_mrbench.MAP_SCALES, seed=0, runs=3)
+    print()
+    print(format_table(result))
+    normal = result.column("normal_s")
+    cross = result.column("cross_domain_s")
+    assert normal[-1] > normal[0]          # grows with map count
+    assert all(c > n for n, c in zip(normal, cross))
+
+
+def test_fig3b_reduce_scaling(one_shot):
+    result = one_shot(fig3_mrbench.run_reduce_scaling,
+                      scales=fig3_mrbench.REDUCE_SCALES, seed=0, runs=3)
+    print()
+    print(format_table(result))
+    normal = result.column("normal_s")
+    cross = result.column("cross_domain_s")
+    assert normal[-1] > normal[0]          # grows with reduce count
+    assert all(c > n for n, c in zip(normal, cross))

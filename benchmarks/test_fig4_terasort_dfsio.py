@@ -1,0 +1,27 @@
+"""Fig. 4 — TeraSort sweep and TestDFSIO throughput."""
+
+from repro.experiments import format_table
+from repro.experiments import fig4_terasort_dfsio
+
+
+def test_fig4a_terasort(one_shot):
+    result = one_shot(fig4_terasort_dfsio.run_terasort_sweep,
+                      sizes_mb=fig4_terasort_dfsio.QUICK_TERA_MB, seed=0)
+    print()
+    print(format_table(result))
+    assert all(row[-1] for row in result.rows)            # TeraValidate
+    sort_n = result.column("normal_sort_s")
+    sort_x = result.column("cross_sort_s")
+    assert sort_n == sorted(sort_n)                        # grows with data
+    assert all(x > n for n, x in zip(sort_n, sort_x))      # cross worse
+
+
+def test_fig4b_dfsio(one_shot):
+    result = one_shot(fig4_terasort_dfsio.run_dfsio_sweep, seed=0)
+    print()
+    print(format_table(result))
+    rows = {row[0]: row for row in result.rows}
+    for layout in ("normal", "cross-domain"):
+        assert rows[layout][2] > rows[layout][1]           # read > write
+    assert rows["cross-domain"][1] < rows["normal"][1]
+    assert rows["cross-domain"][2] <= rows["normal"][2]

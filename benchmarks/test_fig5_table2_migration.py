@@ -1,0 +1,31 @@
+"""Fig. 5 + Table II — live migration of the 16-node hadoop cluster."""
+
+from repro.experiments import format_table
+from repro.experiments import fig5_migration
+
+
+def test_table2_overall(one_shot):
+    result = one_shot(fig5_migration.run_table2, seed=0)
+    print()
+    print(format_table(result))
+    rows = {row[0]: row for row in result.rows}
+    # Larger memory -> longer migration (both conditions).
+    assert rows["idle.1024MB"][1] > rows["idle.512MB"][1]
+    assert rows["wordcount.1024MB"][1] > rows["wordcount.512MB"][1]
+    # Wordcount >> idle for both metrics.
+    assert rows["wordcount.1024MB"][1] > 1.5 * rows["idle.1024MB"][1]
+    assert rows["wordcount.1024MB"][2] > 5.0 * rows["idle.1024MB"][2]
+
+
+def test_fig5_per_node(one_shot):
+    result = one_shot(fig5_migration.run_per_node, seed=0)
+    print()
+    print(format_table(result))
+    by_condition = {}
+    for condition, _node, _mig, downtime in result.rows:
+        by_condition.setdefault(condition, []).append(downtime)
+    idle = by_condition["idle.1024MB"]
+    busy = by_condition["wordcount.1024MB"]
+    assert len(idle) == len(busy) == 16
+    # Downtime varies widely only under load (paper observation iii).
+    assert (max(busy) / min(busy)) > 3.0 * (max(idle) / min(idle))

@@ -1,0 +1,16 @@
+"""Fig. 6 — parallel clustering on Synthetic Control vs cluster scale."""
+
+from repro.experiments import format_table
+from repro.experiments import fig6_synthetic_control
+
+
+def test_fig6(one_shot):
+    result = one_shot(fig6_synthetic_control.run,
+                      scales=fig6_synthetic_control.CLUSTER_SCALES, seed=0)
+    print()
+    print(format_table(result))
+    for column in ("canopy_s", "dirichlet_s", "meanshift_s"):
+        series = result.column(column)
+        # Paper shape: running time increases from the 2-node to the
+        # 16-node cluster.
+        assert series[-1] > series[0], column

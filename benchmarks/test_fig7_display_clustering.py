@@ -1,0 +1,15 @@
+"""Fig. 7 — visualizing sample clustering vs cluster scale."""
+
+from repro.experiments import format_table
+from repro.experiments import fig7_display_clustering
+
+
+def test_fig7(one_shot):
+    result = one_shot(fig7_display_clustering.run,
+                      scales=fig7_display_clustering.CLUSTER_SCALES, seed=0)
+    print()
+    print(format_table(result))
+    # Paper shape: relatively smooth curves (light workload).
+    for algo in fig7_display_clustering.ALGORITHMS:
+        series = result.column(algo)
+        assert max(series) < 2.5 * min(series), algo

@@ -1,0 +1,17 @@
+"""Fig. 8 — clustering result visualizations (ASCII panels)."""
+
+from repro.experiments import format_table
+from repro.experiments import fig8_cluster_visuals
+
+
+def test_fig8(one_shot):
+    result = one_shot(fig8_cluster_visuals.run, seed=42)
+    print()
+    print(format_table(result))
+    print(result.artifacts["sample-data"])
+    print(result.artifacts["kmeans"])
+    assert set(fig8_cluster_visuals.PANELS) <= set(result.artifacts)
+    # Every algorithm found at least one cluster and the panels rendered.
+    for panel, clusters, _iters, _conv in result.rows:
+        if panel != "sample-data":
+            assert clusters >= 1

@@ -1,0 +1,11 @@
+"""Table I — the four-benchmark suite smoke run."""
+
+from repro.experiments import format_table
+from repro.experiments import table1_benchmarks
+
+
+def test_table1(one_shot):
+    result = one_shot(table1_benchmarks.run, seed=0)
+    print()
+    print(format_table(result))
+    assert all(row[2] for row in result.rows)

@@ -1,0 +1,85 @@
+"""The closed monitor -> tuner loop (paper Fig. 1, step 9).
+
+A deliberately under-provisioned cluster (one map slot per tracker) runs a
+Wordcount; the nmon monitor records per-VM utilization; the nmon analyser
+diagnoses the bottleneck; the MapReduce Tuner raises the slot count; the
+same job runs again, faster.
+
+Also demonstrates the migration-based tuning path: a cross-domain cluster
+with a hot NIC is consolidated onto one host.
+
+Run:  python examples/tuning_loop.py
+"""
+
+from repro import (HadoopConfig, PlatformConfig, VHadoopPlatform,
+                   cross_domain_placement, normal_placement)
+from repro.datasets.text import generate_corpus
+from repro.monitor import NmonAnalyser, NmonMonitor
+from repro.tuner import (ConsolidateCrossDomainRule,
+                         IncreaseSlotsWhenCpuIdleRule, MapReduceTuner)
+from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
+                                       wordcount_job)
+
+SCALE = 100
+
+
+def reconfiguration_loop() -> None:
+    print("=== tuning by reconfiguration ===")
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=3))
+    cluster = platform.provision_cluster(
+        "tune", normal_placement(8),
+        hadoop_config=HadoopConfig(map_tasks_maximum=1))
+    lines = generate_corpus(96_000_000 // SCALE,
+                            rng=platform.datacenter.rng.stream("corpus"))
+    platform.upload(cluster, "/in", lines_as_records(lines),
+                    sizeof=scaled_line_sizeof(SCALE), timed=False)
+
+    monitor = NmonMonitor(cluster.vms, interval=2.0)
+    analyser = NmonAnalyser(monitor)
+    monitor.start()
+    job = wordcount_job("/in", "/before", n_reduces=4, volume_scale=SCALE)
+    before = platform.run_job(cluster, job)
+    monitor.stop()
+    print(f"before tuning: {before.elapsed:.1f} s "
+          f"(map slots = {cluster.config.map_tasks_maximum})")
+
+    tuner = MapReduceTuner(cluster, analyser,
+                           rules=[IncreaseSlotsWhenCpuIdleRule(max_slots=3)])
+    recommendation = tuner.step()
+    print(f"tuner: {recommendation.reason}")
+
+    job = wordcount_job("/in", "/after", n_reduces=4, volume_scale=SCALE)
+    after = platform.run_job(cluster, job)
+    print(f"after tuning:  {after.elapsed:.1f} s "
+          f"(map slots = {cluster.config.map_tasks_maximum})")
+    speedup = before.elapsed / after.elapsed
+    print(f"speedup: {speedup:.2f}x")
+
+
+def migration_loop() -> None:
+    print("\n=== tuning by live migration (consolidation) ===")
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=4))
+    cluster = platform.provision_cluster("cd", cross_domain_placement(8))
+    print(f"layout before: hosts used = {sorted(cluster.hosts_used())}")
+
+    # Saturate the inter-host path so the analyser sees a hot NIC/netback.
+    dc = platform.datacenter
+    a = cluster.workers[0]
+    b = next(vm for vm in cluster.workers if vm.host is not a.host)
+    dc.fabric.transfer(a.node, b.node, 3e9)
+    dc.run(until=dc.now + 30.0)
+
+    monitor = NmonMonitor(cluster.vms, interval=2.0)
+    monitor.sample_now(dc.now)
+    tuner = MapReduceTuner(cluster, NmonAnalyser(monitor),
+                           rules=[ConsolidateCrossDomainRule(
+                               net_busy_threshold=0.3)])
+    recommendation = tuner.step()
+    if recommendation:
+        print(f"tuner: {recommendation.reason}")
+    print(f"layout after:  hosts used = {sorted(cluster.hosts_used())}")
+
+
+if __name__ == "__main__":
+    reconfiguration_loop()
+    migration_loop()

@@ -1,0 +1,125 @@
+"""Command-line interface: ``vhadoop <experiment> [options]``.
+
+Regenerates any of the paper's tables/figures from the terminal:
+
+.. code-block:: console
+
+   $ vhadoop fig2            # Wordcount normal vs cross-domain
+   $ vhadoop table2          # overall migration time/downtime
+   $ vhadoop fig8            # ASCII cluster visualizations
+   $ vhadoop all --quick     # everything, small sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.experiments import format_table
+from repro.experiments import (fig2_wordcount, fig3_mrbench,
+                               fig4_terasort_dfsio, fig5_migration,
+                               fig6_synthetic_control,
+                               fig7_display_clustering, fig8_cluster_visuals,
+                               table1_benchmarks)
+
+
+def _run_fig2(args) -> list:
+    sizes = (fig2_wordcount.QUICK_SIZES_MB if args.quick
+             else fig2_wordcount.FULL_SIZES_MB)
+    return [fig2_wordcount.run(sizes_mb=sizes, seed=args.seed)]
+
+
+def _run_fig3(args) -> list:
+    scales = (1, 2, 3) if args.quick else fig3_mrbench.MAP_SCALES
+    runs = 1 if args.quick else fig3_mrbench.RUNS
+    return [fig3_mrbench.run_map_scaling(scales, seed=args.seed, runs=runs),
+            fig3_mrbench.run_reduce_scaling(scales, seed=args.seed,
+                                            runs=runs)]
+
+
+def _run_fig4(args) -> list:
+    sizes = ((100, 400) if args.quick
+             else fig4_terasort_dfsio.FULL_TERA_MB)
+    return [fig4_terasort_dfsio.run_terasort_sweep(sizes, seed=args.seed),
+            fig4_terasort_dfsio.run_dfsio_sweep(seed=args.seed)]
+
+
+def _run_fig5(args) -> list:
+    return [fig5_migration.run_per_node(seed=args.seed)]
+
+
+def _run_table2(args) -> list:
+    return [fig5_migration.run_table2(seed=args.seed)]
+
+
+def _run_fig6(args) -> list:
+    scales = (2, 8) if args.quick else fig6_synthetic_control.CLUSTER_SCALES
+    return [fig6_synthetic_control.run(scales=scales, seed=args.seed)]
+
+
+def _run_fig7(args) -> list:
+    scales = (2, 8) if args.quick else fig7_display_clustering.CLUSTER_SCALES
+    return [fig7_display_clustering.run(scales=scales, seed=args.seed)]
+
+
+def _run_fig8(args) -> list:
+    result = fig8_cluster_visuals.run(seed=args.seed)
+    for panel in fig8_cluster_visuals.PANELS:
+        if panel in result.artifacts:
+            print(f"\n--- {panel} ---")
+            print(result.artifacts[panel])
+    return [result]
+
+
+def _run_table1(args) -> list:
+    return [table1_benchmarks.run(seed=args.seed)]
+
+
+_EXPERIMENTS: dict[str, Callable] = {
+    "table1": _run_table1,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "table2": _run_table2,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vhadoop",
+        description="Regenerate the vHadoop paper's tables and figures on "
+                    "the simulated platform.")
+    parser.add_argument("experiment",
+                        choices=sorted(_EXPERIMENTS) + ["all"],
+                        help="which table/figure to reproduce")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps for a fast pass")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="also write results as CSV/JSON into DIR")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        for result in _EXPERIMENTS[name](args):
+            print(format_table(result))
+            print()
+            if args.out:
+                from repro.experiments.report import write_all
+                for path in write_all(result, args.out):
+                    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

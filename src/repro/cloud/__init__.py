@@ -1,0 +1,18 @@
+"""On-demand vHadoop service (the paper's future work, implemented).
+
+"Future work will include integrating the vHadoop platform to open source
+cloud computing system to provide scalable on-demand computation service
+for processing data-intensive (or big-data) applications with parallel
+machine learning algorithms."  (paper, Section VI)
+
+:class:`~repro.cloud.service.OnDemandVHadoopService` accepts job requests,
+elastically provisions hadoop virtual clusters against the datacenter's
+DRAM capacity (booting VMs from the NFS image store), queues requests that
+do not fit, runs each job, and tears the cluster down — an EMR-style
+cluster-per-job service on top of the platform.
+"""
+
+from repro.cloud.service import (OnDemandVHadoopService, ServiceOutcome,
+                                 ServiceRequest)
+
+__all__ = ["OnDemandVHadoopService", "ServiceOutcome", "ServiceRequest"]

@@ -1,0 +1,201 @@
+"""The elastic cluster-per-job service.
+
+Lifecycle of one request:
+
+1. **queue** — requests wait until the datacenter has DRAM for the
+   requested cluster (admission is capacity-based, FIFO with skipping of
+   requests that cannot currently fit behind ones that can);
+2. **provision** — VMs are placed greedily on the hosts with the most free
+   DRAM and booted from the NFS image store (timed: image fetch + guest
+   boot), then assembled into a :class:`HadoopVirtualCluster`;
+3. **stage + run** — the request's input is uploaded (timed) and its job
+   executed by the MapReduce engine;
+4. **collect + teardown** — output records are gathered, the VMs stopped,
+   and the DRAM returned to the pool, admitting waiting requests.
+
+Multiple requests run concurrently when capacity allows — the service is
+the elasticity layer the paper's future-work section sketches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.config import HadoopConfig, VMConfig
+from repro.errors import ConfigError, PlacementError
+from repro.hdfs.client import default_sizeof
+from repro.mapreduce.job import Job
+from repro.mapreduce.runner import JobReport, MapReduceRunner
+from repro.platform.cluster import HadoopVirtualCluster
+from repro.platform.vhadoop import VHadoopPlatform
+from repro.sim.kernel import Event
+
+#: A request's job factory receives the input path and an output path.
+JobFactory = Callable[[str, str], Job]
+
+
+@dataclass
+class ServiceRequest:
+    """One on-demand computation."""
+
+    name: str
+    n_nodes: int
+    records: Sequence[Any]
+    make_job: JobFactory
+    sizeof: Callable[[Any], int] = default_sizeof
+    vm_config: Optional[VMConfig] = None
+    hadoop_config: Optional[HadoopConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ConfigError("a request needs >= 2 nodes (master + worker)")
+        if not self.records:
+            raise ConfigError(f"request {self.name!r} has no input records")
+
+
+@dataclass
+class ServiceOutcome:
+    """What the requester gets back."""
+
+    request: ServiceRequest
+    submitted_at: float
+    started_at: float = 0.0      # when provisioning began
+    finished_at: float = 0.0
+    report: Optional[JobReport] = None
+    output: list = field(default_factory=list)
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.started_at - self.submitted_at
+
+    @property
+    def total_s(self) -> float:
+        return self.finished_at - self.submitted_at
+
+
+class OnDemandVHadoopService:
+    """Elastic cluster-per-job execution over one platform."""
+
+    def __init__(self, platform: VHadoopPlatform):
+        self.platform = platform
+        self.datacenter = platform.datacenter
+        self.sim = platform.sim
+        self._queue: list[tuple[ServiceRequest, Event, ServiceOutcome]] = []
+        self._ids = itertools.count()
+        self.completed: list[ServiceOutcome] = []
+
+    # -- public --------------------------------------------------------------
+    def submit(self, request: ServiceRequest) -> Event:
+        """Queue a request; the event's value is a :class:`ServiceOutcome`."""
+        done = self.sim.event()
+        outcome = ServiceOutcome(request=request, submitted_at=self.sim.now)
+        self._queue.append((request, done, outcome))
+        self._admit()
+        return done
+
+    def run_all(self, events: Sequence[Event]) -> list[ServiceOutcome]:
+        """Drive the simulator until every given request completes."""
+        gate = self.sim.all_of(list(events))
+        self.sim.run_until(gate)
+        return [events_value for events_value in
+                (event.value for event in events)]
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    # -- capacity ---------------------------------------------------------------
+    def _vm_memory(self, request: ServiceRequest) -> int:
+        config = request.vm_config or self.datacenter.config.vm
+        return config.memory
+
+    def _fits(self, request: ServiceRequest) -> bool:
+        memory = self._vm_memory(request)
+        slots = sum(machine.dram_free // memory
+                    for machine in self.datacenter.machines)
+        return slots >= request.n_nodes
+
+    def _admit(self) -> None:
+        """Start every queued request that currently fits (FIFO scan).
+
+        Admission reserves the cluster's DRAM *synchronously* (a hold per
+        VM) so that several same-instant admissions cannot double-book the
+        capacity; the hold is swapped for real VM residency when the serve
+        process provisions.
+        """
+        for entry in list(self._queue):
+            request, done, outcome = entry
+            if not self._fits(request):
+                continue
+            self._queue.remove(entry)
+            hosts = self._place(request)
+            memory = self._vm_memory(request)
+            for machine in hosts:
+                machine.reserve_dram(memory, f"svc-hold:{request.name}")
+            self.sim.process(self._serve(request, done, outcome, hosts),
+                             name=f"svc:{request.name}")
+
+    # -- serving -------------------------------------------------------------
+    def _place(self, request: ServiceRequest) -> list:
+        """Greedy biggest-gap placement; returns one machine per VM."""
+        memory = self._vm_memory(request)
+        budget = {m.name: m.dram_free for m in self.datacenter.machines}
+        hosts = []
+        for _ in range(request.n_nodes):
+            machine = max(self.datacenter.machines,
+                          key=lambda m: budget[m.name])
+            if budget[machine.name] < memory:
+                raise PlacementError(
+                    f"capacity vanished while placing {request.name!r}")
+            budget[machine.name] -= memory
+            hosts.append(machine)
+        return hosts
+
+    def _serve(self, request: ServiceRequest, done: Event,
+               outcome: ServiceOutcome, hosts: list):
+        outcome.started_at = self.sim.now
+        instance = next(self._ids)
+        cluster_name = f"svc-{request.name}-{instance}"
+
+        # Swap the admission holds for real VM residency — atomic: no
+        # simulated time passes between the release and the placements.
+        memory = self._vm_memory(request)
+        vms = []
+        for i, machine in enumerate(hosts):
+            machine.release_dram(memory)
+            vms.append(self.datacenter.create_vm(
+                f"{cluster_name}-vm{i:02d}", machine,
+                config=request.vm_config))
+        boots = [self.datacenter.boot_vm(vm) for vm in vms]
+        yield self.sim.all_of(boots)
+
+        cluster = HadoopVirtualCluster(cluster_name, self.datacenter,
+                                       vms[0], vms[1:],
+                                       config=request.hadoop_config)
+        runner = MapReduceRunner(cluster)
+        try:
+            # Stage input (timed) and run.
+            input_path = f"/{cluster_name}/input"
+            upload = cluster.dfs.write_file(cluster.master, input_path,
+                                            request.records,
+                                            sizeof=request.sizeof)
+            yield upload
+            job = request.make_job(input_path, f"/{cluster_name}/output")
+            report = yield runner.submit(job)
+            outcome.report = report
+            outcome.output = runner.read_output(report)
+        finally:
+            # Teardown: stop every VM, returning DRAM to the pool.
+            for vm in vms:
+                if vm.host is not None:
+                    vm.stop()
+            outcome.finished_at = self.sim.now
+            self.completed.append(outcome)
+            self.datacenter.tracer.emit(
+                self.sim.now, "cloud.request.done", request.name,
+                total=outcome.total_s, waited=outcome.queue_wait_s)
+            self._admit()  # freed capacity may admit queued requests
+        done.succeed(outcome)
+        return outcome

@@ -1,0 +1,144 @@
+"""Configuration dataclasses for the vHadoop platform.
+
+These mirror the knobs the paper names: VM shape (1 VCPU / 1024 MB), host
+shape (Dell T710: 8 cores, 32 GiB), Hadoop parameters (``dfs.replication``,
+``dfs.block.size``, ``map.tasks.maximum``, ``reduce.tasks.maximum``), and the
+platform-wide layout (hosts, NFS image store, seed).
+
+All configs are frozen; derived variants are produced with
+:func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro import constants as C
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class VMConfig:
+    """Shape of one virtual machine (paper: 1 VCPU, 1024 MB, Ubuntu 8.10)."""
+
+    vcpus: int = C.DEFAULT_VM_VCPUS
+    memory: int = C.DEFAULT_VM_MEMORY
+    #: Disk image size on the NFS server (only affects boot/clone times).
+    image_size: int = 4 * C.GiB
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ConfigError(f"vcpus must be >= 1, got {self.vcpus}")
+        if self.memory < 64 * C.MiB:
+            raise ConfigError(f"memory must be >= 64 MiB, got {self.memory}")
+        if self.image_size <= 0:
+            raise ConfigError("image_size must be positive")
+
+    def with_memory(self, memory: int) -> "VMConfig":
+        return dataclasses.replace(self, memory=memory)
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Shape of one physical machine (paper: Dell T710)."""
+
+    cores: int = C.DEFAULT_HOST_CORES
+    dram: int = C.DEFAULT_HOST_DRAM
+    nic_bandwidth: float = C.GBIT_ETHERNET_BPS
+    bridge_bandwidth: float = C.VIRTUAL_BRIDGE_BPS
+    netback_bandwidth: float = C.XEN_NETBACK_BPS
+    disk_bandwidth: float = C.DISK_BPS
+    #: DRAM reserved for the hypervisor / Domain-0.
+    dom0_reserved: int = 2 * C.GiB
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError(f"cores must be >= 1, got {self.cores}")
+        if self.dram <= self.dom0_reserved:
+            raise ConfigError("dram must exceed the Domain-0 reservation")
+        for name in ("nic_bandwidth", "bridge_bandwidth", "netback_bandwidth",
+                     "disk_bandwidth"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @property
+    def guest_dram(self) -> int:
+        """DRAM available to guests."""
+        return self.dram - self.dom0_reserved
+
+
+@dataclass(frozen=True)
+class HadoopConfig:
+    """Hadoop cluster parameters (the paper's Hadoop Module knobs)."""
+
+    dfs_replication: int = C.DEFAULT_DFS_REPLICATION
+    dfs_block_size: int = C.DEFAULT_DFS_BLOCK_SIZE
+    map_tasks_maximum: int = C.DEFAULT_MAP_SLOTS
+    reduce_tasks_maximum: int = C.DEFAULT_REDUCE_SLOTS
+    #: Run the combiner on map outputs when the job provides one.
+    use_combiner: bool = True
+    #: Prefer data-local map scheduling (node-local > host-local > remote).
+    locality_aware: bool = True
+    #: Launch backup copies of straggling maps on idle trackers (Hadoop's
+    #: mapred.map.tasks.speculative.execution; cf. Zaharia et al., OSDI'08,
+    #: the paper's related work on MapReduce in virtualized environments).
+    speculative_execution: bool = False
+    #: A map is a straggler once it has run this multiple of the mean
+    #: completed-map duration.
+    speculative_slowdown: float = 1.5
+    #: Fixed per-task startup cost (JVM launch stand-in), seconds.
+    task_startup_s: float = C.TASK_STARTUP_S
+    #: Fixed per-job submission/cleanup overhead, seconds.
+    job_overhead_s: float = C.JOB_OVERHEAD_S
+    #: TaskTracker heartbeat interval, seconds.
+    heartbeat_s: float = C.HEARTBEAT_S
+    #: Maximum concurrent shuffle fetch streams per reduce task.
+    shuffle_parallel_copies: int = 5
+    #: Bytes every TaskTracker localizes per job (job.jar + config + side
+    #: files; a Mahout job jar is ~16 MB).  This is why tiny jobs get
+    #: slower as the cluster grows — Fig. 6's scaling mechanism.
+    job_localization_bytes: int = 16 * C.MiB
+
+    def __post_init__(self) -> None:
+        if self.dfs_replication < 1:
+            raise ConfigError("dfs.replication must be >= 1")
+        if self.dfs_block_size < 1 * C.MiB:
+            raise ConfigError("dfs.block.size must be >= 1 MiB")
+        if self.map_tasks_maximum < 1 or self.reduce_tasks_maximum < 1:
+            raise ConfigError("task slot maxima must be >= 1")
+        if self.shuffle_parallel_copies < 1:
+            raise ConfigError("shuffle_parallel_copies must be >= 1")
+        if self.job_localization_bytes < 0:
+            raise ConfigError("job_localization_bytes must be >= 0")
+        if self.speculative_slowdown <= 1.0:
+            raise ConfigError("speculative_slowdown must be > 1.0")
+        for name in ("task_startup_s", "job_overhead_s", "heartbeat_s"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    def replace(self, **kwargs) -> "HadoopConfig":
+        """Return a copy with the given fields changed (tuner entry point)."""
+        return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Whole-platform layout: hosts, VM template, Hadoop config, NFS, seed."""
+
+    n_hosts: int = 2
+    host: HostConfig = field(default_factory=HostConfig)
+    vm: VMConfig = field(default_factory=VMConfig)
+    hadoop: HadoopConfig = field(default_factory=HadoopConfig)
+    nfs_bandwidth: float = C.NFS_BPS
+    seed: int = 0
+    trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 1:
+            raise ConfigError("n_hosts must be >= 1")
+        if self.nfs_bandwidth <= 0:
+            raise ConfigError("nfs_bandwidth must be positive")
+
+    def replace(self, **kwargs) -> "PlatformConfig":
+        return dataclasses.replace(self, **kwargs)

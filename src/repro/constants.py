@@ -1,0 +1,110 @@
+"""Units and platform-wide default constants.
+
+All simulated quantities use SI base units internally:
+
+* time     — seconds (``float``)
+* data     — bytes (``int`` or ``float``; fluid flows use floats)
+* rate     — bytes per second
+* compute  — core-seconds of work ("work units"); a VCPU running alone on a
+  free physical core retires 1.0 work unit per simulated second.
+
+The constants below are the calibration points of the simulator.  They are
+chosen to mirror the paper's testbed (Dell T710: 2x quad-core Xeon E5620,
+32 GiB DRAM, gigabit Ethernet, NFS-backed VM images) so that the *shapes* of
+the measured curves match the paper; absolute values are not expected to.
+"""
+
+from __future__ import annotations
+
+# --- data sizes -------------------------------------------------------------
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+
+#: Size of a guest memory page (bytes); Xen on x86 uses 4 KiB pages.
+PAGE_SIZE: int = 4 * KiB
+
+# --- network ----------------------------------------------------------------
+#: Physical NIC bandwidth: gigabit Ethernet (bytes/second).
+GBIT_ETHERNET_BPS: float = 125e6
+#: Intra-host software bridge bandwidth between co-located VMs.  Xen 3.x
+#: guest-to-guest loopback runs at a few Gbit/s (CPU-bound page flipping) —
+#: well above the wire but far below memory bandwidth.
+VIRTUAL_BRIDGE_BPS: float = 400e6
+#: Per-host Xen netback/netfront processing ceiling for *guest* traffic
+#: that crosses the physical NIC.  Xen 3.x PV guests sustain roughly
+#: 400 Mbit/s of external traffic per host before dom0 saturates
+#: (Cherkasova & Gardner; Menon et al.) — this, not the wire, is what makes
+#: cross-domain clusters slow.
+XEN_NETBACK_BPS: float = 40e6
+#: One-way latency charged per network transfer (seconds).
+LAN_LATENCY_S: float = 0.3e-3
+BRIDGE_LATENCY_S: float = 0.05e-3
+
+# --- disk and NFS -----------------------------------------------------------
+#: Local (virtual) disk streaming bandwidth per physical machine.
+DISK_BPS: float = 90e6
+#: Aggregate bandwidth of the shared NFS server storing the VM images.
+NFS_BPS: float = 70e6
+#: Fraction of virtual-disk I/O absorbed by the guest page cache /
+#: write-back cache before it ever reaches the NFS back-end.
+DISK_CACHE_HIT_RATIO: float = 0.65
+#: Service rate of cache-absorbed disk I/O (memory copies).
+PAGE_CACHE_BPS: float = 1.2e9
+
+# --- physical machine (Dell T710 stand-in) ----------------------------------
+#: 2x quad-core Xeon E5620 with HyperThreading = 16 hardware threads; the
+#: paper's 16 single-VCPU VMs on one host are therefore not oversubscribed.
+DEFAULT_HOST_CORES: int = 16
+DEFAULT_HOST_DRAM: int = 32 * GiB
+
+# --- virtual machine --------------------------------------------------------
+DEFAULT_VM_VCPUS: int = 1
+DEFAULT_VM_MEMORY: int = 1024 * MiB
+
+# --- live migration (Xen pre-copy defaults) ---------------------------------
+#: Stop-and-copy is triggered once the remaining dirty set is this small.
+MIGRATION_STOP_THRESHOLD: int = 256 * KiB
+#: ... or after this many pre-copy rounds.
+MIGRATION_MAX_ROUNDS: int = 30
+#: Fixed end-of-migration overhead included in downtime (device re-attach,
+#: gratuitous ARP, resume), seconds.
+MIGRATION_RESUME_OVERHEAD_S: float = 0.012
+#: Time to set up a migration connection before the first round, seconds.
+MIGRATION_SETUP_S: float = 0.8
+#: Fixed per-pre-copy-round cost (dirty bitmap scan, control RPCs), seconds.
+MIGRATION_ROUND_OVERHEAD_S: float = 0.08
+#: Xen's pre-copy send budget: give up once total bytes sent would exceed
+#: this multiple of guest memory.
+MIGRATION_SEND_BUDGET_FACTOR: float = 3.0
+
+# --- Hadoop defaults (mirroring hadoop-0.20 defaults used in the paper) -----
+DEFAULT_DFS_REPLICATION: int = 2
+DEFAULT_DFS_BLOCK_SIZE: int = 64 * MiB
+DEFAULT_MAP_SLOTS: int = 2
+DEFAULT_REDUCE_SLOTS: int = 2
+#: Per-task fixed startup cost (JVM launch + task setup), seconds.
+TASK_STARTUP_S: float = 1.4
+#: Per-job fixed overhead (submission, initialization, cleanup), seconds.
+JOB_OVERHEAD_S: float = 3.0
+#: Heartbeat interval between TaskTracker and JobTracker, seconds.
+#: hadoop-0.20 floors the heartbeat at 3 s for small clusters; task
+#: assignment latency is uniform in [0, HEARTBEAT_S).
+HEARTBEAT_S: float = 2.0
+#: Fixed cost of one shuffle fetch (HTTP connection + servlet), seconds.
+SHUFFLE_FETCH_OVERHEAD_S: float = 0.15
+
+# --- MapReduce cost model ---------------------------------------------------
+#: CPU work per input byte for a "typical" map function (core-seconds/byte).
+#: Calibrated so that a 64 MiB split of text maps in roughly 10 s on a free
+#: core, matching hadoop-0.20-era throughput on the paper's Xeon E5620.
+MAP_CPU_PER_BYTE: float = 1.5e-7
+REDUCE_CPU_PER_BYTE: float = 1.2e-7
+#: Extra CPU work per record for sort/merge on the reduce side.
+SORT_CPU_PER_RECORD: float = 2.0e-6
+
+__all__ = [name for name in dir() if name[0].isupper()]

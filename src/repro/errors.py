@@ -1,0 +1,88 @@
+"""Exception hierarchy for the vHadoop reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class; subsystem-specific bases allow finer handling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value or inconsistent configuration set."""
+
+
+class SimulationError(ReproError):
+    """Violation of simulation-kernel invariants (e.g. scheduling in the past)."""
+
+
+class ResourceError(SimulationError):
+    """Misuse of a simulated resource (double release, negative capacity...)."""
+
+
+class VirtualizationError(ReproError):
+    """Base class for virtualization-layer failures."""
+
+
+class PlacementError(VirtualizationError):
+    """A VM cannot be placed on the requested physical machine."""
+
+
+class MigrationError(VirtualizationError):
+    """Live migration preconditions not met or migration aborted."""
+
+
+class VMStateError(VirtualizationError):
+    """Operation not valid in the VM's current lifecycle state."""
+
+
+class HdfsError(ReproError):
+    """Base class for HDFS failures."""
+
+
+class FileNotFoundInDfs(HdfsError):
+    """Path does not exist in the simulated namespace."""
+
+
+class FileAlreadyExists(HdfsError):
+    """Create refused because the path already exists."""
+
+
+class ReplicationError(HdfsError):
+    """Not enough live datanodes to satisfy the replication factor."""
+
+
+class BlockNotFound(HdfsError):
+    """No live replica holds the requested block."""
+
+
+class MapReduceError(ReproError):
+    """Base class for MapReduce engine failures."""
+
+
+class JobConfigError(MapReduceError, ConfigError):
+    """Job misconfiguration (no mapper, bad reduce count, missing input...)."""
+
+
+class TaskFailure(MapReduceError):
+    """A map or reduce task raised from user code."""
+
+    def __init__(self, task_id: str, cause: BaseException):
+        super().__init__(f"task {task_id} failed: {cause!r}")
+        self.task_id = task_id
+        self.cause = cause
+
+
+class ClusteringError(ReproError):
+    """Machine-learning library failure (bad k, empty input, no convergence...)."""
+
+
+class MonitorError(ReproError):
+    """Monitoring subsystem misuse."""
+
+
+class TunerError(ReproError):
+    """Tuner rule or application failure."""

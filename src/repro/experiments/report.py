@@ -1,0 +1,73 @@
+"""Experiment result persistence: CSV and JSON writers.
+
+``vhadoop <experiment> --out DIR`` drops one ``<id>.csv`` (the rows), one
+``<id>.json`` (rows + notes + metadata) and, when an experiment produced
+text artifacts (Fig. 8's panels), one ``<id>.<panel>.txt`` per panel.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.common import ExperimentResult
+
+
+def write_csv(result: ExperimentResult, directory: str | Path) -> Path:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.columns)
+        writer.writerows(result.rows)
+    return path
+
+
+def write_json(result: ExperimentResult, directory: str | Path) -> Path:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.json"
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path
+
+
+def write_artifacts(result: ExperimentResult, directory: str | Path
+                    ) -> list[Path]:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, text in result.artifacts.items():
+        path = directory / f"{result.experiment_id}.{name}.txt"
+        path.write_text(str(text) + "\n")
+        written.append(path)
+    return written
+
+
+def write_all(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """CSV + JSON + artifacts for one result; returns the paths written."""
+    paths = [write_csv(result, directory), write_json(result, directory)]
+    paths.extend(write_artifacts(result, directory))
+    return paths
+
+
+def read_json(path: str | Path) -> ExperimentResult:
+    """Load a result back (rows become lists of parsed JSON values)."""
+    payload = json.loads(Path(path).read_text())
+    result = ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        columns=tuple(payload["columns"]))
+    for row in payload["rows"]:
+        result.add(*row)
+    for note in payload["notes"]:
+        result.note(note)
+    return result

@@ -1,0 +1,66 @@
+"""Table I — the MapReduce-based parallel benchmark suite.
+
+Table I of the paper is descriptive (names, categories, descriptions); the
+reproduction runs each benchmark once on the 16-node normal cluster and
+reports that it exercises the layers the table claims (MapReduce, HDFS, or
+both).
+"""
+
+from __future__ import annotations
+
+from repro import constants as C
+from repro.datasets.text import generate_corpus
+from repro.experiments.common import (ExperimentResult, make_platform,
+                                      sixteen_node_cluster)
+from repro.workloads.dfsio import run_dfsio
+from repro.workloads.mrbench import run_mrbench
+from repro.workloads.terasort import run_terasort
+from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
+                                       wordcount_job)
+
+DESCRIPTIONS = {
+    "Wordcount": ("MapReduce",
+                  "Reads text files and counts how often words occur"),
+    "MRBench": ("MapReduce",
+                "Checks whether small job runs are responsive and running "
+                "efficiently on the cluster"),
+    "TeraSort": ("MapReduce & HDFS",
+                 "Sorts the data as fast as possible, combining testing the "
+                 "HDFS and MapReduce layers"),
+    "DFSIOTest": ("HDFS", "Is a read and write test for HDFS"),
+}
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="MapReduce-based parallel benchmarks (suite smoke run)",
+        columns=("name", "category", "ran_ok", "elapsed_s"))
+
+    platform = make_platform(seed=seed)
+    cluster = sixteen_node_cluster(platform, "normal")
+    runner = platform.runner(cluster)
+
+    lines = generate_corpus(32 * C.MB // 100,
+                            rng=platform.datacenter.rng.fresh("corpus"))
+    platform.upload(cluster, "/wc/input", lines_as_records(lines),
+                    sizeof=scaled_line_sizeof(100), timed=False)
+    wc = runner.run_to_completion(
+        wordcount_job("/wc/input", "/wc/output", n_reduces=4,
+                      volume_scale=100))
+    result.add("Wordcount", DESCRIPTIONS["Wordcount"][0],
+               wc.output_bytes > 0, wc.elapsed)
+
+    mr = run_mrbench(runner, cluster, n_maps=2, n_reduces=1)
+    result.add("MRBench", DESCRIPTIONS["MRBench"][0],
+               mr.output_bytes > 0, mr.elapsed)
+
+    tera = run_terasort(runner, cluster, 50 * C.MB, n_reduces=4)
+    result.add("TeraSort", DESCRIPTIONS["TeraSort"][0], tera.validated,
+               tera.generation_time_s + tera.sort_time_s)
+
+    io = run_dfsio(cluster, n_files=4, file_bytes=16 * C.MB)
+    result.add("DFSIOTest", DESCRIPTIONS["DFSIOTest"][0],
+               io.read_throughput_bps > 0 and io.write_throughput_bps > 0,
+               io.write_seconds + io.read_seconds)
+    return result

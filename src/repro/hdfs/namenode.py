@@ -1,0 +1,154 @@
+"""The NameNode: namespace and block placement.
+
+Placement follows Hadoop's default policy with physical hosts standing in
+for racks (on a two-host testbed the host boundary *is* the interesting
+topology boundary):
+
+1. first replica on the writer's own datanode when it has one, otherwise a
+   random datanode;
+2. second replica on a datanode of a *different host* when one exists;
+3. further replicas on random remaining datanodes, spreading across hosts.
+
+Replica choice for reads prefers the closest copy: writer-local datanode >
+same-host datanode > remote datanode — HDFS's `NetworkTopology` distances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import (FileAlreadyExists, FileNotFoundInDfs,
+                          ReplicationError)
+from repro.hdfs.block import Block, BlockStore
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.files import DfsFile, FileSplit
+
+
+class NameNode:
+    """Namespace plus placement decisions (control plane only)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.files: dict[str, DfsFile] = {}
+        self.datanodes: list[DataNode] = []
+        self.block_store = BlockStore()
+        #: block_id -> datanodes holding a replica
+        self.replicas: dict[str, list[DataNode]] = {}
+        self._rng = rng or np.random.default_rng(0)
+
+    # -- membership ----------------------------------------------------------
+    def register_datanode(self, datanode: DataNode) -> None:
+        self.datanodes.append(datanode)
+
+    def datanode_of(self, vm_name: str) -> Optional[DataNode]:
+        for dn in self.datanodes:
+            if dn.vm.name == vm_name:
+                return dn
+        return None
+
+    # -- namespace ----------------------------------------------------------
+    def create_file(self, path: str) -> DfsFile:
+        if path in self.files:
+            raise FileAlreadyExists(path)
+        f = DfsFile(path)
+        self.files[path] = f
+        return f
+
+    def get_file(self, path: str) -> DfsFile:
+        try:
+            return self.files[path]
+        except KeyError:
+            raise FileNotFoundInDfs(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    def delete_file(self, path: str) -> None:
+        f = self.files.pop(path, None)
+        if f is None:
+            raise FileNotFoundInDfs(path)
+        for block in f.blocks:
+            for dn in self.replicas.pop(block.block_id, []):
+                dn.drop_replica(block)
+            self.block_store.drop(block)
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        return sorted(p for p in self.files if p.startswith(prefix))
+
+    def splits(self, path: str) -> list[FileSplit]:
+        f = self.get_file(path)
+        return [FileSplit(path=path, block=b, index=i)
+                for i, b in enumerate(f.blocks)]
+
+    # -- placement ----------------------------------------------------------
+    def choose_write_targets(self, writer_vm_name: str, replication: int
+                             ) -> list[DataNode]:
+        """Pick ``replication`` datanodes for a new block."""
+        if replication < 1:
+            raise ReplicationError("replication must be >= 1")
+        if not self.datanodes:
+            raise ReplicationError("no datanodes registered")
+        # HDFS under-replicates (with a warning) when the cluster is smaller
+        # than the requested factor — a 2-node cluster stores one replica.
+        replication = min(replication, len(self.datanodes))
+        targets: list[DataNode] = []
+        local = self.datanode_of(writer_vm_name)
+        if local is not None:
+            targets.append(local)
+        else:
+            targets.append(self._pick(self.datanodes, exclude=targets))
+        if len(targets) < replication:
+            first_host = targets[0].vm.host
+            off_host = [dn for dn in self.datanodes
+                        if dn.vm.host is not first_host and dn not in targets]
+            if off_host:
+                targets.append(self._pick(off_host, exclude=targets))
+        while len(targets) < replication:
+            targets.append(self._pick(self.datanodes, exclude=targets))
+        return targets
+
+    def choose_read_replica(self, reader_vm_name: str, block: Block,
+                            prefer_local: bool = True) -> DataNode:
+        """A datanode holding the block.
+
+        ``prefer_local=True`` is HDFS's NetworkTopology choice (same node >
+        same host > any); ``prefer_local=False`` picks a random replica —
+        the effective behaviour when the reading task was scheduled without
+        regard to this block's placement (TestDFSIO's read pattern).
+        """
+        holders = self.replicas.get(block.block_id, [])
+        if not holders:
+            raise ReplicationError(f"no replica of {block.block_id}")
+        if prefer_local:
+            reader = self.datanode_of(reader_vm_name)
+            if reader is not None and reader in holders:
+                return reader
+            if reader is not None:
+                same_host = [dn for dn in holders
+                             if dn.vm.host is reader.vm.host]
+                if same_host:
+                    return self._pick(same_host, exclude=[])
+        return self._pick(holders, exclude=[])
+
+    def commit_block(self, f: DfsFile, block: Block,
+                     targets: Sequence[DataNode]) -> None:
+        """Record a fully written block (called by the client)."""
+        f.blocks.append(block)
+        self.replicas[block.block_id] = list(targets)
+        for dn in targets:
+            dn.add_replica(block)
+
+    def _pick(self, pool: Sequence[DataNode], exclude: Sequence[DataNode]
+              ) -> DataNode:
+        candidates = [dn for dn in pool if dn not in exclude]
+        if not candidates:
+            raise ReplicationError("datanode pool exhausted")
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+    # -- stats -----------------------------------------------------------------
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self.files.values())
+
+    def replica_count(self, block: Block) -> int:
+        return len(self.replicas.get(block.block_id, []))

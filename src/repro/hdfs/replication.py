@@ -1,0 +1,139 @@
+"""Replication repair: HDFS's answer to datanode loss.
+
+The paper leans on exactly this mechanism in its dynamic analysis:
+"The unavailable service during the period of downtime can be restored by
+re-sending the requests or obtaining from other available data block
+copies" (Section III-C).  When a datanode dies, the NameNode notices the
+missing replicas and re-replicates every under-replicated block from a
+surviving holder to a fresh target.
+
+:class:`ReplicationRepairer` performs one repair sweep as a simulation
+process: for each under-replicated block it charges a disk read at the
+source, a network transfer, and a disk write at the new target — the same
+data path as a client write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ReplicationError
+from repro.hdfs.block import Block
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.sim import Simulator, Tracer
+from repro.sim.kernel import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net import NetworkFabric
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one repair sweep."""
+
+    started_at: float
+    finished_at: float = 0.0
+    repaired: list[str] = field(default_factory=list)      # block ids
+    unrecoverable: list[str] = field(default_factory=list)  # no live replica
+    bytes_copied: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+
+def mark_datanode_dead(namenode: NameNode, datanode: DataNode) -> list[Block]:
+    """Remove a dead datanode from the cluster metadata.
+
+    Returns the blocks that lost a replica (and therefore need repair).
+    """
+    if datanode in namenode.datanodes:
+        namenode.datanodes.remove(datanode)
+    lost: list[Block] = []
+    for block_id, holders in namenode.replicas.items():
+        if datanode in holders:
+            holders.remove(datanode)
+            lost.append(datanode.blocks.get(block_id)
+                        or _find_block(namenode, block_id))
+    return [b for b in lost if b is not None]
+
+
+def _find_block(namenode: NameNode, block_id: str) -> Optional[Block]:
+    for f in namenode.files.values():
+        for block in f.blocks:
+            if block.block_id == block_id:
+                return block
+    return None
+
+
+def under_replicated(namenode: NameNode, replication: int
+                     ) -> list[tuple[Block, int]]:
+    """Blocks with fewer live replicas than the (clamped) target."""
+    target = min(replication, len(namenode.datanodes))
+    found = []
+    for f in namenode.files.values():
+        for block in f.blocks:
+            live = len(namenode.replicas.get(block.block_id, []))
+            if live < target:
+                found.append((block, live))
+    return found
+
+
+class ReplicationRepairer:
+    """Re-replication sweeps over one namespace."""
+
+    def __init__(self, sim: Simulator, fabric: "NetworkFabric",
+                 namenode: NameNode, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.fabric = fabric
+        self.namenode = namenode
+        self.tracer = tracer or Tracer(enabled=False)
+
+    def repair(self, replication: int) -> Event:
+        """Run one sweep; event value is a :class:`RepairReport`."""
+        return self.sim.process(self._repair_proc(replication),
+                                name="hdfs:repair")
+
+    def _repair_proc(self, replication: int):
+        report = RepairReport(started_at=self.sim.now)
+        for block, live in under_replicated(self.namenode, replication):
+            holders = self.namenode.replicas.get(block.block_id, [])
+            if not holders:
+                report.unrecoverable.append(block.block_id)
+                self.tracer.emit(self.sim.now, "hdfs.repair.lost",
+                                 block.block_id)
+                continue
+            target = min(replication, len(self.namenode.datanodes))
+            while len(self.namenode.replicas[block.block_id]) < target:
+                yield from self._copy_replica(block, report)
+        report.finished_at = self.sim.now
+        self.tracer.emit(self.sim.now, "hdfs.repair.done", "namenode",
+                         repaired=len(report.repaired),
+                         unrecoverable=len(report.unrecoverable))
+        return report
+
+    def _copy_replica(self, block: Block, report: RepairReport):
+        holders = self.namenode.replicas[block.block_id]
+        source = holders[0]
+        candidates = [dn for dn in self.namenode.datanodes
+                      if dn not in holders]
+        if not candidates:
+            raise ReplicationError(
+                f"no candidate datanode for {block.block_id}")
+        # Prefer an off-host target, mirroring the write placement policy.
+        off_host = [dn for dn in candidates
+                    if dn.vm.host is not source.vm.host]
+        target = (off_host or candidates)[0]
+        pending = [source.read_from_disk(block),
+                   target.write_to_disk(block)]
+        if source.vm.node is not target.vm.node:
+            pending.append(self.fabric.transfer(
+                source.vm.node, target.vm.node, block.size,
+                name=f"hdfs:repair:{block.block_id}"))
+        yield self.sim.all_of(pending)
+        holders.append(target)
+        target.add_replica(block)
+        report.repaired.append(block.block_id)
+        report.bytes_copied += block.size

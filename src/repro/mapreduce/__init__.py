@@ -1,0 +1,27 @@
+"""MapReduce engine: a *functional* simulator of Hadoop's JobTracker /
+TaskTracker MapReduce (hadoop-0.20 era, as used by the paper).
+
+Jobs execute genuine ``map``/``combine``/``reduce`` functions over real
+records — outputs are bit-for-bit what Hadoop would produce — while the
+engine charges simulated time for every phase: task startup (the JVM-launch
+stand-in), split reads with HDFS locality, CPU fair-shared through the
+virtualization layer, the all-to-all shuffle over the network fabric, sort,
+and replicated output writes.
+
+The :class:`~repro.mapreduce.local.LocalJobRunner` executes the same job
+purely functionally with no cluster; it is the reference implementation the
+cluster runner is property-tested against.
+"""
+
+from repro.mapreduce.api import (Combiner, Context, HashPartitioner, Mapper,
+                                 Partitioner, Reducer, stable_hash)
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import Job
+from repro.mapreduce.local import LocalJobRunner
+from repro.mapreduce.runner import JobReport, MapReduceRunner, TaskAttempt
+
+__all__ = [
+    "Combiner", "Context", "Counters", "HashPartitioner", "Job", "JobReport",
+    "LocalJobRunner", "Mapper", "MapReduceRunner", "Partitioner", "Reducer",
+    "TaskAttempt", "stable_hash",
+]

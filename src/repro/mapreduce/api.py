@@ -1,0 +1,167 @@
+"""User-facing MapReduce programming API (Mapper/Reducer/Partitioner).
+
+Mirrors the classic Hadoop API: a :class:`Mapper` turns one input record
+into zero or more ``(key, value)`` pairs through ``context.emit``; a
+:class:`Reducer` folds all values of one key.  A :class:`Combiner` is a
+Reducer run on map-side output.  Instances are created fresh per task by
+the factories a :class:`~repro.mapreduce.job.Job` carries, so mapper state
+(e.g. cluster centers) is task-local exactly as in Hadoop.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Iterable, Optional
+
+from repro.mapreduce.counters import Counters
+
+
+def stable_hash(obj: Any) -> int:
+    """Deterministic non-negative hash (Python's ``hash`` is salted per
+    process, which would make partitioning non-reproducible)."""
+    if isinstance(obj, bytes):
+        data = obj
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8", "surrogatepass")
+    elif isinstance(obj, int):
+        data = obj.to_bytes((obj.bit_length() + 8) // 8 + 1, "little",
+                            signed=True)
+    else:
+        data = repr(obj).encode("utf-8", "surrogatepass")
+    return zlib.crc32(data) & 0x7FFFFFFF
+
+
+class Context:
+    """Collects a task's emitted pairs and exposes counters/config."""
+
+    __slots__ = ("_out", "counters", "task_id", "config")
+
+    def __init__(self, task_id: str = "task", counters: Optional[Counters] = None,
+                 config: Optional[dict] = None):
+        self._out: list[tuple[Any, Any]] = []
+        self.counters = counters if counters is not None else Counters()
+        self.task_id = task_id
+        self.config = config or {}
+
+    def emit(self, key: Any, value: Any) -> None:
+        self._out.append((key, value))
+
+    # Hadoop spelling.
+    write = emit
+
+    def drain(self) -> list[tuple[Any, Any]]:
+        out, self._out = self._out, []
+        return out
+
+    @property
+    def output(self) -> list[tuple[Any, Any]]:
+        return self._out
+
+
+class Mapper:
+    """Override :meth:`map`; ``setup``/``cleanup`` run once per task."""
+
+    def setup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        """Identity by default (Hadoop's default Mapper)."""
+        context.emit(key, value)
+
+    def cleanup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+class Reducer:
+    """Override :meth:`reduce`; receives each key with all of its values."""
+
+    def setup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def reduce(self, key: Any, values: Iterable[Any], context: Context) -> None:
+        """Identity by default: re-emits every (key, value)."""
+        for value in values:
+            context.emit(key, value)
+
+    def cleanup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+#: A combiner is just a reducer applied to map output.
+Combiner = Reducer
+
+
+class Partitioner:
+    """Maps a key to one of ``n`` reduce partitions."""
+
+    def partition(self, key: Any, n_partitions: int) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """Hadoop's default: ``stable_hash(key) % n``."""
+
+    def partition(self, key: Any, n_partitions: int) -> int:
+        return stable_hash(key) % n_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Splits an ordered key space by precomputed boundaries (TeraSort)."""
+
+    def __init__(self, boundaries: list):
+        #: ``boundaries[i]`` is the smallest key of partition ``i+1``.
+        self.boundaries = list(boundaries)
+
+    def partition(self, key: Any, n_partitions: int) -> int:
+        index = 0
+        for boundary in self.boundaries[:n_partitions - 1]:
+            if key >= boundary:
+                index += 1
+            else:
+                break
+        return index
+
+
+def run_mapper(mapper: Mapper, records: Iterable[tuple[Any, Any]],
+               context: Context) -> list[tuple[Any, Any]]:
+    """Execute one mapper over ``(key, value)`` records; returns the pairs."""
+    mapper.setup(context)
+    for key, value in records:
+        mapper.map(key, value, context)
+    mapper.cleanup(context)
+    return context.drain()
+
+
+def group_by_key(pairs: Iterable[tuple[Any, Any]]) -> list[tuple[Any, list]]:
+    """Sort-and-group, as the reduce-side merge does.
+
+    Keys are ordered by ``(type name, value)`` so heterogeneous keys never
+    raise ``TypeError`` and the order is deterministic.
+    """
+    groups: dict[Any, list] = {}
+    for key, value in pairs:
+        groups.setdefault(key, []).append(value)
+    def order(item):
+        key = item[0]
+        return (type(key).__name__, repr(key)) if not isinstance(
+            key, (int, float, str, bytes, tuple)) else (type(key).__name__, key)
+    return sorted(groups.items(), key=order)
+
+
+def run_reducer(reducer: Reducer, grouped: Iterable[tuple[Any, list]],
+                context: Context) -> list[tuple[Any, Any]]:
+    """Execute one reducer over grouped pairs; returns the output pairs."""
+    reducer.setup(context)
+    for key, values in grouped:
+        reducer.reduce(key, values, context)
+    reducer.cleanup(context)
+    return context.drain()
+
+
+def combine(combiner_factory: Optional[Callable[[], Reducer]],
+            pairs: list[tuple[Any, Any]], context: Context
+            ) -> list[tuple[Any, Any]]:
+    """Apply a combiner to map output (no-op when factory is None)."""
+    if combiner_factory is None or not pairs:
+        return pairs
+    return run_reducer(combiner_factory(), group_by_key(pairs), context)

@@ -1,0 +1,40 @@
+"""Job counters (Hadoop-style two-level counter groups)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """Nested ``group -> name -> int`` counters with merge support."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int))
+
+    def incr(self, group: str, name: str, amount: int = 1) -> None:
+        self._groups[group][name] += amount
+
+    def get(self, group: str, name: str) -> int:
+        return self._groups.get(group, {}).get(name, 0)
+
+    def group(self, group: str) -> Dict[str, int]:
+        return dict(self._groups.get(group, {}))
+
+    def merge(self, other: "Counters") -> None:
+        for group, names in other._groups.items():
+            for name, amount in names.items():
+                self._groups[group][name] += amount
+
+    def __iter__(self) -> Iterator[Tuple[str, str, int]]:
+        for group in sorted(self._groups):
+            for name in sorted(self._groups[group]):
+                yield group, name, self._groups[group][name]
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        return {g: dict(names) for g, names in self._groups.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        total = sum(len(v) for v in self._groups.values())
+        return f"<Counters {len(self._groups)} groups, {total} counters>"

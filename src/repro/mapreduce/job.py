@@ -1,0 +1,74 @@
+"""Job specification.
+
+A :class:`Job` bundles everything the engine needs: input/output paths,
+factories for the mapper/combiner/reducer (fresh instance per task, as in
+Hadoop), the partitioner, the reduce count, serialized-size estimators, and
+the per-job CPU cost coefficients that calibrate how expensive this job's
+user code is per byte/record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro import constants as C
+from repro.errors import JobConfigError
+from repro.hdfs.client import default_sizeof
+from repro.mapreduce.api import HashPartitioner, Mapper, Partitioner, Reducer
+
+MapperFactory = Callable[[], Mapper]
+ReducerFactory = Callable[[], Reducer]
+SizeOf = Callable[[Any], int]
+
+
+@dataclass
+class Job:
+    """One MapReduce job."""
+
+    name: str
+    input_paths: Sequence[str]
+    output_path: str
+    mapper: MapperFactory
+    reducer: Optional[ReducerFactory] = None
+    combiner: Optional[ReducerFactory] = None
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    n_reduces: int = 1
+    #: Force the number of map tasks regardless of block count (MRBench's
+    #: ``-maps`` flag); None means one map per block, Hadoop's default.
+    force_num_maps: Optional[int] = None
+    #: Serialized size of one intermediate (key, value) pair.
+    intermediate_sizeof: SizeOf = default_sizeof
+    #: Serialized size of one final output record.
+    output_sizeof: SizeOf = default_sizeof
+    #: CPU cost coefficients (core-seconds); calibrate per workload.
+    map_cpu_per_byte: float = C.MAP_CPU_PER_BYTE
+    map_cpu_per_record: float = 0.0
+    reduce_cpu_per_byte: float = C.REDUCE_CPU_PER_BYTE
+    reduce_cpu_per_record: float = 0.0
+    #: Replication of the job output (1 in Hadoop for intermediate chains).
+    output_replication: Optional[int] = None
+    #: Free-form parameters surfaced through ``context.config``.
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise JobConfigError("job needs a name")
+        if not self.input_paths:
+            raise JobConfigError(f"job {self.name!r}: no input paths")
+        if not self.output_path:
+            raise JobConfigError(f"job {self.name!r}: no output path")
+        if self.mapper is None:
+            raise JobConfigError(f"job {self.name!r}: no mapper")
+        if self.n_reduces < 0:
+            raise JobConfigError(f"job {self.name!r}: n_reduces must be >= 0")
+        if self.n_reduces == 0 and self.reducer is not None:
+            raise JobConfigError(
+                f"job {self.name!r}: reducer given but n_reduces == 0")
+        if self.force_num_maps is not None and self.force_num_maps < 1:
+            raise JobConfigError(
+                f"job {self.name!r}: force_num_maps must be >= 1")
+
+    @property
+    def map_only(self) -> bool:
+        return self.n_reduces == 0

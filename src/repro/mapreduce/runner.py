@@ -1,0 +1,616 @@
+"""MapReduceRunner: the timed, cluster-bound job engine.
+
+Execution model (hadoop-0.20, as the paper ran it):
+
+* One slot-worker process per (TaskTracker, slot).  Workers pull tasks from
+  the job's pending queue; map assignment is **locality-aware** (node-local
+  replica > host-local replica > remote), which is Hadoop's scheduler
+  behaviour and one of DESIGN.md's ablation points.
+* Every assignment pays a heartbeat latency (tasks are handed out on
+  TaskTracker heartbeats) drawn uniformly from ``[0, heartbeat_s)``, plus a
+  fixed startup cost (the JVM launch).  These two constants produce the
+  MRBench shape of Fig. 3 — tiny jobs get slower as task counts grow.
+* A map task reads its split (disk at the replica holder + a network hop if
+  remote), charges CPU through the virtualization layer, runs the *real*
+  mapper (and combiner), partitions the output, and spills it to the local
+  virtual disk (= NFS, per the paper's image layout).
+* After the map phase, reduce tasks shuffle their partition from every map
+  VM (at most ``shuffle_parallel_copies`` concurrent fetches), charge the
+  sort/merge cost, run the *real* reducer, and write replicated output to
+  HDFS.
+
+The report records per-task attempts and per-phase spans; the functional
+output is bit-identical to :class:`~repro.mapreduce.local.LocalJobRunner`
+(tested property).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, TYPE_CHECKING
+
+from repro import constants as C
+from repro.errors import JobConfigError, TaskFailure
+from repro.hdfs.datanode import DataNode
+from repro.mapreduce.api import (Context, Reducer, combine, group_by_key,
+                                 run_mapper, run_reducer)
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import Job
+from repro.sim import Resource
+from repro.sim.kernel import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.cluster import HadoopVirtualCluster, TaskTracker
+
+
+@dataclass
+class _MapSpec:
+    """One map task: real records plus the datanodes holding them."""
+
+    index: int
+    records: tuple
+    nbytes: float
+    holders: tuple[DataNode, ...]
+
+    @property
+    def task_id(self) -> str:
+        return f"m-{self.index:05d}"
+
+
+@dataclass
+class _MapOutput:
+    """Where a finished map left its partitioned intermediate data."""
+
+    spec: _MapSpec
+    tracker: "TaskTracker"
+    partitions: dict[int, list]          # partition -> [(k, v)]
+    partition_bytes: dict[int, float]
+    #: Back-references used by shuffle-time map recovery.
+    job: "Job" = None
+    report: "JobReport" = None
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """Timing record of one executed task."""
+
+    task_id: str
+    kind: str                # "map" | "reduce"
+    tracker: str
+    start: float
+    end: float
+    input_bytes: float
+    output_bytes: float
+    locality: str            # "node" | "host" | "remote" | "-"
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class JobReport:
+    """Everything measured about one job run."""
+
+    job_name: str
+    submitted_at: float
+    finished_at: float = 0.0
+    map_phase_end: float = 0.0
+    n_maps: int = 0
+    n_reduces: int = 0
+    input_bytes: float = 0.0
+    shuffle_bytes: float = 0.0
+    output_bytes: float = 0.0
+    output_paths: list[str] = field(default_factory=list)
+    tasks: list[TaskAttempt] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def elapsed(self) -> float:
+        """Total job runtime in simulated seconds — the paper's y-axis."""
+        return self.finished_at - self.submitted_at
+
+    @property
+    def map_phase_s(self) -> float:
+        return self.map_phase_end - self.submitted_at
+
+    @property
+    def reduce_phase_s(self) -> float:
+        return self.finished_at - self.map_phase_end
+
+    def locality_fractions(self) -> dict[str, float]:
+        maps = [t for t in self.tasks if t.kind == "map"]
+        if not maps:
+            return {}
+        out: dict[str, float] = {}
+        for t in maps:
+            out[t.locality] = out.get(t.locality, 0.0) + 1.0 / len(maps)
+        return out
+
+
+class MapReduceRunner:
+    """Job engine bound to one :class:`HadoopVirtualCluster`."""
+
+    def __init__(self, cluster: "HadoopVirtualCluster"):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.tracer = cluster.tracer
+        self._rng = cluster.datacenter.rng.stream(
+            f"mapreduce/heartbeat/{cluster.name}")
+
+    # -- public ------------------------------------------------------------
+    def submit(self, job: Job) -> Event:
+        """Run ``job``; the event's value is its :class:`JobReport`."""
+        return self.sim.process(self._job_proc(job), name=f"job:{job.name}")
+
+    def run_to_completion(self, job: Job) -> JobReport:
+        """Submit and drive the simulator until the job finishes."""
+        event = self.submit(job)
+        self.sim.run_until(event)
+        return event.value
+
+    def read_output(self, report: JobReport) -> list[tuple[Any, Any]]:
+        """Concatenated output records of a finished job (control-plane
+        peek; charges no simulated time)."""
+        out: list[tuple[Any, Any]] = []
+        for path in report.output_paths:
+            out.extend(self.cluster.dfs.peek_records(path))
+        return out
+
+    # -- job orchestration -------------------------------------------------
+    def _job_proc(self, job: Job):
+        config = self.cluster.config
+        report = JobReport(job_name=job.name, submitted_at=self.sim.now,
+                           n_reduces=job.n_reduces)
+        self.tracer.emit(self.sim.now, "job.submit", job.name,
+                         n_reduces=job.n_reduces)
+        yield self.sim.timeout(config.job_overhead_s / 2)
+
+        # Job localization: every TaskTracker pulls job.jar + config from
+        # the JobTracker/HDFS before it can run a task of this job.  The
+        # aggregate volume grows linearly with cluster size, which is what
+        # makes small jobs slower on larger virtual clusters (Fig. 6).
+        if config.job_localization_bytes > 0:
+            fabric = self.cluster.datacenter.fabric
+            master = self.cluster.master
+            pulls = []
+            for tracker in self.cluster.trackers:
+                pulls.append(fabric.transfer(
+                    master.node, tracker.vm.node,
+                    config.job_localization_bytes,
+                    name=f"{job.name}:localize:{tracker.name}"))
+                pulls.append(tracker.vm.disk_io(
+                    config.job_localization_bytes,
+                    name=f"{job.name}:localize"))
+            yield self.sim.all_of(pulls)
+
+        specs = self._make_map_specs(job)
+        report.n_maps = len(specs)
+        report.input_bytes = sum(s.nbytes for s in specs)
+
+        map_outputs: list[_MapOutput] = yield self.sim.process(
+            self._map_phase(job, specs, report), name=f"{job.name}:maps")
+        report.map_phase_end = self.sim.now
+        self.tracer.emit(self.sim.now, "job.maps.done", job.name,
+                         n_maps=len(specs))
+
+        if job.map_only:
+            yield from self._write_map_only_output(job, map_outputs, report)
+        else:
+            yield self.sim.process(
+                self._reduce_phase(job, map_outputs, report),
+                name=f"{job.name}:reduces")
+
+        yield self.sim.timeout(config.job_overhead_s / 2)
+        report.finished_at = self.sim.now
+        self.tracer.emit(self.sim.now, "job.done", job.name,
+                         elapsed=report.elapsed)
+        return report
+
+    # -- splits --------------------------------------------------------------
+    def _make_map_specs(self, job: Job) -> list[_MapSpec]:
+        namenode = self.cluster.namenode
+        blocks = []
+        for path in job.input_paths:
+            # Hadoop semantics: an input path may be a file or a directory
+            # of part files (a previous job's output).
+            if namenode.exists(path):
+                blocks.extend(namenode.get_file(path).blocks)
+            else:
+                children = namenode.list_files(prefix=path.rstrip("/") + "/")
+                if not children:
+                    raise JobConfigError(
+                        f"job {job.name!r}: input {path!r} not found")
+                for child in children:
+                    blocks.extend(namenode.get_file(child).blocks)
+        if not blocks:
+            # Existing-but-empty input: a zero-map job that succeeds with
+            # empty output (Hadoop's behaviour for empty input dirs).
+            return []
+
+        if job.force_num_maps is None:
+            specs = []
+            for i, block in enumerate(blocks):
+                holders = tuple(namenode.replicas.get(block.block_id, ()))
+                payload = namenode.block_store.get(block)
+                specs.append(_MapSpec(i, payload, float(block.size), holders))
+            return specs
+
+        # MRBench-style forced map count: repack all records into n groups;
+        # each group inherits the replica holders of its dominant block.
+        n = job.force_num_maps
+        all_records: list = []
+        record_home: list[int] = []
+        for bi, block in enumerate(blocks):
+            payload = namenode.block_store.get(block)
+            all_records.extend(payload)
+            record_home.extend([bi] * len(payload))
+        total_bytes = float(sum(b.size for b in blocks))
+        if not all_records:
+            raise JobConfigError(f"job {job.name!r}: empty input")
+        specs = []
+        chunk = -(-len(all_records) // n)
+        for i in range(n):
+            lo, hi = i * chunk, min((i + 1) * chunk, len(all_records))
+            group = tuple(all_records[lo:hi])
+            if lo >= len(all_records):
+                group = ()
+            home_block = blocks[record_home[lo]] if lo < len(all_records) \
+                else blocks[0]
+            holders = tuple(self.cluster.namenode.replicas.get(
+                home_block.block_id, ()))
+            nbytes = total_bytes * (len(group) / len(all_records))
+            specs.append(_MapSpec(i, group, nbytes, holders))
+        return specs
+
+    # -- map phase --------------------------------------------------------------
+    def _map_phase(self, job: Job, specs: list[_MapSpec], report: JobReport):
+        # Shared phase state: the task queue plus what speculation needs —
+        # which tasks are running (and since when), which have finished,
+        # which already have a backup attempt, and completed durations.
+        state = {
+            "pending": list(specs),
+            "running": {},        # spec.index -> (start_time, spec)
+            "finished": set(),    # spec.index
+            "duplicated": set(),  # spec.index with a backup launched
+            "durations": [],      # completed map durations
+        }
+        outputs: list[_MapOutput] = []
+        # The phase ends when every *task* has finished — idle trackers
+        # still napping between heartbeats must not hold the job open.
+        all_done = self.sim.event()
+        remaining = {"n": len(specs)}
+        if remaining["n"] == 0:
+            all_done.succeed(None)
+        for tracker in self.cluster.trackers:
+            for slot in range(tracker.map_slots.capacity):
+                self.sim.process(
+                    self._map_worker(job, tracker, state, outputs, report,
+                                     remaining, all_done),
+                    name=f"{job.name}:mapworker:{tracker.name}:{slot}")
+        yield all_done
+        outputs.sort(key=lambda o: o.spec.index)
+        return outputs
+
+    def _pick_speculative(self, state: dict) -> Optional[_MapSpec]:
+        """The longest-running straggler eligible for a backup attempt."""
+        config = self.cluster.config
+        if not config.speculative_execution or not state["durations"]:
+            return None
+        mean = sum(state["durations"]) / len(state["durations"])
+        threshold = config.speculative_slowdown * mean
+        now = self.sim.now
+        candidates = [
+            (now - start, spec)
+            for index, (start, spec) in state["running"].items()
+            if index not in state["finished"]
+            and index not in state["duplicated"]
+            and (now - start) > threshold]
+        if not candidates:
+            return None
+        _age, spec = max(candidates, key=lambda pair: pair[0])
+        state["duplicated"].add(spec.index)
+        self.tracer.emit(now, "task.map.speculate", spec.task_id)
+        return spec
+
+    def _pick_map_task(self, tracker: "TaskTracker",
+                       pending: list[_MapSpec]) -> tuple[Optional[_MapSpec], str]:
+        """Locality-aware task selection for one tracker."""
+        if not pending:
+            return None, "-"
+        if self.cluster.config.locality_aware:
+            for level, match in (("node", self._is_node_local),
+                                 ("host", self._is_host_local)):
+                for spec in pending:
+                    if match(tracker, spec):
+                        pending.remove(spec)
+                        return spec, level
+            spec = pending.pop(0)
+            return spec, "remote"
+        spec = pending.pop(0)
+        return spec, self._locality_of(tracker, spec)
+
+    @staticmethod
+    def _is_node_local(tracker: "TaskTracker", spec: _MapSpec) -> bool:
+        return any(dn.vm is tracker.vm for dn in spec.holders)
+
+    @staticmethod
+    def _is_host_local(tracker: "TaskTracker", spec: _MapSpec) -> bool:
+        return any(dn.vm.host is tracker.vm.host for dn in spec.holders)
+
+    def _locality_of(self, tracker, spec) -> str:
+        if self._is_node_local(tracker, spec):
+            return "node"
+        if self._is_host_local(tracker, spec):
+            return "host"
+        return "remote"
+
+    def _map_worker(self, job: Job, tracker: "TaskTracker", state: dict,
+                    outputs: list[_MapOutput], report: JobReport,
+                    remaining: dict, all_done: Event):
+        from repro.virt.vm import VMState
+        config = self.cluster.config
+        pending = state["pending"]
+        while pending or (config.speculative_execution
+                          and remaining["n"] > 0):
+            if tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
+                break  # dead trackers take no more tasks (migration is
+                       # transparent: MIGRATING VMs keep working)
+            # Tasks are handed out on tracker heartbeats: whichever tracker
+            # heartbeats next gets the work, so assignment order is random
+            # across trackers (and the queue may drain while we wait).
+            yield self.sim.timeout(
+                float(self._rng.uniform(0.0, config.heartbeat_s)))
+            spec, locality = self._pick_map_task(tracker, pending)
+            speculative = False
+            if spec is None:
+                spec = self._pick_speculative(state)
+                if spec is None:
+                    if remaining["n"] > 0 and config.speculative_execution:
+                        continue  # keep heartbeating; stragglers may appear
+                    break
+                speculative = True
+                locality = self._locality_of(tracker, spec)
+            yield tracker.map_slots.acquire()
+            # A running task keeps the whole VM busy (JVM heap, buffers)
+            # for its entire duration, not only during CPU bursts — this
+            # drives the dirty-page rate seen by live migration.
+            tracker.vm.activity += 1
+            try:
+                yield self.sim.timeout(config.task_startup_s)
+                start = self.sim.now
+                if not speculative:
+                    state["running"][spec.index] = (start, spec)
+                output = yield from self._run_map_task(job, tracker, spec,
+                                                       locality, report)
+                if spec.index in state["finished"]:
+                    continue  # the other attempt won the race
+                state["finished"].add(spec.index)
+                state["running"].pop(spec.index, None)
+                state["durations"].append(self.sim.now - start)
+                outputs.append(output)
+                spilled = sum(output.partition_bytes.values())
+                report.tasks.append(TaskAttempt(
+                    task_id=spec.task_id, kind="map", tracker=tracker.name,
+                    start=start, end=self.sim.now, input_bytes=spec.nbytes,
+                    output_bytes=spilled, locality=locality))
+                self.tracer.emit(self.sim.now, "task.map.done",
+                                 spec.task_id, tracker=tracker.name,
+                                 locality=locality, speculative=speculative)
+                remaining["n"] -= 1
+                if remaining["n"] == 0 and not all_done.triggered:
+                    all_done.succeed(None)
+            finally:
+                tracker.vm.activity -= 1
+                tracker.map_slots.release()
+        return None
+
+    def _run_map_task(self, job: Job, tracker: "TaskTracker", spec: _MapSpec,
+                      locality: str, report: JobReport):
+        vm = tracker.vm
+        # 1. read the split.
+        if locality == "node":
+            local = next(dn for dn in spec.holders if dn.vm is vm)
+            yield local.vm.disk_io(spec.nbytes, name=f"split:{spec.task_id}")
+        elif spec.holders:
+            source = next((dn for dn in spec.holders
+                           if dn.vm.host is vm.host), spec.holders[0])
+            pending = [source.vm.disk_io(spec.nbytes,
+                                         name=f"split:{spec.task_id}")]
+            pending.append(self.cluster.datacenter.fabric.transfer(
+                source.vm.node, vm.node, spec.nbytes,
+                name=f"splitxfer:{spec.task_id}"))
+            yield self.sim.all_of(pending)
+        # 2. CPU.
+        work = (job.map_cpu_per_byte * spec.nbytes
+                + job.map_cpu_per_record * len(spec.records))
+        if work > 0:
+            yield vm.compute(work, name=f"map:{spec.task_id}")
+        # 3. real map + combine (functional; cost already charged).
+        ctx = Context(task_id=spec.task_id, config=job.params)
+        try:
+            pairs = run_mapper(job.mapper(), spec.records, ctx)
+        except Exception as exc:
+            raise TaskFailure(spec.task_id, exc) from exc
+        report.counters.merge(ctx.counters)
+        report.counters.incr("job", "map_input_records", len(spec.records))
+        report.counters.incr("job", "map_output_records", len(pairs))
+        if self.cluster.config.use_combiner:
+            pairs = combine(job.combiner, pairs, ctx)
+        # 4. partition + spill.
+        n_parts = max(1, job.n_reduces)
+        partitions: dict[int, list] = {p: [] for p in range(n_parts)}
+        for key, value in pairs:
+            partitions[job.partitioner.partition(key, n_parts)].append(
+                (key, value))
+        partition_bytes = {
+            p: float(sum(job.intermediate_sizeof(kv) for kv in rows))
+            for p, rows in partitions.items()}
+        spill = sum(partition_bytes.values())
+        if spill > 0 and not job.map_only:
+            yield vm.disk_io(spill, name=f"spill:{spec.task_id}")
+        return _MapOutput(spec, tracker, partitions, partition_bytes,
+                          job=job, report=report)
+
+    # -- reduce phase --------------------------------------------------------
+    def _reduce_phase(self, job: Job, map_outputs: list[_MapOutput],
+                      report: JobReport):
+        pending = list(range(job.n_reduces))
+        all_done = self.sim.event()
+        remaining = {"n": len(pending)}
+        if remaining["n"] == 0:
+            all_done.succeed(None)
+        for tracker in self.cluster.trackers:
+            for slot in range(tracker.reduce_slots.capacity):
+                self.sim.process(
+                    self._reduce_worker(job, tracker, pending, map_outputs,
+                                        report, remaining, all_done),
+                    name=f"{job.name}:reduceworker:{tracker.name}:{slot}")
+        yield all_done
+        return None
+
+    def _reduce_worker(self, job: Job, tracker: "TaskTracker",
+                       pending: list[int], map_outputs: list[_MapOutput],
+                       report: JobReport, remaining: dict, all_done: Event):
+        from repro.virt.vm import VMState
+        config = self.cluster.config
+        while pending:
+            if tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
+                break
+            yield self.sim.timeout(
+                float(self._rng.uniform(0.0, config.heartbeat_s)))
+            if not pending:
+                break
+            partition = pending.pop(0)
+            yield tracker.reduce_slots.acquire()
+            tracker.vm.activity += 1
+            try:
+                yield self.sim.timeout(config.task_startup_s)
+                start = self.sim.now
+                nbytes_in, nbytes_out = yield from self._run_reduce_task(
+                    job, tracker, partition, map_outputs, report)
+                report.tasks.append(TaskAttempt(
+                    task_id=f"r-{partition:05d}", kind="reduce",
+                    tracker=tracker.name, start=start, end=self.sim.now,
+                    input_bytes=nbytes_in, output_bytes=nbytes_out,
+                    locality="-"))
+                self.tracer.emit(self.sim.now, "task.reduce.done",
+                                 f"r-{partition:05d}", tracker=tracker.name)
+            finally:
+                tracker.vm.activity -= 1
+                tracker.reduce_slots.release()
+            remaining["n"] -= 1
+            if remaining["n"] == 0 and not all_done.triggered:
+                all_done.succeed(None)
+        return None
+
+    def _run_reduce_task(self, job: Job, tracker: "TaskTracker",
+                         partition: int, map_outputs: list[_MapOutput],
+                         report: JobReport):
+        vm = tracker.vm
+        config = self.cluster.config
+        # 1. shuffle: fetch this partition from every map's VM.
+        fetch_sem = Resource(self.sim, config.shuffle_parallel_copies,
+                             name=f"{vm.name}.fetchers")
+        fetches = [self.sim.process(
+            self._fetch(output, partition, vm, fetch_sem),
+            name=f"fetch:{output.spec.task_id}:r{partition}")
+            for output in map_outputs
+            if output.partition_bytes.get(partition, 0.0) > 0]
+        if fetches:
+            yield self.sim.all_of(fetches)
+        rows: list = []
+        for output in map_outputs:
+            rows.extend(output.partitions.get(partition, ()))
+        nbytes_in = sum(output.partition_bytes.get(partition, 0.0)
+                        for output in map_outputs)
+        report.shuffle_bytes += nbytes_in
+        # 2. merge-sort + reduce CPU.
+        n = len(rows)
+        work = (job.reduce_cpu_per_byte * nbytes_in
+                + job.reduce_cpu_per_record * n
+                + C.SORT_CPU_PER_RECORD * n * math.log2(n + 2))
+        if work > 0:
+            yield vm.compute(work, name=f"reduce:r{partition}")
+        # 3. real reduce.
+        ctx = Context(task_id=f"r-{partition:05d}", config=job.params)
+        try:
+            reducer = (job.reducer or Reducer)()
+            out_pairs = run_reducer(reducer, group_by_key(rows), ctx)
+        except Exception as exc:
+            raise TaskFailure(f"r-{partition:05d}", exc) from exc
+        report.counters.merge(ctx.counters)
+        report.counters.incr("job", "reduce_input_records", n)
+        report.counters.incr("job", "reduce_output_records", len(out_pairs))
+        # 4. replicated output write.
+        path = f"{job.output_path}/part-r-{partition:05d}"
+        f = yield self.cluster.dfs.write_file(
+            vm, path, out_pairs, sizeof=job.output_sizeof,
+            replication=job.output_replication)
+        report.output_paths.append(path)
+        report.output_bytes += f.size
+        return nbytes_in, float(f.size)
+
+    def _fetch(self, output: _MapOutput, partition: int, to_vm, sem: Resource):
+        """One shuffle fetch, bounded by the reduce's parallel-copy limit.
+
+        If the map's VM died since the map ran, its intermediate output is
+        gone; Hadoop re-executes the map, which we do on the fetching VM
+        (charging the split read and map CPU again) before copying.
+        """
+        from repro.virt.vm import VMState
+        yield sem.acquire()
+        try:
+            if output.tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
+                yield from self._recover_map_output(output, to_vm)
+            nbytes = output.partition_bytes[partition]
+            yield self.sim.timeout(C.SHUFFLE_FETCH_OVERHEAD_S)
+            pending = [output.tracker.vm.disk_io(
+                nbytes, name=f"shufread:{output.spec.task_id}")]
+            if output.tracker.vm.node is not to_vm.node:
+                pending.append(self.cluster.datacenter.fabric.transfer(
+                    output.tracker.vm.node, to_vm.node, nbytes,
+                    name=f"shuffle:{output.spec.task_id}:r{partition}"))
+            yield self.sim.all_of(pending)
+        finally:
+            sem.release()
+        return None
+
+    def _recover_map_output(self, output: _MapOutput, to_vm):
+        """Re-execute a lost map task on ``to_vm`` (Hadoop's map re-run).
+
+        The functional output is recomputed deterministically from the
+        (replicated) input split; the re-executed task's costs — startup,
+        split read and map CPU — are charged to the recovering VM.
+        """
+        spec = output.spec
+        self.tracer.emit(self.sim.now, "task.map.recover", spec.task_id,
+                         on=to_vm.name, lost_with=output.tracker.vm.name)
+        tracker = next(t for t in self.cluster.trackers if t.vm is to_vm)
+        yield self.sim.timeout(self.cluster.config.task_startup_s)
+        live_holders = tuple(
+            dn for dn in spec.holders
+            if dn in self.cluster.namenode.datanodes)
+        fresh_spec = _MapSpec(spec.index, spec.records, spec.nbytes,
+                              live_holders)
+        locality = self._locality_of(tracker, fresh_spec)
+        job = output.job
+        recovered = yield from self._run_map_task(job, tracker, fresh_spec,
+                                                  locality,
+                                                  output.report)
+        output.tracker = tracker
+        output.partitions = recovered.partitions
+        output.partition_bytes = recovered.partition_bytes
+
+    # -- map-only output --------------------------------------------------------
+    def _write_map_only_output(self, job: Job, map_outputs: list[_MapOutput],
+                               report: JobReport):
+        for output in map_outputs:
+            rows = output.partitions.get(0, [])
+            path = f"{job.output_path}/part-m-{output.spec.index:05d}"
+            f = yield self.cluster.dfs.write_file(
+                output.tracker.vm, path, rows, sizeof=job.output_sizeof,
+                replication=job.output_replication)
+            report.output_paths.append(path)
+            report.output_bytes += f.size

@@ -1,0 +1,191 @@
+"""Shared infrastructure of the clustering drivers.
+
+* :class:`ClusterModel` — one cluster (id, center, weight, radius) plus the
+  per-iteration history that Fig. 8's visualization overlays;
+* :class:`ClusteringResult` — what every driver returns: final models,
+  optional point assignments, per-iteration runtimes, total runtime;
+* executors — a driver talks to an abstract *executor*:
+
+  - :class:`ClusterExecutor` runs each iteration as a real MapReduce job on
+    a :class:`~repro.platform.cluster.HadoopVirtualCluster` (simulated time
+    accumulates);
+  - :class:`LocalExecutor` runs the same jobs through
+    :class:`~repro.mapreduce.local.LocalJobRunner` (no time, pure math) —
+    used by unit tests and by the equivalence properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.mapreduce.job import Job
+from repro.mapreduce.local import LocalJobRunner
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.runner import JobReport, MapReduceRunner
+    from repro.platform.cluster import HadoopVirtualCluster
+
+
+# -- data plumbing -----------------------------------------------------------
+
+def points_as_records(points: np.ndarray) -> list[tuple[int, tuple]]:
+    """(N, d) array -> [(point_id, tuple(coords))]: the HDFS input records."""
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2:
+        raise ClusteringError(f"points must be 2-D, got shape {arr.shape}")
+    return [(i, tuple(row)) for i, row in enumerate(arr)]
+
+
+def vector_sizeof(record) -> int:
+    """Serialized size of one (id, vector) record (Mahout VectorWritable)."""
+    _key, vec = record
+    return 16 + 8 * len(vec)
+
+
+# -- models --------------------------------------------------------------------
+
+@dataclass
+class ClusterModel:
+    """One cluster: identity, center, and summary statistics."""
+
+    cluster_id: int
+    center: tuple
+    weight: float = 0.0          # number of points (possibly fractional)
+    radius: float = 0.0          # RMS distance of members to the center
+
+    def center_array(self) -> np.ndarray:
+        return np.asarray(self.center, dtype=float)
+
+    def as_tuple(self) -> tuple:
+        return (self.cluster_id, tuple(self.center), float(self.weight),
+                float(self.radius))
+
+
+@dataclass
+class ClusteringResult:
+    """Output of one driver run."""
+
+    algorithm: str
+    models: list[ClusterModel]
+    #: point_id -> cluster_id (hard assignment), if the driver produced one.
+    assignments: dict[int, int] = field(default_factory=dict)
+    #: models after each iteration (for Fig. 8's overlay).
+    history: list[list[ClusterModel]] = field(default_factory=list)
+    iterations: int = 0
+    converged: bool = False
+    #: Simulated seconds (0 for LocalExecutor runs).
+    runtime_s: float = 0.0
+    per_iteration_s: list[float] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        return len(self.models)
+
+    def centers(self) -> np.ndarray:
+        if not self.models:
+            return np.empty((0, 0))
+        return np.vstack([m.center_array() for m in self.models])
+
+
+# -- executors ---------------------------------------------------------------
+
+class Executor:
+    """What a clustering driver needs from the world."""
+
+    def run_job(self, job: Job) -> tuple[list, float]:
+        """Execute the job; return (output_pairs, elapsed_seconds)."""
+        raise NotImplementedError
+
+    def input_records(self, path: str) -> list:
+        raise NotImplementedError
+
+    def rng(self, name: str) -> np.random.Generator:
+        raise NotImplementedError
+
+
+class ClusterExecutor(Executor):
+    """Runs driver jobs on a hadoop virtual cluster (simulated time)."""
+
+    def __init__(self, runner: "MapReduceRunner",
+                 cluster: "HadoopVirtualCluster"):
+        self.runner = runner
+        self.cluster = cluster
+        self.reports: list["JobReport"] = []
+
+    def run_job(self, job: Job) -> tuple[list, float]:
+        report = self.runner.run_to_completion(job)
+        self.reports.append(report)
+        return self.runner.read_output(report), report.elapsed
+
+    def input_records(self, path: str) -> list:
+        return list(self.cluster.dfs.peek_records(path))
+
+    def rng(self, name: str) -> np.random.Generator:
+        return self.cluster.datacenter.rng.stream(name)
+
+
+class LocalExecutor(Executor):
+    """Runs driver jobs functionally over in-memory records."""
+
+    def __init__(self, inputs: Optional[dict[str, Sequence]] = None,
+                 seed: int = 0):
+        self.inputs: dict[str, list] = {k: list(v)
+                                        for k, v in (inputs or {}).items()}
+        self.outputs: dict[str, list] = {}
+        self._seed = seed
+        self._rngs: dict[str, np.random.Generator] = {}
+
+    def add_input(self, path: str, records: Sequence) -> None:
+        self.inputs[path] = list(records)
+
+    def run_job(self, job: Job) -> tuple[list, float]:
+        records: list = []
+        for path in job.input_paths:
+            try:
+                records.extend(self.inputs[path])
+            except KeyError:
+                try:
+                    records.extend(self.outputs[path])
+                except KeyError:
+                    raise ClusteringError(
+                        f"LocalExecutor: no input staged at {path!r}") from None
+        output = LocalJobRunner().run(job, records)
+        self.outputs[job.output_path] = list(output)
+        return output, 0.0
+
+    def input_records(self, path: str) -> list:
+        if path in self.inputs:
+            return list(self.inputs[path])
+        return list(self.outputs[path])
+
+    def rng(self, name: str) -> np.random.Generator:
+        if name not in self._rngs:
+            import hashlib
+            entropy = int.from_bytes(
+                hashlib.sha256(name.encode()).digest()[:8], "little")
+            self._rngs[name] = np.random.default_rng(
+                np.random.SeedSequence([self._seed, entropy]))
+        return self._rngs[name]
+
+
+# -- shared helpers -----------------------------------------------------------
+
+def summarize_members(center: np.ndarray, members: np.ndarray
+                      ) -> tuple[float, float]:
+    """(weight, radius) of a member matrix around a center."""
+    if members.size == 0:
+        return 0.0, 0.0
+    diffs = members - center[None, :]
+    rms = float(np.sqrt(np.mean(np.sum(diffs * diffs, axis=1))))
+    return float(len(members)), rms
+
+
+def stage_points(platform, cluster, path: str, points: np.ndarray,
+                 timed: bool = False) -> None:
+    """Upload a point matrix to a cluster's HDFS as (id, vector) records."""
+    platform.upload(cluster, path, points_as_records(points),
+                    sizeof=vector_sizeof, timed=timed)

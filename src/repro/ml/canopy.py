@@ -1,0 +1,141 @@
+"""Canopy clustering (McCallum, Nigam & Ungar) as one MapReduce pass.
+
+Mahout's ``CanopyDriver``: distance thresholds ``T1 > T2``.
+
+* **mapper** — streams its split through the canopy rule: a point within
+  ``T2`` of an existing local canopy center is *strongly bound* (absorbed);
+  otherwise it founds a new canopy.  Points within ``T1`` contribute to a
+  canopy's running centroid.  The mapper emits each local canopy centroid;
+* **reducer** — re-clusters all mapper centroids with the same rule,
+  producing the final canopy centers.
+
+Canopy is a single pass (the paper calls it "simple, fast and accurate")
+and is typically used to seed k-Means.  An optional clusterdata pass
+assigns each point to its closest canopy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.mapreduce.api import Context, Mapper, Reducer
+from repro.mapreduce.job import Job
+from repro.ml.base import ClusterModel, ClusteringResult, Executor
+from repro.ml.kmeans import AssignMapper, _map_record_cost
+from repro.ml.vectors import DistanceMeasure, EuclideanDistance
+
+
+def canopy_pass(points: np.ndarray, t1: float, t2: float,
+                measure: DistanceMeasure) -> list[tuple[np.ndarray, int]]:
+    """The sequential canopy rule: [(centroid, n_contributors)].
+
+    Centroids are running means of the points within ``T1`` of the canopy's
+    founding point.
+    """
+    canopies: list[list] = []  # [founder, sum, count]
+    for point in points:
+        absorbed = False
+        for canopy in canopies:
+            dist = measure.distance(point, canopy[0])
+            if dist < t1:
+                canopy[1] = canopy[1] + point
+                canopy[2] += 1
+            if dist < t2:
+                absorbed = True
+        if not absorbed:
+            canopies.append([point.copy(), point.copy(), 1])
+    return [(c[1] / c[2], c[2]) for c in canopies]
+
+
+class CanopyMapper(Mapper):
+    """Local canopy formation over the split."""
+
+    def __init__(self, t1: float, t2: float, measure: DistanceMeasure):
+        self.t1, self.t2 = t1, t2
+        self.measure = measure
+        self._points: list[np.ndarray] = []
+
+    def map(self, key, value, context: Context) -> None:
+        self._points.append(np.asarray(value, dtype=float))
+
+    def cleanup(self, context: Context) -> None:
+        if not self._points:
+            return
+        for centroid, count in canopy_pass(np.asarray(self._points),
+                                           self.t1, self.t2, self.measure):
+            context.emit("centroid", (tuple(centroid), count))
+        self._points.clear()
+
+
+class CanopyReducer(Reducer):
+    """Re-cluster the mapper centroids into the final canopies."""
+
+    def __init__(self, t1: float, t2: float, measure: DistanceMeasure):
+        self.t1, self.t2 = t1, t2
+        self.measure = measure
+
+    def reduce(self, key, values, context: Context) -> None:
+        centroids = []
+        weights = []
+        for centroid, count in values:
+            centroids.append(np.asarray(centroid, dtype=float))
+            weights.append(count)
+        finals = canopy_pass(np.asarray(centroids), self.t1, self.t2,
+                             self.measure)
+        for cid, (centroid, _n) in enumerate(finals):
+            context.emit(cid, (tuple(centroid), float(_n)))
+
+
+class CanopyDriver:
+    """Single-pass canopy clustering driver."""
+
+    def __init__(self, t1: float, t2: float,
+                 measure: Optional[DistanceMeasure] = None):
+        if not t1 > t2 > 0:
+            raise ClusteringError(f"need T1 > T2 > 0, got T1={t1}, T2={t2}")
+        self.t1, self.t2 = float(t1), float(t2)
+        self.measure = measure or EuclideanDistance()
+
+    def run(self, executor: Executor, input_path: str,
+            work_prefix: str = "/canopy", assign: bool = False
+            ) -> ClusteringResult:
+        t1, t2, measure = self.t1, self.t2, self.measure
+        job = Job(
+            name="canopy",
+            input_paths=[input_path],
+            output_path=f"{work_prefix}/clusters",
+            mapper=lambda: CanopyMapper(t1, t2, measure),
+            reducer=lambda: CanopyReducer(t1, t2, measure),
+            n_reduces=1,  # Mahout forces a single reducer for canopy
+            intermediate_sizeof=lambda pair: 24 + 8 * len(pair[1][0]),
+            output_sizeof=lambda pair: 24 + 8 * len(pair[1][0]),
+            map_cpu_per_record=3.0e-5,
+            reduce_cpu_per_record=3.0e-5,
+        )
+        output, elapsed = executor.run_job(job)
+        models = [ClusterModel(int(cid), tuple(centroid), weight=w)
+                  for cid, (centroid, w) in sorted(output)]
+        result = ClusteringResult(algorithm="canopy", models=models,
+                                  iterations=1, converged=True,
+                                  runtime_s=elapsed,
+                                  per_iteration_s=[elapsed],
+                                  history=[list(models)])
+        if assign and models:
+            centers = [m.center for m in models]
+            d = len(centers[0])
+            assign_job = Job(
+                name="canopy-assign",
+                input_paths=[input_path],
+                output_path=f"{work_prefix}/points",
+                mapper=lambda: AssignMapper(centers, measure),
+                n_reduces=0,
+                output_sizeof=lambda _pair: 16,
+                map_cpu_per_record=_map_record_cost(len(centers), d),
+            )
+            out, elapsed = executor.run_job(assign_job)
+            result.runtime_s += elapsed
+            result.assignments = {int(pid): int(cid) for pid, cid in out}
+        return result

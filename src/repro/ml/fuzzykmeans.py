@@ -1,0 +1,143 @@
+"""Fuzzy k-Means (soft clustering) as iterative MapReduce.
+
+Mahout's ``FuzzyKMeansDriver`` with fuzziness ``m > 1``: each point belongs
+to every cluster with membership
+
+    u_ij = 1 / sum_k (d_ij / d_ik)^(2 / (m - 1))
+
+* **mapper** — emit ``(cluster_id, (u^m * x, u^m * x^2, u^m))`` for every
+  cluster (soft assignment — this is why Fuzzy k-Means shuffles k times the
+  data of k-Means);
+* **combiner/reducer** — weighted sums; new center = sum / weight.
+
+Convergence as in k-Means: maximum center shift below the delta.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.mapreduce.api import Context, Mapper
+from repro.mapreduce.job import Job
+from repro.ml.base import ClusterModel, ClusteringResult, Executor
+from repro.ml.kmeans import (CentroidReducer, PartialSumCombiner,
+                             _map_record_cost, _stats_sizeof)
+from repro.ml.vectors import DistanceMeasure, EuclideanDistance
+
+_EPS = 1e-9
+
+
+def memberships(distances: np.ndarray, m: float) -> np.ndarray:
+    """(n, k) distances -> (n, k) fuzzy memberships (rows sum to 1)."""
+    d = np.maximum(distances, _EPS)
+    exponent = 2.0 / (m - 1.0)
+    # u_ij = 1 / sum_k (d_ij/d_ik)^e ; handle exact-hit rows via _EPS floor.
+    inv = d ** (-exponent)
+    return inv / inv.sum(axis=1, keepdims=True)
+
+
+class FuzzyKMeansMapper(Mapper):
+    def __init__(self, centers: Sequence[tuple], measure: DistanceMeasure,
+                 m: float):
+        self.centers = np.asarray(centers, dtype=float)
+        self.measure = measure
+        self.m = m
+
+    def map(self, key, value, context: Context) -> None:
+        point = np.asarray(value, dtype=float)
+        distances = self.measure.to_centers(point[None, :], self.centers)
+        u = memberships(distances, self.m)[0] ** self.m
+        point_sq = point * point
+        for cid in range(len(self.centers)):
+            w = float(u[cid])
+            context.emit(cid, (tuple(w * point), tuple(w * point_sq), w))
+
+
+class FuzzyKMeansDriver:
+    """Iterative fuzzy k-means driver."""
+
+    def __init__(self, k: Optional[int] = None,
+                 initial_centers: Optional[Sequence[tuple]] = None,
+                 measure: Optional[DistanceMeasure] = None,
+                 m: float = 2.0, convergence_delta: float = 0.5,
+                 max_iterations: int = 10, n_reduces: int = 1):
+        if m <= 1.0:
+            raise ClusteringError(f"fuzziness m must be > 1, got {m}")
+        if initial_centers is None and (k is None or k < 1):
+            raise ClusteringError("FuzzyKMeansDriver needs k or centers")
+        self.k = k if k is not None else len(initial_centers)
+        self.initial_centers = initial_centers
+        self.measure = measure or EuclideanDistance()
+        self.m = float(m)
+        self.convergence_delta = convergence_delta
+        self.max_iterations = max_iterations
+        self.n_reduces = n_reduces
+
+    def seed_centers(self, executor: Executor, input_path: str) -> list[tuple]:
+        if self.initial_centers is not None:
+            return [tuple(c) for c in self.initial_centers]
+        records = executor.input_records(input_path)
+        if len(records) < self.k:
+            raise ClusteringError(
+                f"k={self.k} exceeds the {len(records)} input points")
+        rng = executor.rng("ml/fuzzykmeans/seed")
+        chosen = rng.choice(len(records), size=self.k, replace=False)
+        return [tuple(records[int(i)][1]) for i in chosen]
+
+    def run(self, executor: Executor, input_path: str,
+            work_prefix: str = "/fuzzyk") -> ClusteringResult:
+        centers = self.seed_centers(executor, input_path)
+        d = len(centers[0])
+        measure, m = self.measure, self.m
+        result = ClusteringResult(algorithm="fuzzykmeans", models=[])
+        stats: dict[int, tuple] = {}
+        for iteration in range(self.max_iterations):
+            snapshot = [tuple(c) for c in centers]
+            job = Job(
+                name="fuzzykmeans-iter",
+                input_paths=[input_path],
+                output_path=f"{work_prefix}/clusters-{iteration}",
+                mapper=lambda: FuzzyKMeansMapper(snapshot, measure, m),
+                combiner=PartialSumCombiner,
+                reducer=CentroidReducer,
+                n_reduces=self.n_reduces,
+                intermediate_sizeof=_stats_sizeof,
+                output_sizeof=lambda pair: 24 + 8 * d,
+                # k emissions per record: k times the map and shuffle cost.
+                map_cpu_per_record=_map_record_cost(len(snapshot), d)
+                * len(snapshot),
+                reduce_cpu_per_record=1.0e-5,
+            )
+            output, elapsed = executor.run_job(job)
+            result.per_iteration_s.append(elapsed)
+            result.runtime_s += elapsed
+            result.iterations += 1
+
+            new_centers = list(centers)
+            stats = {}
+            for cid, (center, weight, radius) in output:
+                new_centers[cid] = tuple(center)
+                stats[cid] = (weight, radius)
+            result.history.append([
+                ClusterModel(cid, tuple(c), *stats.get(cid, (0.0, 0.0)))
+                for cid, c in enumerate(new_centers)])
+            shift = max(measure.distance(np.asarray(a), np.asarray(b))
+                        for a, b in zip(centers, new_centers))
+            centers = new_centers
+            if shift <= self.convergence_delta:
+                result.converged = True
+                break
+
+        result.models = [
+            ClusterModel(cid, tuple(c), *stats.get(cid, (0.0, 0.0)))
+            for cid, c in enumerate(centers)]
+        return result
+
+    def soft_assignments(self, points: np.ndarray,
+                         result: ClusteringResult) -> np.ndarray:
+        """(n, k) membership matrix of ``points`` under the final model."""
+        distances = self.measure.to_centers(points, result.centers())
+        return memberships(distances, self.m)

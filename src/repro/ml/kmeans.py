@@ -1,0 +1,207 @@
+"""k-Means clustering as iterative MapReduce (Mahout's ``KMeansDriver``).
+
+Per iteration one job runs:
+
+* **mapper** — assign each point to the nearest current center; emit
+  ``(cluster_id, (sum, sum_sq, count))`` for the point;
+* **combiner** — component-wise sums of the partial statistics;
+* **reducer** — new center = sum / count (plus weight and RMS radius from
+  the second moment); empty clusters keep their previous center.
+
+The driver loops until every center moves less than ``convergence_delta``
+(Mahout default 0.5) under the chosen distance measure, or
+``max_iterations`` is reached, then runs one map-only *clusterdata* pass
+that emits the hard assignment of every point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.mapreduce.api import Context, Mapper, Reducer
+from repro.mapreduce.job import Job
+from repro.ml.base import (ClusterModel, ClusteringResult, Executor,
+                           vector_sizeof)
+from repro.ml.vectors import DistanceMeasure, EuclideanDistance
+
+#: Per-record CPU cost of one distance evaluation row (k centers, d dims):
+#: JVM-era deserialization + k*d flops.
+def _map_record_cost(k: int, d: int) -> float:
+    return 2.0e-5 + 1.2e-8 * k * d
+
+
+class KMeansMapper(Mapper):
+    """Nearest-center assignment; centers arrive via the job params."""
+
+    def __init__(self, centers: Sequence[tuple], measure: DistanceMeasure):
+        self.centers = np.asarray(centers, dtype=float)
+        self.measure = measure
+
+    def map(self, key, value, context: Context) -> None:
+        point = np.asarray(value, dtype=float)
+        distances = self.measure.to_centers(point[None, :], self.centers)[0]
+        nearest = int(np.argmin(distances))
+        context.emit(nearest, (tuple(point), tuple(point * point), 1))
+
+
+class PartialSumCombiner(Reducer):
+    """Component-wise sum of (sum, sum_sq, count) triples."""
+
+    def reduce(self, key, values, context: Context) -> None:
+        total = total_sq = None
+        count = 0
+        for vec, vec_sq, n in values:
+            arr, arr_sq = np.asarray(vec), np.asarray(vec_sq)
+            total = arr if total is None else total + arr
+            total_sq = arr_sq if total_sq is None else total_sq + arr_sq
+            count += n
+        context.emit(key, (tuple(total), tuple(total_sq), count))
+
+
+class CentroidReducer(Reducer):
+    """(cluster_id, partial sums) -> (cluster_id, (center, weight, radius))."""
+
+    def reduce(self, key, values, context: Context) -> None:
+        total = total_sq = None
+        count = 0
+        for vec, vec_sq, n in values:
+            arr, arr_sq = np.asarray(vec), np.asarray(vec_sq)
+            total = arr if total is None else total + arr
+            total_sq = arr_sq if total_sq is None else total_sq + arr_sq
+            count += n
+        center = total / count
+        # RMS radius from E[x^2] - center^2 per dimension.
+        variance = np.maximum(total_sq / count - center * center, 0.0)
+        radius = float(np.sqrt(variance.sum()))
+        context.emit(key, (tuple(center), float(count), radius))
+
+
+class AssignMapper(Mapper):
+    """clusterdata pass: (point_id, vector) -> (point_id, cluster_id)."""
+
+    def __init__(self, centers: Sequence[tuple], measure: DistanceMeasure):
+        self.centers = np.asarray(centers, dtype=float)
+        self.measure = measure
+
+    def map(self, key, value, context: Context) -> None:
+        point = np.asarray(value, dtype=float)
+        distances = self.measure.to_centers(point[None, :], self.centers)[0]
+        context.emit(int(key), int(np.argmin(distances)))
+
+
+def _stats_sizeof(pair) -> int:
+    _cid, (vec, _vec_sq, _n) = pair if len(pair) == 2 else (None, pair)
+    return 16 + 2 * 8 * len(vec) + 8
+
+
+class KMeansDriver:
+    """The iterative driver."""
+
+    def __init__(self, k: Optional[int] = None,
+                 initial_centers: Optional[Sequence[tuple]] = None,
+                 measure: Optional[DistanceMeasure] = None,
+                 convergence_delta: float = 0.5, max_iterations: int = 10,
+                 n_reduces: int = 1):
+        if initial_centers is None and (k is None or k < 1):
+            raise ClusteringError("KMeansDriver needs k or initial_centers")
+        self.k = k if k is not None else len(initial_centers)
+        self.initial_centers = initial_centers
+        self.measure = measure or EuclideanDistance()
+        self.convergence_delta = convergence_delta
+        self.max_iterations = max_iterations
+        self.n_reduces = n_reduces
+
+    # -- seeding -------------------------------------------------------------
+    def seed_centers(self, executor: Executor, input_path: str
+                     ) -> list[tuple]:
+        """Random distinct input points (Mahout's RandomSeedGenerator)."""
+        if self.initial_centers is not None:
+            return [tuple(c) for c in self.initial_centers]
+        records = executor.input_records(input_path)
+        if len(records) < self.k:
+            raise ClusteringError(
+                f"k={self.k} exceeds the {len(records)} input points")
+        rng = executor.rng("ml/kmeans/seed")
+        chosen = rng.choice(len(records), size=self.k, replace=False)
+        return [tuple(records[int(i)][1]) for i in chosen]
+
+    # -- jobs --------------------------------------------------------------
+    def _iteration_job(self, input_path: str, output_path: str,
+                       centers: list[tuple], d: int) -> Job:
+        measure = self.measure
+        snapshot = [tuple(c) for c in centers]
+        return Job(
+            name="kmeans-iter",
+            input_paths=[input_path],
+            output_path=output_path,
+            mapper=lambda: KMeansMapper(snapshot, measure),
+            combiner=PartialSumCombiner,
+            reducer=CentroidReducer,
+            n_reduces=self.n_reduces,
+            intermediate_sizeof=_stats_sizeof,
+            output_sizeof=lambda pair: 24 + 8 * d,
+            map_cpu_per_record=_map_record_cost(len(snapshot), d),
+            reduce_cpu_per_record=1.0e-5,
+        )
+
+    def _assign_job(self, input_path: str, output_path: str,
+                    centers: list[tuple], d: int) -> Job:
+        measure = self.measure
+        snapshot = [tuple(c) for c in centers]
+        return Job(
+            name="kmeans-assign",
+            input_paths=[input_path],
+            output_path=output_path,
+            mapper=lambda: AssignMapper(snapshot, measure),
+            n_reduces=0,
+            output_sizeof=lambda _pair: 16,
+            map_cpu_per_record=_map_record_cost(len(snapshot), d),
+        )
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, executor: Executor, input_path: str,
+            work_prefix: str = "/kmeans", assign: bool = True
+            ) -> ClusteringResult:
+        centers = self.seed_centers(executor, input_path)
+        d = len(centers[0])
+        result = ClusteringResult(algorithm="kmeans", models=[])
+        stats_by_cluster: dict[int, tuple] = {}
+        for iteration in range(self.max_iterations):
+            job = self._iteration_job(
+                input_path, f"{work_prefix}/clusters-{iteration}", centers, d)
+            output, elapsed = executor.run_job(job)
+            result.per_iteration_s.append(elapsed)
+            result.runtime_s += elapsed
+            result.iterations += 1
+
+            new_centers = list(centers)
+            stats_by_cluster = {}
+            for cid, (center, weight, radius) in output:
+                new_centers[cid] = tuple(center)
+                stats_by_cluster[cid] = (weight, radius)
+            result.history.append([
+                ClusterModel(cid, tuple(c),
+                             *stats_by_cluster.get(cid, (0.0, 0.0)))
+                for cid, c in enumerate(new_centers)])
+
+            shift = max(
+                self.measure.distance(np.asarray(old), np.asarray(new))
+                for old, new in zip(centers, new_centers))
+            centers = new_centers
+            if shift <= self.convergence_delta:
+                result.converged = True
+                break
+
+        result.models = [
+            ClusterModel(cid, tuple(c), *stats_by_cluster.get(cid, (0.0, 0.0)))
+            for cid, c in enumerate(centers)]
+        if assign:
+            job = self._assign_job(input_path, f"{work_prefix}/points",
+                                   centers, d)
+            output, elapsed = executor.run_job(job)
+            result.runtime_s += elapsed
+            result.assignments = {int(pid): int(cid) for pid, cid in output}
+        return result

@@ -1,0 +1,174 @@
+"""Mean-shift canopy clustering as iterative MapReduce.
+
+Mahout's ``MeanShiftCanopyDriver``: every input point starts as a canopy;
+each iteration every canopy shifts to the weighted mean of the canopies
+within ``T1`` of it, and canopies that come within ``T2`` of each other
+merge.  The process repeats until every shift falls below
+``convergence_delta`` or the iteration budget runs out — clusters of
+arbitrary shape emerge without choosing k a priori.
+
+Job layout per iteration (as in Mahout):
+
+* **mapper** — receives the canopy set of its split, performs one local
+  shift-and-merge pass, emits surviving canopies keyed by a single
+  reducer key;
+* **reducer** — merges all mapper outputs with the same rule, emitting the
+  next iteration's canopies and whether each converged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.mapreduce.api import Context, Mapper, Reducer
+from repro.mapreduce.job import Job
+from repro.ml.base import ClusterModel, ClusteringResult, Executor
+from repro.ml.vectors import DistanceMeasure, EuclideanDistance
+
+
+def shift_and_merge(canopies: list[tuple[np.ndarray, float]], t1: float,
+                    t2: float, measure: DistanceMeasure,
+                    delta: float) -> tuple[list[tuple[np.ndarray, float]], bool]:
+    """One mean-shift pass: returns (new canopies, all_converged)."""
+    if not canopies:
+        return [], True
+    centers = np.vstack([c for c, _w in canopies])
+    weights = np.asarray([w for _c, w in canopies])
+    distances = measure.to_centers(centers, centers)
+    all_converged = True
+    shifted: list[tuple[np.ndarray, float]] = []
+    for i in range(len(canopies)):
+        mask = distances[i] < t1
+        total_w = weights[mask].sum()
+        mean = (centers[mask] * weights[mask, None]).sum(axis=0) / total_w
+        if measure.distance(mean, centers[i]) > delta:
+            all_converged = False
+        shifted.append((mean, float(weights[i])))
+    # Merge canopies within T2 (earlier canopy absorbs the later one).
+    merged: list[tuple[np.ndarray, float]] = []
+    for center, weight in shifted:
+        for j, (mc, mw) in enumerate(merged):
+            if measure.distance(center, mc) < t2:
+                new_w = mw + weight
+                merged[j] = ((mc * mw + center * weight) / new_w, new_w)
+                break
+        else:
+            merged.append((center, weight))
+    return merged, all_converged
+
+
+class MeanShiftMapper(Mapper):
+    def __init__(self, t1: float, t2: float, measure: DistanceMeasure,
+                 delta: float):
+        self.t1, self.t2, self.measure, self.delta = t1, t2, measure, delta
+        self._canopies: list[tuple[np.ndarray, float]] = []
+
+    def map(self, key, value, context: Context) -> None:
+        # Accepts both the seeded (center, weight) and the reducer's
+        # (center, weight, converged) record shapes.
+        center, weight = value[0], value[1]
+        self._canopies.append((np.asarray(center, dtype=float), float(weight)))
+
+    def cleanup(self, context: Context) -> None:
+        merged, converged = shift_and_merge(
+            self._canopies, self.t1, self.t2, self.measure, self.delta)
+        for center, weight in merged:
+            context.emit("canopies", (tuple(center), weight, converged))
+        self._canopies.clear()
+
+
+class MeanShiftReducer(Reducer):
+    def __init__(self, t1: float, t2: float, measure: DistanceMeasure,
+                 delta: float):
+        self.t1, self.t2, self.measure, self.delta = t1, t2, measure, delta
+
+    def reduce(self, key, values, context: Context) -> None:
+        canopies = []
+        all_converged = True
+        for center, weight, converged in values:
+            canopies.append((np.asarray(center, dtype=float), float(weight)))
+            all_converged = all_converged and converged
+        merged, pass_converged = shift_and_merge(
+            canopies, self.t1, self.t2, self.measure, self.delta)
+        converged = all_converged and pass_converged
+        for cid, (center, weight) in enumerate(merged):
+            context.emit(cid, (tuple(center), weight, converged))
+
+
+class MeanShiftDriver:
+    """Iterative mean-shift canopy driver."""
+
+    def __init__(self, t1: float, t2: float,
+                 measure: Optional[DistanceMeasure] = None,
+                 convergence_delta: float = 0.5, max_iterations: int = 10):
+        if not t1 > t2 > 0:
+            raise ClusteringError(f"need T1 > T2 > 0, got T1={t1}, T2={t2}")
+        self.t1, self.t2 = float(t1), float(t2)
+        self.measure = measure or EuclideanDistance()
+        self.convergence_delta = convergence_delta
+        self.max_iterations = max_iterations
+
+    def run(self, executor: Executor, input_path: str,
+            work_prefix: str = "/meanshift") -> ClusteringResult:
+        t1, t2, measure = self.t1, self.t2, self.measure
+        delta = self.convergence_delta
+        result = ClusteringResult(algorithm="meanshift", models=[])
+
+        # Initial canopies: every point, weight 1 — staged as a derived
+        # dataset so each iteration is a normal MapReduce job.
+        records = executor.input_records(input_path)
+        canopy_records = [(int(pid), (tuple(vec), 1.0))
+                          for pid, vec in records]
+        current_path = f"{work_prefix}/state-0"
+        self._stage(executor, current_path, canopy_records)
+
+        for iteration in range(self.max_iterations):
+            output_path = f"{work_prefix}/state-{iteration + 1}"
+            job = Job(
+                name="meanshift-iter",
+                input_paths=[current_path],
+                output_path=output_path,
+                mapper=lambda: MeanShiftMapper(t1, t2, measure, delta),
+                reducer=lambda: MeanShiftReducer(t1, t2, measure, delta),
+                n_reduces=1,
+                intermediate_sizeof=lambda pair: 32 + 8 * len(pair[1][0]),
+                output_sizeof=lambda pair: 32 + 8 * len(pair[1][0]),
+                map_cpu_per_record=6.0e-5,
+                reduce_cpu_per_record=6.0e-5,
+            )
+            output, elapsed = executor.run_job(job)
+            result.per_iteration_s.append(elapsed)
+            result.runtime_s += elapsed
+            result.iterations += 1
+
+            models = [ClusterModel(int(cid), tuple(center), weight=w)
+                      for cid, (center, w, _conv) in sorted(output)]
+            result.history.append(models)
+            converged = all(conv for _cid, (_c, _w, conv) in output)
+            result.models = models
+            if converged:
+                result.converged = True
+                break
+            # The job output in HDFS is the next iteration's input.
+            current_path = output_path
+        return result
+
+    @staticmethod
+    def _stage(executor: Executor, path: str, records: list) -> None:
+        """Make records readable as a job input on either executor."""
+        from repro.ml.base import ClusterExecutor, LocalExecutor
+        if isinstance(executor, LocalExecutor):
+            executor.add_input(path, records)
+        elif isinstance(executor, ClusterExecutor):
+            cluster = executor.cluster
+            if not cluster.namenode.exists(path):
+                event = cluster.dfs.write_file(
+                    cluster.master, path, records,
+                    sizeof=lambda r: 32 + 8 * len(r[1][0]))
+                cluster.sim.run_until(event)
+        else:  # pragma: no cover - custom executors stage themselves
+            raise ClusteringError(
+                f"cannot stage records on {type(executor).__name__}")

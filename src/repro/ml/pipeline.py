@@ -1,0 +1,82 @@
+"""Canopy-seeded k-means: Mahout's canonical clustering pipeline.
+
+The paper's Section IV notes that "Canopy Clustering is often used as an
+initial step in more rigorous clustering techniques, such as K-Means
+Clustering" — and Mahout's ``syntheticcontrol.canopy`` example does exactly
+that: a fast canopy pass picks the number and initial positions of
+clusters; k-means refines them.
+
+:class:`CanopyKMeansPipeline` chains the two drivers over a single
+executor, reporting the combined runtime and both stage results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ClusteringError
+from repro.ml.base import ClusteringResult, Executor
+from repro.ml.canopy import CanopyDriver
+from repro.ml.kmeans import KMeansDriver
+from repro.ml.vectors import DistanceMeasure, EuclideanDistance
+
+
+@dataclass
+class PipelineResult:
+    """Both stages plus the combined cost."""
+
+    canopy: ClusteringResult
+    kmeans: ClusteringResult
+
+    @property
+    def runtime_s(self) -> float:
+        return self.canopy.runtime_s + self.kmeans.runtime_s
+
+    @property
+    def k(self) -> int:
+        return self.kmeans.k
+
+    @property
+    def models(self):
+        return self.kmeans.models
+
+    @property
+    def assignments(self):
+        return self.kmeans.assignments
+
+
+class CanopyKMeansPipeline:
+    """canopy(T1, T2) -> k-means(seeded by the canopy centers)."""
+
+    def __init__(self, t1: float, t2: float,
+                 measure: Optional[DistanceMeasure] = None,
+                 convergence_delta: float = 0.5, max_iterations: int = 10,
+                 max_k: Optional[int] = None):
+        self.measure = measure or EuclideanDistance()
+        self.canopy = CanopyDriver(t1, t2, measure=self.measure)
+        self.convergence_delta = convergence_delta
+        self.max_iterations = max_iterations
+        self.max_k = max_k
+
+    def run(self, executor: Executor, input_path: str,
+            work_prefix: str = "/canopy-kmeans",
+            assign: bool = True) -> PipelineResult:
+        canopy_result = self.canopy.run(executor, input_path,
+                                        work_prefix=f"{work_prefix}/canopy")
+        if not canopy_result.models:
+            raise ClusteringError(
+                "canopy stage produced no clusters; loosen T1/T2")
+        centers = [m.center for m in canopy_result.models]
+        if self.max_k is not None and len(centers) > self.max_k:
+            # Keep the heaviest canopies (Mahout's -clusters cap).
+            heaviest = sorted(canopy_result.models,
+                              key=lambda m: -m.weight)[:self.max_k]
+            centers = [m.center for m in heaviest]
+        kmeans = KMeansDriver(initial_centers=centers, measure=self.measure,
+                              convergence_delta=self.convergence_delta,
+                              max_iterations=self.max_iterations)
+        kmeans_result = kmeans.run(executor, input_path,
+                                   work_prefix=f"{work_prefix}/kmeans",
+                                   assign=assign)
+        return PipelineResult(canopy=canopy_result, kmeans=kmeans_result)

@@ -1,0 +1,149 @@
+"""Item-based co-occurrence recommender as chained MapReduce jobs (the
+*recommendations* category of the paper's library).
+
+Mahout 0.6's ``RecommenderJob`` pipeline, reduced to its classic core:
+
+1. **user-vectors job** — ``(user, item, rating)`` preferences grouped into
+   per-user preference vectors;
+2. **co-occurrence job** — for every user vector, emit all item pairs;
+   reducer counts how often two items are preferred together;
+3. **recommendation job** — for each user, score unseen items by
+   ``sum(co_occurrence[item, seen] * rating(seen))`` and emit the top-N.
+
+Input records: ``((user, item), rating)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ClusteringError
+from repro.mapreduce.api import Context, Mapper, Reducer
+from repro.mapreduce.job import Job
+from repro.ml.base import Executor
+
+
+class UserVectorMapper(Mapper):
+    """((user, item), rating) -> (user, (item, rating))."""
+
+    def map(self, key, value, context: Context) -> None:
+        user, item = key
+        context.emit(user, (item, float(value)))
+
+
+class UserVectorReducer(Reducer):
+    """(user, [(item, rating)]) -> (user, tuple of (item, rating))."""
+
+    def reduce(self, key, values, context: Context) -> None:
+        vector = tuple(sorted(values))
+        context.emit(key, vector)
+
+
+class CooccurrenceMapper(Mapper):
+    """(user, vector) -> ((item_a, item_b), 1) for every preferred pair."""
+
+    def map(self, key, value, context: Context) -> None:
+        items = [item for item, _rating in value]
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                first, second = (a, b) if a <= b else (b, a)
+                context.emit((first, second), 1)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, context: Context) -> None:
+        context.emit(key, sum(values))
+
+
+class RecommendMapper(Mapper):
+    """(user, vector) -> (user, top-N recommendations)."""
+
+    def __init__(self, cooccurrence: dict, top_n: int):
+        self.cooccurrence = cooccurrence
+        self.top_n = top_n
+
+    def map(self, key, value, context: Context) -> None:
+        seen = {item: rating for item, rating in value}
+        scores: dict = {}
+        for (a, b), count in self.cooccurrence.items():
+            if a in seen and b not in seen:
+                scores[b] = scores.get(b, 0.0) + count * seen[a]
+            elif b in seen and a not in seen:
+                scores[a] = scores.get(a, 0.0) + count * seen[b]
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        context.emit(key, tuple(ranked[:self.top_n]))
+
+
+@dataclass
+class RecommendationResult:
+    """Per-user ranked (item, score) lists plus the model artifacts."""
+
+    recommendations: dict
+    cooccurrence: dict
+    runtime_s: float
+
+    def for_user(self, user) -> tuple:
+        return self.recommendations.get(user, ())
+
+
+class ItemCooccurrenceRecommender:
+    """The three-job driver."""
+
+    def __init__(self, top_n: int = 5, n_reduces: int = 1):
+        if top_n < 1:
+            raise ClusteringError("top_n must be >= 1")
+        self.top_n = top_n
+        self.n_reduces = n_reduces
+
+    def run(self, executor: Executor, input_path: str,
+            work_prefix: str = "/recommend") -> RecommendationResult:
+        runtime = 0.0
+        user_vectors_path = f"{work_prefix}/user-vectors"
+        job1 = Job(
+            name="recommend-uservectors",
+            input_paths=[input_path],
+            output_path=user_vectors_path,
+            mapper=UserVectorMapper,
+            reducer=UserVectorReducer,
+            n_reduces=self.n_reduces,
+            intermediate_sizeof=lambda pair: 24,
+            output_sizeof=lambda pair: 16 + 16 * len(pair[1]),
+            map_cpu_per_record=5.0e-6,
+            reduce_cpu_per_record=5.0e-6,
+        )
+        vectors, elapsed = executor.run_job(job1)
+        runtime += elapsed
+
+        job2 = Job(
+            name="recommend-cooccurrence",
+            input_paths=[user_vectors_path],
+            output_path=f"{work_prefix}/cooccurrence",
+            mapper=CooccurrenceMapper,
+            combiner=CountReducer,
+            reducer=CountReducer,
+            n_reduces=self.n_reduces,
+            intermediate_sizeof=lambda pair: 28,
+            output_sizeof=lambda pair: 28,
+            map_cpu_per_record=2.0e-5,
+            reduce_cpu_per_record=5.0e-6,
+        )
+        pairs, elapsed = executor.run_job(job2)
+        runtime += elapsed
+        cooccurrence = {key: count for key, count in pairs}
+
+        job3 = Job(
+            name="recommend-topn",
+            input_paths=[user_vectors_path],
+            output_path=f"{work_prefix}/recommendations",
+            mapper=lambda: RecommendMapper(cooccurrence, self.top_n),
+            n_reduces=0,
+            output_sizeof=lambda pair: 16 + 16 * len(pair[1]),
+            map_cpu_per_record=1.0e-5 + 2.0e-8 * len(cooccurrence),
+        )
+        output, elapsed = executor.run_job(job3)
+        runtime += elapsed
+        return RecommendationResult(
+            recommendations={user: recs for user, recs in output},
+            cooccurrence=cooccurrence,
+            runtime_s=runtime)

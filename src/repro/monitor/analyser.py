@@ -1,0 +1,132 @@
+"""nmon analyser: summaries and bottleneck classification.
+
+The original ``nmon analyser`` is an Excel workbook that charts nmon output
+files; what the paper uses it for is finding the platform bottleneck.  This
+module computes the same aggregates programmatically:
+
+* per-node summaries (mean/peak of each resource class);
+* a platform-level :class:`BottleneckReport` that also folds in the shared
+  resources (host NICs, netback, NFS) and names the busiest one —
+  reproducing the paper's conclusion that network I/O and NFS disk I/O are
+  vHadoop's main bottlenecks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MonitorError
+from repro.monitor.nmon import NmonMonitor, NodeSeries
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Aggregate of one node's series."""
+
+    vm: str
+    n_samples: int
+    cpu_mean: float
+    cpu_peak: float
+    memory_mean: float
+    disk_bytes_total: float
+    net_bytes_total: float
+
+    @property
+    def dominant(self) -> str:
+        """Which class dominated this node: 'cpu', 'disk' or 'net'."""
+        scores = {"cpu": self.cpu_mean,
+                  "disk": self.disk_bytes_total,
+                  "net": self.net_bytes_total}
+        # CPU is a fraction; compare I/O classes by bytes, then prefer CPU
+        # only when it is plainly saturated.
+        if self.cpu_mean > 0.85:
+            return "cpu"
+        return max(("disk", "net"), key=lambda k: scores[k])
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Platform-level diagnosis."""
+
+    busiest_resource: str
+    busy_fractions: dict
+    node_summaries: list
+
+    def top(self, n: int = 3) -> list[tuple[str, float]]:
+        ranked = sorted(self.busy_fractions.items(), key=lambda kv: -kv[1])
+        return ranked[:n]
+
+
+class NmonAnalyser:
+    """Turns monitor series (and shared-resource counters) into reports."""
+
+    def __init__(self, monitor: NmonMonitor):
+        self.monitor = monitor
+
+    def summarize(self, vm_name: str) -> SeriesSummary:
+        series = self.monitor.node(vm_name)
+        return self._summarize(series)
+
+    @staticmethod
+    def _summarize(series: NodeSeries) -> SeriesSummary:
+        if not series.samples:
+            raise MonitorError(f"no samples collected for {series.vm}")
+        cpu = np.asarray(series.column("cpu_util"))
+        memory = np.asarray(series.column("memory_fraction"))
+        disk = np.asarray(series.column("disk_bytes_delta"))
+        tx = np.asarray(series.column("net_tx_delta"))
+        rx = np.asarray(series.column("net_rx_delta"))
+        return SeriesSummary(
+            vm=series.vm,
+            n_samples=len(series),
+            cpu_mean=float(cpu.mean()),
+            cpu_peak=float(cpu.max()),
+            memory_mean=float(memory.mean()),
+            disk_bytes_total=float(disk.sum()),
+            net_bytes_total=float((tx + rx).sum()),
+        )
+
+    def summaries(self) -> list[SeriesSummary]:
+        return [self._summarize(s) for s in self.monitor.series.values()
+                if s.samples]
+
+    def bottleneck(self, shared_resources: Optional[Sequence] = None,
+                   now: Optional[float] = None) -> BottleneckReport:
+        """Diagnose the platform bottleneck.
+
+        ``shared_resources`` are :class:`~repro.sim.fairshare.SharedResource`
+        objects (host NICs, netback, NFS vnic, CPUs); their time-integrated
+        busy fractions are compared and the busiest wins.
+        """
+        summaries = self.summaries()
+        busy: dict[str, float] = {}
+        if shared_resources and now is not None and now > 0:
+            for res in shared_resources:
+                busy[res.name] = res.busy_time(now) / now
+        if busy:
+            busiest = max(busy, key=busy.get)  # type: ignore[arg-type]
+        else:
+            # Fall back to the per-node dominant classes.
+            if not summaries:
+                raise MonitorError("nothing to analyse")
+            votes: dict[str, int] = {}
+            for summary in summaries:
+                votes[summary.dominant] = votes.get(summary.dominant, 0) + 1
+            busiest = max(votes, key=votes.get)  # type: ignore[arg-type]
+        return BottleneckReport(busiest_resource=busiest,
+                                busy_fractions=busy,
+                                node_summaries=summaries)
+
+    def imbalance(self) -> float:
+        """Coefficient of variation of per-node CPU means — the tuner's
+        signal for load-balancing migrations."""
+        means = [s.cpu_mean for s in self.summaries()]
+        if not means:
+            raise MonitorError("nothing to analyse")
+        arr = np.asarray(means)
+        if arr.mean() == 0:
+            return 0.0
+        return float(arr.std() / arr.mean())

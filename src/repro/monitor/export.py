@@ -1,0 +1,92 @@
+"""nmon-format export and parsing.
+
+The real workflow the paper describes is file-based: ``nmon`` writes
+section-per-metric CSV files on every node, and the ``nmon analyser``
+workbook reads them back to draw graphs.  This module serializes a
+:class:`~repro.monitor.nmon.NodeSeries` into the same sectioned layout and
+parses it back, so monitoring data can leave the simulation and re-enter
+the analyser:
+
+::
+
+    AAA,host,vm-03
+    ZZZZ,T0001,0.00
+    CPU_ALL,T0001,37.50
+    MEM,T0001,53.00
+    DISKREAD,T0001,10485760
+    NET,T0001,524288,1048576
+    ...
+
+(A simplified but faithful subset of nmon's sections: snapshot markers
+``ZZZZ``, total CPU, memory, disk bytes, net tx/rx.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import MonitorError
+from repro.monitor.nmon import NmonSample, NodeSeries
+
+
+def write_nmon(series: NodeSeries) -> str:
+    """Serialize one node's samples into nmon-style sectioned CSV."""
+    if not series.samples:
+        raise MonitorError(f"no samples to export for {series.vm}")
+    lines = [f"AAA,host,{series.vm}",
+             f"AAA,samples,{len(series.samples)}"]
+    for index, sample in enumerate(series.samples, start=1):
+        tag = f"T{index:04d}"
+        lines.append(f"ZZZZ,{tag},{sample.time:.3f}")
+        lines.append(f"CPU_ALL,{tag},{sample.cpu_util * 100.0:.2f}")
+        lines.append(f"MEM,{tag},{sample.memory_fraction * 100.0:.2f}")
+        lines.append(f"DISKREAD,{tag},{sample.disk_bytes_delta:.0f}")
+        lines.append(f"NET,{tag},{sample.net_tx_delta:.0f},"
+                     f"{sample.net_rx_delta:.0f}")
+        lines.append(f"PROC,{tag},{sample.activity}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_nmon(text: str) -> NodeSeries:
+    """Parse nmon-style CSV back into a :class:`NodeSeries`."""
+    vm = None
+    snapshots: dict[str, dict] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        fields = line.split(",")
+        section = fields[0]
+        if section == "AAA":
+            if fields[1] == "host":
+                vm = fields[2]
+            continue
+        tag = fields[1]
+        snap = snapshots.setdefault(tag, {})
+        if section == "ZZZZ":
+            snap["time"] = float(fields[2])
+        elif section == "CPU_ALL":
+            snap["cpu"] = float(fields[2]) / 100.0
+        elif section == "MEM":
+            snap["mem"] = float(fields[2]) / 100.0
+        elif section == "DISKREAD":
+            snap["disk"] = float(fields[2])
+        elif section == "NET":
+            snap["tx"] = float(fields[2])
+            snap["rx"] = float(fields[3])
+        elif section == "PROC":
+            snap["activity"] = int(fields[2])
+    if vm is None:
+        raise MonitorError("nmon text has no AAA,host header")
+    series = NodeSeries(vm)
+    for tag in sorted(snapshots):
+        snap = snapshots[tag]
+        try:
+            series.samples.append(NmonSample(
+                time=snap["time"], vm=vm, cpu_util=snap["cpu"],
+                memory_fraction=snap["mem"],
+                disk_bytes_delta=snap["disk"],
+                net_tx_delta=snap["tx"], net_rx_delta=snap["rx"],
+                activity=snap.get("activity", 0)))
+        except KeyError as missing:
+            raise MonitorError(
+                f"snapshot {tag} is missing section {missing}") from None
+    return series

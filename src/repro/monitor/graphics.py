@@ -1,0 +1,86 @@
+"""nmon-analyser graphics, terminal edition.
+
+The real nmon analyser is an Excel workbook that turns nmon output files
+into utilization charts.  This module renders the same views as text:
+
+* :func:`sparkline` — one metric of one node as a unicode sparkline;
+* :func:`render_node_timeline` — the four resource classes of one node,
+  stacked;
+* :func:`render_cluster_heatmap` — one metric across all nodes over time
+  (rows = nodes, columns = samples) — the view that makes imbalance and
+  cross-domain hotspots visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MonitorError
+from repro.monitor.nmon import NmonMonitor, NodeSeries
+
+_TICKS = " ▁▂▃▄▅▆▇█"
+_HEAT = " .:-=+*#%@"
+
+
+def _scale(values: Sequence[float], levels: int) -> list[int]:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise MonitorError("nothing to plot")
+    top = arr.max()
+    if top <= 0:
+        return [0] * arr.size
+    return [min(levels - 1, int(v / top * (levels - 1) + 0.5)) for v in arr]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One metric as a sparkline, scaled to its own maximum."""
+    return "".join(_TICKS[i] for i in _scale(values, len(_TICKS)))
+
+
+def render_node_timeline(series: NodeSeries) -> str:
+    """cpu / memory / disk / net sparklines for one node."""
+    if not series.samples:
+        raise MonitorError(f"no samples for {series.vm}")
+    rows = [
+        ("cpu", series.column("cpu_util")),
+        ("mem", series.column("memory_fraction")),
+        ("disk", series.column("disk_bytes_delta")),
+        ("net", [tx + rx for tx, rx in zip(series.column("net_tx_delta"),
+                                           series.column("net_rx_delta"))]),
+    ]
+    width = max(len(name) for name, _v in rows)
+    lines = [f"== {series.vm} =="]
+    for name, values in rows:
+        peak = max(values) if values else 0.0
+        lines.append(f"{name:>{width}s} |{sparkline(values)}| "
+                     f"peak={peak:.3g}")
+    return "\n".join(lines)
+
+
+def render_cluster_heatmap(monitor: NmonMonitor, metric: str = "cpu_util"
+                           ) -> str:
+    """Node x time heatmap of one metric across the whole cluster."""
+    names = sorted(monitor.series)
+    columns = []
+    for name in names:
+        series = monitor.series[name]
+        if not series.samples:
+            raise MonitorError(f"no samples for {name}")
+        columns.append(series.column(metric))
+    n_samples = min(len(c) for c in columns)
+    matrix = np.asarray([c[:n_samples] for c in columns], dtype=float)
+    top = matrix.max()
+    lines = [f"== cluster heatmap: {metric} (peak={top:.3g}) =="]
+    width = max(len(n) for n in names)
+    for name, row in zip(names, matrix):
+        if top > 0:
+            glyphs = "".join(
+                _HEAT[min(len(_HEAT) - 1,
+                          int(v / top * (len(_HEAT) - 1) + 0.5))]
+                for v in row)
+        else:
+            glyphs = " " * n_samples
+        lines.append(f"{name:>{width}s} |{glyphs}|")
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Network substrate: topology plus fluid transfers.
+
+The paper's testbed has two physical machines on gigabit Ethernet, VMs
+attached to a Xen software bridge per host, and an NFS server holding the VM
+images.  :mod:`repro.net.topology` models hosts (NIC + bridge) and attached
+endpoints; :mod:`repro.net.transfer` turns byte counts into fluid flows over
+the right resource path — which is how "cross-domain" clusters become slower
+than "normal" ones: their traffic crosses the shared physical NICs instead
+of the fast intra-host bridge.
+"""
+
+from repro.net.topology import HostNet, NetNode, NetworkFabric
+
+__all__ = ["HostNet", "NetNode", "NetworkFabric"]

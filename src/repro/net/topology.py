@@ -1,0 +1,180 @@
+"""Hosts, endpoints and transfer paths.
+
+Topology model (mirrors the paper's testbed):
+
+* every physical host has one **NIC** (gigabit Ethernet, shared by all its
+  guests' external traffic) and one **bridge** (the Xen software bridge that
+  carries traffic between co-located guests at near-memory speed);
+* every guest/service is a :class:`NetNode` attached to a host with its own
+  **vNIC**, so per-VM network I/O can be observed by the monitor;
+* hosts connect through a non-blocking switch — the NICs are the only
+  inter-host bottleneck, which matches gigabit-Ethernet-era hardware.
+
+Paths
+-----
+========================= ==============================================
+same node                 no resources (loopback)
+same host, two nodes      ``[src.vnic, host.bridge, dst.vnic]``
+different hosts           ``[src.vnic, src.host.nic, dst.host.nic, dst.vnic]``
+========================= ==============================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro import constants as C
+from repro.errors import SimulationError
+from repro.sim import FairShareSystem, SharedResource, Simulator, Tracer
+from repro.sim.kernel import Event
+from repro.sim.fairshare import FluidFlow
+
+
+class HostNet:
+    """Network-side view of one physical machine."""
+
+    def __init__(self, name: str, nic_bandwidth: float, bridge_bandwidth: float,
+                 netback_bandwidth: float = C.XEN_NETBACK_BPS):
+        self.name = name
+        self.nic = SharedResource(f"{name}.nic", nic_bandwidth)
+        self.bridge = SharedResource(f"{name}.bridge", bridge_bandwidth)
+        #: dom0 netback/netfront processing for guest traffic leaving or
+        #: entering the host through the physical NIC.
+        self.netback = SharedResource(f"{name}.netback", netback_bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<HostNet {self.name}>"
+
+
+class NetNode:
+    """A network endpoint (VM, NameNode service, NFS server...).
+
+    ``privileged`` endpoints (Domain-0, the NFS appliance) talk to the wire
+    directly; guest endpoints pay the netback processing path.
+    """
+
+    def __init__(self, name: str, host: HostNet, vnic_bandwidth: float,
+                 privileged: bool = False):
+        self.name = name
+        self.host = host
+        self.privileged = privileged
+        self.vnic = SharedResource(f"{name}.vnic", vnic_bandwidth)
+        #: Cumulative bytes sent/received (for the monitor).
+        self.tx_bytes = 0.0
+        self.rx_bytes = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NetNode {self.name}@{self.host.name}>"
+
+
+class NetworkFabric:
+    """Factory for hosts/endpoints and the transfer API over them."""
+
+    def __init__(self, sim: Simulator, fss: FairShareSystem,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.fss = fss
+        self.tracer = tracer or Tracer(enabled=False)
+        self.hosts: dict[str, HostNet] = {}
+        self.nodes: dict[str, NetNode] = {}
+
+    # -- topology construction -------------------------------------------
+    def add_host(self, name: str,
+                 nic_bandwidth: float = C.GBIT_ETHERNET_BPS,
+                 bridge_bandwidth: float = C.VIRTUAL_BRIDGE_BPS,
+                 netback_bandwidth: float = C.XEN_NETBACK_BPS) -> HostNet:
+        if name in self.hosts:
+            raise SimulationError(f"duplicate host {name!r}")
+        host = HostNet(name, nic_bandwidth, bridge_bandwidth,
+                       netback_bandwidth)
+        self.hosts[name] = host
+        return host
+
+    def attach(self, name: str, host: HostNet,
+               vnic_bandwidth: Optional[float] = None,
+               privileged: bool = False) -> NetNode:
+        """Attach an endpoint to a host; vNIC defaults to the bridge speed."""
+        if name in self.nodes:
+            raise SimulationError(f"duplicate endpoint {name!r}")
+        node = NetNode(name, host, vnic_bandwidth or host.bridge.capacity,
+                       privileged=privileged)
+        self.nodes[name] = node
+        return node
+
+    def move(self, node: NetNode, new_host: HostNet) -> None:
+        """Re-home an endpoint after live migration."""
+        node.host = new_host
+
+    # -- paths --------------------------------------------------------------
+    def path(self, src: NetNode, dst: NetNode
+             ) -> tuple[list[SharedResource], float]:
+        """Resource path and one-way latency between two endpoints."""
+        if src is dst:
+            return [], 0.0
+        if src.host is dst.host:
+            return ([src.vnic, src.host.bridge, dst.vnic], C.BRIDGE_LATENCY_S)
+        path = [src.vnic]
+        if not src.privileged:
+            path.append(src.host.netback)
+        path.append(src.host.nic)
+        path.append(dst.host.nic)
+        if not dst.privileged:
+            path.append(dst.host.netback)
+        path.append(dst.vnic)
+        return path, C.LAN_LATENCY_S
+
+    def crosses_physical_nic(self, src: NetNode, dst: NetNode) -> bool:
+        """True when traffic between the endpoints leaves a physical host."""
+        return src is not dst and src.host is not dst.host
+
+    # -- transfers ------------------------------------------------------------
+    def transfer(self, src: NetNode, dst: NetNode, nbytes: float,
+                 name: str = "xfer", cap: Optional[float] = None) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``; returns a completion event.
+
+        The event's value is the elapsed transfer time in seconds.  Loopback
+        transfers cost nothing but still count toward the endpoints' byte
+        counters.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"cannot transfer {nbytes} bytes")
+        return self.sim.process(self._transfer_proc(src, dst, nbytes, name, cap),
+                                name=f"net:{name}")
+
+    def _transfer_proc(self, src: NetNode, dst: NetNode, nbytes: float,
+                       name: str, cap: Optional[float]):
+        started = self.sim.now
+        path, latency = self.path(src, dst)
+        self.tracer.emit(started, "net.transfer.start", name,
+                         src=src.name, dst=dst.name, bytes=nbytes,
+                         cross_domain=self.crosses_physical_nic(src, dst))
+        if latency > 0:
+            yield self.sim.timeout(latency)
+        if path and nbytes > 0:
+            flow = self.fss.open(path, size=float(nbytes), cap=cap, name=name)
+            yield flow.done
+        src.tx_bytes += nbytes
+        dst.rx_bytes += nbytes
+        elapsed = self.sim.now - started
+        self.tracer.emit(self.sim.now, "net.transfer.end", name,
+                         src=src.name, dst=dst.name, bytes=nbytes,
+                         elapsed=elapsed)
+        return elapsed
+
+    def open_stream(self, src: NetNode, dst: NetNode,
+                    name: str = "stream",
+                    cap: Optional[float] = None) -> Optional[FluidFlow]:
+        """Open an open-ended background flow (e.g. a migration stream's
+        contention placeholder); ``None`` for loopback.  Close with
+        :meth:`close_stream`."""
+        path, _latency = self.path(src, dst)
+        if not path:
+            return None
+        return self.fss.open(path, size=math.inf, cap=cap, name=name)
+
+    def close_stream(self, flow: Optional[FluidFlow]) -> float:
+        """Close a background flow; returns bytes moved (0 for loopback)."""
+        if flow is None:
+            return 0.0
+        return self.fss.close(flow)

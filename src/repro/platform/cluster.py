@@ -1,0 +1,105 @@
+"""HadoopVirtualCluster: one namenode VM plus N datanode/worker VMs.
+
+This is the object the paper calls a "hadoop virtual cluster": the VMs, the
+HDFS services bound to them (NameNode on the master, DataNode on each
+worker), the per-worker TaskTracker slot resources, and a DfsClient.  It is
+built by :class:`~repro.platform.vhadoop.VHadoopPlatform` from a
+:class:`~repro.platform.provisioning.Placement`.
+
+Hadoop convention of the paper's figures: an *n-node* cluster is 1 namenode
++ (n-1) datanodes; MapReduce tasks run on the datanode VMs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import HadoopConfig
+from repro.errors import ConfigError
+from repro.hdfs import DataNode, DfsClient, NameNode
+from repro.sim import Resource
+from repro.virt.datacenter import Datacenter
+from repro.virt.vm import VirtualMachine
+
+
+class TaskTracker:
+    """Map/reduce slot bookkeeping for one worker VM."""
+
+    def __init__(self, vm: VirtualMachine, config: HadoopConfig):
+        self.vm = vm
+        self.map_slots = Resource(vm.sim, config.map_tasks_maximum,
+                                  name=f"{vm.name}.map_slots")
+        self.reduce_slots = Resource(vm.sim, config.reduce_tasks_maximum,
+                                     name=f"{vm.name}.reduce_slots")
+
+    @property
+    def name(self) -> str:
+        return self.vm.name
+
+
+class HadoopVirtualCluster:
+    """A provisioned, running hadoop virtual cluster."""
+
+    def __init__(self, name: str, datacenter: Datacenter,
+                 master: VirtualMachine, workers: Sequence[VirtualMachine],
+                 config: Optional[HadoopConfig] = None):
+        if not workers:
+            raise ConfigError("a hadoop cluster needs at least one worker")
+        self.name = name
+        self.datacenter = datacenter
+        self.sim = datacenter.sim
+        self.tracer = datacenter.tracer
+        self.config = config or datacenter.config.hadoop
+        self.master = master
+        self.workers = list(workers)
+        self.namenode = NameNode(rng=datacenter.rng.stream(
+            f"hdfs/placement/{name}"))
+        self.datanodes: list[DataNode] = []
+        self.trackers: list[TaskTracker] = []
+        for vm in self.workers:
+            dn = DataNode(vm)
+            self.namenode.register_datanode(dn)
+            self.datanodes.append(dn)
+            self.trackers.append(TaskTracker(vm, self.config))
+        self.dfs = DfsClient(self.sim, datacenter.fabric, self.namenode,
+                             self.config, tracer=self.tracer)
+
+    # -- convenience -----------------------------------------------------
+    @property
+    def vms(self) -> list[VirtualMachine]:
+        return [self.master] + self.workers
+
+    @property
+    def n_nodes(self) -> int:
+        """Paper counting: namenode + datanodes."""
+        return 1 + len(self.workers)
+
+    def tracker_of(self, vm_name: str) -> Optional[TaskTracker]:
+        for tracker in self.trackers:
+            if tracker.name == vm_name:
+                return tracker
+        return None
+
+    def hosts_used(self) -> set[str]:
+        return {vm.host.name for vm in self.vms if vm.host is not None}
+
+    @property
+    def cross_domain(self) -> bool:
+        return len(self.hosts_used()) > 1
+
+    def reconfigure(self, config: HadoopConfig) -> None:
+        """Apply a new Hadoop configuration (the MapReduce Tuner's hook).
+
+        Slot resources are rebuilt; jobs submitted afterwards use the new
+        limits.  Must not be called while a job is running.
+        """
+        self.config = config
+        self.trackers = [TaskTracker(vm, config) for vm in self.workers]
+        self.dfs.config = config
+        self.tracer.emit(self.sim.now, "cluster.reconfigure", self.name,
+                         map_slots=config.map_tasks_maximum,
+                         reduce_slots=config.reduce_tasks_maximum)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<HadoopVirtualCluster {self.name} nodes={self.n_nodes} "
+                f"{'cross-domain' if self.cross_domain else 'normal'}>")

@@ -1,0 +1,57 @@
+"""Fault injection and recovery orchestration.
+
+The paper's conclusion (iii) relies on Hadoop's fault tolerance: "the
+hadoop fault tolerance mechanism will re-run the job or restore from other
+available backup data".  This module makes that testable:
+
+* :func:`fail_worker` crashes a worker VM and declares its DataNode and
+  TaskTracker dead to the cluster;
+* :func:`repair_cluster` runs an HDFS re-replication sweep restoring every
+  under-replicated block from the surviving copies.
+
+Task-level recovery (re-running map tasks whose outputs died with their
+VM) lives in the MapReduce runner itself, which consults the tracker's VM
+state before scheduling and recovers lost map outputs during the shuffle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import VMStateError
+from repro.hdfs.replication import (RepairReport, ReplicationRepairer,
+                                    mark_datanode_dead)
+from repro.virt.vm import VirtualMachine, VMState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.cluster import HadoopVirtualCluster
+
+
+def fail_worker(cluster: "HadoopVirtualCluster", vm: VirtualMachine) -> None:
+    """Crash a worker VM and detach its services from the cluster."""
+    if vm not in cluster.workers:
+        raise VMStateError(f"{vm.name} is not a worker of {cluster.name}")
+    vm.fail()
+    datanode = cluster.namenode.datanode_of(vm.name)
+    if datanode is not None:
+        mark_datanode_dead(cluster.namenode, datanode)
+        cluster.datanodes = [dn for dn in cluster.datanodes
+                             if dn is not datanode]
+    cluster.trackers = [t for t in cluster.trackers if t.vm is not vm]
+    cluster.tracer.emit(cluster.sim.now, "cluster.worker.failed",
+                        cluster.name, vm=vm.name)
+
+
+def alive_workers(cluster: "HadoopVirtualCluster") -> list[VirtualMachine]:
+    return [vm for vm in cluster.workers if vm.state is VMState.RUNNING]
+
+
+def repair_cluster(cluster: "HadoopVirtualCluster") -> RepairReport:
+    """Run one re-replication sweep to completion; returns its report."""
+    repairer = ReplicationRepairer(cluster.sim,
+                                   cluster.datacenter.fabric,
+                                   cluster.namenode,
+                                   tracer=cluster.tracer)
+    event = repairer.repair(cluster.config.dfs_replication)
+    cluster.sim.run_until(event)
+    return event.value

@@ -1,0 +1,76 @@
+"""Placement strategies for hadoop virtual clusters.
+
+The paper's static analysis compares two layouts of a 16-VM cluster:
+
+* **normal** — all 16 VMs on one physical machine (intra-host bridge
+  carries all Hadoop traffic);
+* **cross-domain** — VMs distributed equally across the two physical
+  machines (half of all HDFS/shuffle pairs cross the physical NICs).
+
+``balanced`` generalizes cross-domain to any host count (round-robin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PlacementError
+from repro.virt.machine import PhysicalMachine
+
+
+@dataclass(frozen=True)
+class Placement:
+    """VM index -> physical machine assignment for an n-VM cluster."""
+
+    label: str
+    assignment: tuple[int, ...]  # host index per VM index
+
+    @property
+    def n_vms(self) -> int:
+        return len(self.assignment)
+
+    def host_of(self, vm_index: int) -> int:
+        return self.assignment[vm_index]
+
+    def hosts_used(self) -> set[int]:
+        return set(self.assignment)
+
+
+def normal_placement(n_vms: int, host_index: int = 0) -> Placement:
+    """All VMs on a single host (the paper's 'normal' case)."""
+    if n_vms < 1:
+        raise PlacementError("need at least one VM")
+    return Placement("normal", tuple([host_index] * n_vms))
+
+
+def cross_domain_placement(n_vms: int, n_hosts: int = 2) -> Placement:
+    """VMs distributed equally across ``n_hosts`` physical machines in
+    contiguous groups (paper: 8 VMs per host for the 16-VM cluster)."""
+    if n_vms < 1:
+        raise PlacementError("need at least one VM")
+    if n_hosts < 2:
+        raise PlacementError("cross-domain needs at least two hosts")
+    per_host = -(-n_vms // n_hosts)  # ceil division
+    assignment = tuple(min(i // per_host, n_hosts - 1) for i in range(n_vms))
+    return Placement("cross-domain", assignment)
+
+
+def balanced_placement(n_vms: int, n_hosts: int) -> Placement:
+    """Round-robin across hosts (interleaved, unlike cross-domain's
+    contiguous split)."""
+    if n_vms < 1:
+        raise PlacementError("need at least one VM")
+    if n_hosts < 1:
+        raise PlacementError("need at least one host")
+    return Placement("balanced", tuple(i % n_hosts for i in range(n_vms)))
+
+
+def validate_placement(placement: Placement,
+                       machines: Sequence[PhysicalMachine]) -> None:
+    """Check every referenced host exists."""
+    for host_index in placement.hosts_used():
+        if host_index < 0 or host_index >= len(machines):
+            raise PlacementError(
+                f"placement {placement.label!r} references host "
+                f"{host_index} but only {len(machines)} exist")

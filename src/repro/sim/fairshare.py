@@ -1,0 +1,286 @@
+"""Max-min fair fluid-flow sharing of capacitated resources.
+
+This module is the single contention mechanism of the simulator.  A
+:class:`SharedResource` is anything with a capacity in *units per second*:
+a physical NIC (bytes/s), a software bridge, a disk, an NFS server, a
+physical CPU package (core-seconds/s == cores), or a VM's VCPU allocation.
+
+A :class:`FluidFlow` is a demand of a given *size* that traverses an ordered
+*path* of resources — e.g. a network transfer crosses ``(src VM NIC, src
+host NIC, dst host NIC, dst VM NIC)``, while a burst of CPU work crosses
+``(vm.vcpu, host.cpu)``.  At any instant every active flow receives a rate;
+the rates are the *max-min fair allocation* with optional per-flow caps,
+computed by progressive filling:
+
+1. all unfrozen flows share one common rate *level* that rises from 0;
+2. the level stops at the first constraint — a flow cap, or a resource whose
+   capacity is exhausted by its frozen load plus its unfrozen flows at the
+   level;
+3. the constrained flows freeze at that level; repeat with the rest.
+
+Whenever the flow set changes, all flows' progress is advanced to *now*,
+rates are recomputed, and the next completion is scheduled.  The result is
+an event-driven fluid simulation whose cost is independent of transfer sizes.
+
+Resources keep a time-integrated load so monitors can report utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.errors import ResourceError, SimulationError
+from repro.sim.kernel import Event, Simulator
+
+_EPS = 1e-12
+#: Smallest scheduling horizon (seconds); see FairShareSystem._advance.
+_MIN_DT = 1e-9
+
+
+class SharedResource:
+    """A capacity shared max-min fairly among the flows crossing it."""
+
+    __slots__ = ("name", "capacity", "_flows", "current_load",
+                 "_busy_integral", "_last_change")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity <= 0:
+            raise ResourceError(f"resource {name!r} needs capacity > 0, "
+                                f"got {capacity}")
+        self.name = name
+        self.capacity = float(capacity)
+        self._flows: set["FluidFlow"] = set()
+        self.current_load = 0.0
+        self._busy_integral = 0.0
+        self._last_change = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous load fraction in [0, 1]."""
+        return min(1.0, self.current_load / self.capacity)
+
+    @property
+    def n_flows(self) -> int:
+        return len(self._flows)
+
+    def _set_load(self, load: float, now: float) -> None:
+        self._busy_integral += self.current_load * (now - self._last_change)
+        self._last_change = now
+        self.current_load = load
+
+    def busy_time(self, now: float) -> float:
+        """Integral of the load fraction up to ``now`` (resource-seconds)."""
+        return (self._busy_integral
+                + self.current_load * (now - self._last_change)) / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SharedResource {self.name} cap={self.capacity:g} "
+                f"load={self.current_load:g}>")
+
+
+class FluidFlow:
+    """A demand of ``size`` units crossing a path of shared resources."""
+
+    __slots__ = ("name", "path", "size", "remaining", "rate", "cap",
+                 "done", "start_time", "end_time", "meta", "_moved")
+
+    def __init__(self, name: str, path: Sequence[SharedResource], size: float,
+                 cap: Optional[float], done: Event, start_time: float,
+                 meta: Any = None):
+        self.name = name
+        self.path = tuple(path)
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.cap = float(cap) if cap is not None else math.inf
+        self.done = done
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+        self.meta = meta
+        self._moved = 0.0
+
+    @property
+    def transferred(self) -> float:
+        """Units moved so far (works for open-ended flows too)."""
+        return self._moved
+
+    @property
+    def active(self) -> bool:
+        return self.end_time is None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<FluidFlow {self.name} remaining={self.remaining:g} "
+                f"rate={self.rate:g}>")
+
+
+class FairShareSystem:
+    """Manages all fluid flows of one simulation and their fair rates."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._flows: set[FluidFlow] = set()
+        self._last_update = 0.0
+        self._timer_version = 0
+        self.completed_count = 0
+
+    # -- public API ------------------------------------------------------
+    def open(self, path: Sequence[SharedResource], size: float,
+             cap: Optional[float] = None, name: str = "flow",
+             meta: Any = None) -> FluidFlow:
+        """Start a flow; ``flow.done`` triggers with the flow on completion.
+
+        ``size`` may be ``math.inf`` for an open-ended background load that
+        is ended with :meth:`close`.
+        """
+        if size < 0:
+            raise ResourceError(f"flow size must be >= 0, got {size}")
+        if not path:
+            raise ResourceError("flow path must contain at least one resource")
+        if cap is not None and cap <= 0:
+            raise ResourceError(f"flow cap must be > 0, got {cap}")
+        flow = FluidFlow(name, path, size, cap, self.sim.event(),
+                         self.sim.now, meta=meta)
+        self._advance()
+        if size <= _EPS and math.isfinite(size):
+            flow.remaining = 0.0
+            flow.end_time = self.sim.now
+            flow.done.succeed(flow)
+            self._rebalance()
+            return flow
+        self._flows.add(flow)
+        for res in flow.path:
+            res._flows.add(flow)
+        self._rebalance()
+        return flow
+
+    def close(self, flow: FluidFlow) -> float:
+        """End an open-ended (or any active) flow early.
+
+        Returns the amount transferred.  The flow's ``done`` event triggers
+        with the flow.
+        """
+        if flow not in self._flows:
+            raise ResourceError(f"flow {flow.name!r} is not active")
+        self._advance()
+        self._detach(flow)
+        flow.done.succeed(flow)
+        self._rebalance()
+        return flow.transferred
+
+    @property
+    def active_flows(self) -> frozenset[FluidFlow]:
+        return frozenset(self._flows)
+
+    def flows_through(self, resource: SharedResource) -> frozenset[FluidFlow]:
+        return frozenset(resource._flows)
+
+    # -- internals ---------------------------------------------------------
+    def _detach(self, flow: FluidFlow) -> None:
+        self._flows.discard(flow)
+        now = self.sim.now
+        for res in flow.path:
+            res._flows.discard(flow)
+            if not res._flows:
+                res._set_load(0.0, now)
+        flow.rate = 0.0
+        flow.end_time = now
+
+    def _advance(self) -> None:
+        """Progress every active flow from the last update time to now."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt < 0:  # pragma: no cover - defensive
+            raise SimulationError("fair-share clock went backwards")
+        if dt > 0:
+            finished: list[FluidFlow] = []
+            for flow in self._flows:
+                if flow.rate > 0:
+                    flow._moved += flow.rate * dt
+                    if math.isfinite(flow.remaining):
+                        flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+                        # A flow is done when the residue is negligible
+                        # relative to its size *or* would take less than a
+                        # nanosecond to drain — the latter absorbs float
+                        # subtraction residues that are above the size
+                        # epsilon but below the clock's resolution.
+                        if (flow.remaining <= _EPS * max(1.0, flow.size)
+                                or flow.remaining <= flow.rate * _MIN_DT):
+                            flow.remaining = 0.0
+                            flow._moved = flow.size
+                            finished.append(flow)
+            for flow in finished:
+                self._detach(flow)
+                self.completed_count += 1
+                flow.done.succeed(flow)
+        self._last_update = now
+
+    def _rebalance(self) -> None:
+        """Recompute max-min fair rates and schedule the next completion."""
+        now = self.sim.now
+        rates = _maxmin_rates(self._flows)
+        resources: set[SharedResource] = set()
+        for flow in self._flows:
+            flow.rate = rates[flow]
+            resources.update(flow.path)
+        for res in resources:
+            res._set_load(sum(f.rate for f in res._flows), now)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        self._timer_version += 1
+        version = self._timer_version
+        horizon = math.inf
+        for flow in self._flows:
+            if flow.rate > _EPS and math.isfinite(flow.remaining):
+                horizon = min(horizon, flow.remaining / flow.rate)
+        if not math.isfinite(horizon):
+            return
+        timer = self.sim.timeout(max(horizon, _MIN_DT))
+        timer.callbacks.append(lambda _ev: self._on_timer(version))
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._timer_version:
+            return  # superseded by a later rebalance
+        self._advance()
+        self._rebalance()
+
+
+def _maxmin_rates(flows: Iterable[FluidFlow]) -> dict[FluidFlow, float]:
+    """Progressive-filling max-min fair allocation with per-flow caps."""
+    unfrozen = set(flows)
+    rates: dict[FluidFlow, float] = {f: 0.0 for f in unfrozen}
+    if not unfrozen:
+        return rates
+    frozen_load: dict[SharedResource, float] = {}
+    for flow in unfrozen:
+        for res in flow.path:
+            frozen_load.setdefault(res, 0.0)
+    level = 0.0
+    while unfrozen:
+        # How high can the common level rise before a constraint binds?
+        sat_levels: dict[SharedResource, float] = {}
+        for res, loaded in frozen_load.items():
+            n = sum(1 for f in res._flows if f in unfrozen)
+            if n:
+                sat_levels[res] = (res.capacity - loaded) / n
+        res_level = min(sat_levels.values(), default=math.inf)
+        min_cap = min((f.cap for f in unfrozen), default=math.inf)
+        next_level = min(res_level, min_cap)
+        if not math.isfinite(next_level):  # pragma: no cover - defensive
+            raise ResourceError("unbounded fair-share level")
+        level = max(level, next_level)
+        newly_frozen: set[FluidFlow] = set()
+        if min_cap <= next_level + _EPS:
+            newly_frozen.update(f for f in unfrozen if f.cap <= level + _EPS)
+        for res, sat in sat_levels.items():
+            if sat <= next_level + _EPS:  # this resource saturates here
+                newly_frozen.update(f for f in res._flows if f in unfrozen)
+        if not newly_frozen:  # pragma: no cover - numerical safety net
+            newly_frozen = set(unfrozen)
+        for flow in newly_frozen:
+            rates[flow] = min(level, flow.cap)
+            unfrozen.discard(flow)
+            for res in flow.path:
+                frozen_load[res] += rates[flow]
+    return rates

@@ -1,0 +1,373 @@
+"""Generator-coroutine discrete-event simulation kernel.
+
+A :class:`Simulator` owns a virtual clock and a priority queue of pending
+events.  *Processes* are plain Python generators that ``yield`` events; when
+a yielded event triggers, the kernel resumes the generator with the event's
+value (or throws the event's exception into it).
+
+The kernel is deliberately small — just enough for the vHadoop models — but
+it enforces its invariants strictly: no scheduling in the past, no double
+trigger, deterministic FIFO ordering among simultaneous events.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def proc(sim):
+...     yield sim.timeout(2.0)
+...     return "done"
+>>> p = sim.process(proc(sim))
+>>> sim.run()
+>>> sim.now, p.value
+(2.0, 'done')
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Type of a simulation process body.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when given a value via
+    :meth:`succeed` (or an exception via :meth:`fail`), and is *processed*
+    once the kernel has run its callbacks.  Processes waiting on the event
+    are resumed with its value.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not yet be processed)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event failed."""
+        if not self._triggered:
+            raise SimulationError(f"{self!r} has no value yet")
+        if not self._ok:
+            raise self._value
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        self._pre_trigger()
+        self._value = value
+        self._ok = True
+        self.sim._enqueue(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters get ``exception`` thrown."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._pre_trigger()
+        self._value = exception
+        self._ok = False
+        self.sim._enqueue(self, delay)
+        return self
+
+    def _pre_trigger(self) -> None:
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._enqueue(self, delay)
+
+    def _pre_trigger(self) -> None:
+        raise SimulationError("a Timeout fires by itself; do not trigger it")
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running process; also an event that triggers when the body returns.
+
+    The process body is a generator yielding :class:`Event` instances.  The
+    generator's ``return`` value becomes the process event's value; an
+    uncaught exception fails the process event.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process body must be a generator, got "
+                                  f"{type(generator).__name__}")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume the process at the current time.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the body has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        hit = Event(self.sim)
+        hit.callbacks.append(
+            lambda _ev: self._step(Interrupt(cause), throw=True))
+        hit.succeed(None)
+
+    # -- internal ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok:
+            self._step(event._value, throw=False)
+        else:
+            self._step(event._value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}")
+            try:
+                self._generator.throw(err)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:
+                self.fail(exc)
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("yielded event belongs to another simulator"))
+            return
+        self._waiting_on = target
+        if target._processed:
+            # Already done: resume immediately at the current time.
+            hit = Event(self.sim)
+            hit.callbacks.append(lambda _ev: self._resume(target))
+            hit.succeed(None)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes simulators")
+        self._pending = 0
+        for ev in self.events:
+            if ev._processed:
+                self._on_child(ev)
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._on_child)
+        self._check_initial()
+
+    def _check_initial(self) -> None:
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _values(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev._triggered and ev._ok}
+
+
+class AnyOf(_Condition):
+    """Triggers when any child event triggers (or immediately if none pend)."""
+
+    __slots__ = ()
+
+    def _check_initial(self) -> None:
+        if not self.events and not self._triggered:
+            self.succeed({})
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._values())
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered."""
+
+    __slots__ = ()
+
+    def _check_initial(self) -> None:
+        if self._pending == 0 and not self._triggered:
+            self.succeed(self._values())
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending <= 0:
+            self.succeed(self._values())
+
+
+class Simulator:
+    """The event loop: virtual clock plus a time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start a process from a generator; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- queue ---------------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        time, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event queue went backwards")
+        self.now = time
+        callbacks, event.callbacks = event.callbacks, []
+        event._triggered = True  # Timeouts trigger when they fire.
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        # Unwaited failures must not pass silently.
+        if not event._ok and not callbacks:
+            raise event._value
+
+    def run_until(self, event: Event) -> None:
+        """Process events until ``event`` has been processed.
+
+        Unlike :meth:`run`, this terminates even when perpetual background
+        processes (monitors, heartbeats) keep the queue non-empty.
+        """
+        while not event._processed:
+            if not self._heap:
+                raise SimulationError(
+                    "event queue drained before the awaited event triggered")
+            self.step()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        When ``until`` is given, the clock is left exactly at ``until`` if
+        the simulation did not finish earlier.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            if until is not None and self.peek() > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None and until > self.now:
+            self.now = until

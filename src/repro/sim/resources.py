@@ -1,0 +1,94 @@
+"""Discrete resources on top of the simulation kernel.
+
+:class:`Resource` is a counting semaphore with FIFO waiters — used for
+Hadoop task *slots* (map/reduce slots per TaskTracker).  :class:`Store` is a
+FIFO queue of items with blocking ``get`` — used for message/heartbeat
+queues.  Both are event-based: ``acquire``/``get`` return events a process
+yields on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import ResourceError
+from repro.sim.kernel import Event, Simulator
+
+
+class Resource:
+    """Counting semaphore with FIFO granting order."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that triggers when one unit is granted."""
+        event = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit; grants the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise ResourceError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the unit straight to the next waiter; in_use unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self.in_use -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Resource {self.name} {self.in_use}/{self.capacity} "
+                f"queued={len(self._waiters)}>")
+
+
+class Store:
+    """Unbounded FIFO store of items with blocking ``get``."""
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add an item; wakes the oldest blocked getter immediately."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next item."""
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; ``None`` when empty."""
+        return self._items.popleft() if self._items else None

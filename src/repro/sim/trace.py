@@ -1,0 +1,67 @@
+"""Structured tracing of simulation events.
+
+Models emit :class:`TraceEvent` records ("vm.boot", "task.map.start",
+"migration.round", ...) through a shared :class:`Tracer`.  The monitor,
+experiment harnesses, and tests read these back; they are also the primary
+debugging surface of the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence with free-form attributes."""
+
+    time: float
+    kind: str
+    source: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.attrs[key]
+
+
+class Tracer:
+    """Append-only trace log with kind-based filtering and subscriptions."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+        self._subscribers: list[tuple[Optional[str], Callable[[TraceEvent], None]]] = []
+
+    def emit(self, time: float, kind: str, source: str, **attrs: Any) -> None:
+        """Record an event (no-op when tracing is disabled)."""
+        if not self.enabled and not self._subscribers:
+            return
+        event = TraceEvent(time=time, kind=kind, source=source, attrs=attrs)
+        if self.enabled:
+            self.events.append(event)
+        for prefix, callback in self._subscribers:
+            if prefix is None or event.kind.startswith(prefix):
+                callback(event)
+
+    def subscribe(self, callback: Callable[[TraceEvent], None],
+                  prefix: Optional[str] = None) -> None:
+        """Call ``callback`` for every future event whose kind starts with
+        ``prefix`` (or for all events when ``prefix`` is None)."""
+        self._subscribers.append((prefix, callback))
+
+    def select(self, prefix: str) -> Iterator[TraceEvent]:
+        """Iterate recorded events whose kind starts with ``prefix``."""
+        return (e for e in self.events if e.kind.startswith(prefix))
+
+    def count(self, prefix: str) -> int:
+        return sum(1 for _ in self.select(prefix))
+
+    def last(self, prefix: str) -> Optional[TraceEvent]:
+        found = None
+        for event in self.select(prefix):
+            found = event
+        return found
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,169 @@
+"""Tuning rules.
+
+Each rule inspects a :class:`~repro.monitor.analyser.BottleneckReport` (and
+the cluster) and may emit a :class:`Recommendation` — either a Hadoop
+parameter change or a live-migration plan.  Rules are deliberately simple
+threshold rules: the paper's Tuner is a closed-loop knob-turner, not an
+optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.monitor.analyser import BottleneckReport, NmonAnalyser
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.cluster import HadoopVirtualCluster
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One proposed adjustment."""
+
+    rule: str
+    kind: str                 # "reconfigure" | "migrate" | "none"
+    reason: str
+    #: for kind == "reconfigure": HadoopConfig.replace(**config_changes)
+    config_changes: dict = field(default_factory=dict)
+    #: for kind == "migrate": [(vm_name, destination_host_index)]
+    migrations: tuple = ()
+
+
+class TuningRule:
+    """Base class: inspect and maybe recommend."""
+
+    name = "abstract"
+
+    def evaluate(self, cluster: "HadoopVirtualCluster",
+                 analyser: NmonAnalyser, report: BottleneckReport
+                 ) -> Optional[Recommendation]:
+        raise NotImplementedError
+
+
+class ReduceSlotsWhenSaturatedRule(TuningRule):
+    """VCPUs pegged -> fewer concurrent tasks per tracker."""
+
+    name = "reduce-slots-when-cpu-saturated"
+
+    def __init__(self, cpu_threshold: float = 0.9):
+        self.cpu_threshold = cpu_threshold
+
+    def evaluate(self, cluster, analyser, report):
+        summaries = report.node_summaries
+        if not summaries:
+            return None
+        mean_cpu = sum(s.cpu_mean for s in summaries) / len(summaries)
+        slots = cluster.config.map_tasks_maximum
+        if mean_cpu > self.cpu_threshold and slots > 1:
+            return Recommendation(
+                rule=self.name, kind="reconfigure",
+                reason=f"mean VCPU utilization {mean_cpu:.2f} > "
+                       f"{self.cpu_threshold}: lowering map slots",
+                config_changes={"map_tasks_maximum": slots - 1})
+        return None
+
+
+class IncreaseSlotsWhenCpuIdleRule(TuningRule):
+    """CPUs idle while tasks queue -> more concurrent tasks per tracker."""
+
+    name = "increase-slots-when-cpu-idle"
+
+    def __init__(self, cpu_threshold: float = 0.35, max_slots: int = 4):
+        self.cpu_threshold = cpu_threshold
+        self.max_slots = max_slots
+
+    def evaluate(self, cluster, analyser, report):
+        summaries = report.node_summaries
+        if not summaries:
+            return None
+        mean_cpu = sum(s.cpu_mean for s in summaries) / len(summaries)
+        slots = cluster.config.map_tasks_maximum
+        if mean_cpu < self.cpu_threshold and slots < self.max_slots:
+            return Recommendation(
+                rule=self.name, kind="reconfigure",
+                reason=f"mean VCPU utilization {mean_cpu:.2f} < "
+                       f"{self.cpu_threshold}: raising map slots",
+                config_changes={"map_tasks_maximum": slots + 1})
+        return None
+
+
+class ConsolidateCrossDomainRule(TuningRule):
+    """Cross-domain cluster bottlenecked on NIC/netback -> migrate the
+    minority half onto the majority host (undo the cross-domain split)."""
+
+    name = "consolidate-cross-domain"
+
+    def __init__(self, net_busy_threshold: float = 0.5):
+        self.net_busy_threshold = net_busy_threshold
+
+    def evaluate(self, cluster, analyser, report):
+        if not cluster.cross_domain:
+            return None
+        busy_net = any(
+            frac > self.net_busy_threshold
+            for name, frac in report.busy_fractions.items()
+            if ".nic" in name or ".netback" in name)
+        if not busy_net:
+            return None
+        machines = cluster.datacenter.machines
+        by_host: dict[str, list] = {}
+        for vm in cluster.vms:
+            by_host.setdefault(vm.host.name, []).append(vm)
+        majority = max(by_host, key=lambda h: len(by_host[h]))
+        target_index = next(i for i, m in enumerate(machines)
+                            if m.name == majority)
+        target = machines[target_index]
+        movers = [vm for host, vms in by_host.items() if host != majority
+                  for vm in vms]
+        movable = []
+        free = target.dram_free
+        for vm in movers:
+            if vm.config.memory <= free:
+                movable.append((vm.name, target_index))
+                free -= vm.config.memory
+        if not movable:
+            return None
+        return Recommendation(
+            rule=self.name, kind="migrate",
+            reason=f"cross-domain cluster with hot NIC/netback: "
+                   f"consolidating {len(movable)} VM(s) onto {majority}",
+            migrations=tuple(movable))
+
+
+class RebalanceByMigrationRule(TuningRule):
+    """High per-node CPU imbalance -> migrate the hottest VM to the host
+    with the most free DRAM (a different host)."""
+
+    name = "rebalance-by-migration"
+
+    def __init__(self, imbalance_threshold: float = 0.6):
+        self.imbalance_threshold = imbalance_threshold
+
+    def evaluate(self, cluster, analyser, report):
+        imbalance = analyser.imbalance()
+        if imbalance < self.imbalance_threshold:
+            return None
+        summaries = sorted(report.node_summaries, key=lambda s: -s.cpu_mean)
+        hottest = summaries[0]
+        vm = next(v for v in cluster.vms if v.name == hottest.vm)
+        machines = cluster.datacenter.machines
+        candidates = [(i, m) for i, m in enumerate(machines)
+                      if m is not vm.host and m.dram_free >= vm.config.memory]
+        if not candidates:
+            return None
+        index, _machine = max(candidates, key=lambda im: im[1].dram_free)
+        return Recommendation(
+            rule=self.name, kind="migrate",
+            reason=f"CPU imbalance {imbalance:.2f} >= "
+                   f"{self.imbalance_threshold}: migrating {vm.name}",
+            migrations=((vm.name, index),))
+
+
+DEFAULT_RULES: tuple[TuningRule, ...] = (
+    ReduceSlotsWhenSaturatedRule(),
+    IncreaseSlotsWhenCpuIdleRule(),
+    ConsolidateCrossDomainRule(),
+    RebalanceByMigrationRule(),
+)

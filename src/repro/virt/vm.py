@@ -1,0 +1,211 @@
+"""Virtual machines.
+
+A :class:`VirtualMachine` is the unit of computation of the platform.  It
+exposes three things to the layers above:
+
+* **compute(work)** — charge ``work`` core-seconds against the VM's VCPU
+  allocation; contention with co-resident VCPUs (the Xen credit scheduler)
+  is modelled by routing the demand through ``[vm.vcpu, host.cpu]`` with a
+  one-core cap per task;
+* **disk_io(nbytes)** — charge bytes against the host's shared disk;
+* **node** — the VM's network endpoint used by HDFS/MapReduce transfers.
+
+The VM also tracks an *activity level* (number of in-flight tasks), which
+drives the dirty-page rate during live migration, and a lifecycle state
+machine ``DEFINED → BOOTING → RUNNING ⇄ MIGRATING → STOPPED``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro import constants as C
+from repro.config import VMConfig
+from repro.errors import VMStateError
+from repro.net import NetNode, NetworkFabric
+from repro.sim import FairShareSystem, SharedResource, Simulator, Tracer
+from repro.sim.kernel import Event
+from repro.virt.memory import DirtyMemoryModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virt.machine import PhysicalMachine
+
+
+class VMState(enum.Enum):
+    DEFINED = "defined"
+    BOOTING = "booting"
+    RUNNING = "running"
+    MIGRATING = "migrating"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+class VirtualMachine:
+    """One guest (paper default: 1 VCPU, 1024 MB, Ubuntu 8.10)."""
+
+    def __init__(self, name: str, config: VMConfig, sim: Simulator,
+                 fss: FairShareSystem, fabric: NetworkFabric,
+                 memory_model: Optional[DirtyMemoryModel] = None,
+                 tracer: Optional[Tracer] = None):
+        self.name = name
+        self.config = config
+        self.sim = sim
+        self.fss = fss
+        self.fabric = fabric
+        self.tracer = tracer or Tracer(enabled=False)
+        self.state = VMState.DEFINED
+        self.host: Optional["PhysicalMachine"] = None
+        self.vcpu = SharedResource(f"{name}.vcpu", float(config.vcpus))
+        self.node: Optional[NetNode] = None
+        #: NFS share carrying this VM's virtual-disk I/O (None = local disk).
+        self.nfs_backend: Optional[SharedResource] = None
+        self.memory_model = memory_model or DirtyMemoryModel(config.memory)
+        #: Number of in-flight tasks; drives the dirty-page rate.
+        self._activity = 0
+        self._activity_integral = 0.0
+        self._activity_stamp = 0.0
+        #: Cumulative core-seconds of work retired (for the monitor).
+        self.cpu_seconds = 0.0
+        #: Cumulative bytes of disk I/O (for the monitor).
+        self.disk_bytes = 0.0
+
+    # -- activity accounting ---------------------------------------------
+    @property
+    def activity(self) -> int:
+        """Number of in-flight tasks (instantaneous)."""
+        return self._activity
+
+    @activity.setter
+    def activity(self, value: int) -> None:
+        now = self.sim.now
+        self._activity_integral += self._activity * (now - self._activity_stamp)
+        self._activity_stamp = now
+        self._activity = value
+
+    def activity_integral(self) -> float:
+        """Integral of the activity level up to now (task-seconds).
+
+        Live migration samples this at round boundaries: the pages dirtied
+        during a pre-copy round depend on how busy the guest was throughout
+        the round, not on the instant the round ended —
+        ``mean = (integral(t1) - integral(t0)) / (t1 - t0)``.
+        """
+        now = self.sim.now
+        return (self._activity_integral
+                + self._activity * (now - self._activity_stamp))
+
+    # -- lifecycle -----------------------------------------------------------
+    def _require(self, *states: VMState) -> None:
+        if self.state not in states:
+            raise VMStateError(
+                f"{self.name}: operation requires state in "
+                f"{[s.value for s in states]}, but VM is {self.state.value}")
+
+    def attach_to(self, host: "PhysicalMachine") -> None:
+        """Place the VM on a host (does not boot it)."""
+        self._require(VMState.DEFINED)
+        host.admit(self)
+        self.host = host
+        self.node = self.fabric.attach(self.name, host.net)
+
+    def mark_running(self) -> None:
+        self._require(VMState.DEFINED, VMState.BOOTING, VMState.MIGRATING)
+        self.state = VMState.RUNNING
+
+    def stop(self) -> None:
+        self._require(VMState.RUNNING, VMState.BOOTING)
+        self.state = VMState.STOPPED
+        if self.host is not None:
+            self.host.evict(self)
+
+    def fail(self) -> None:
+        """Crash the VM (fault injection).
+
+        The guest is gone: its DRAM is released and any service it hosted
+        (DataNode, TaskTracker) must be declared dead by the layers above —
+        see :func:`repro.platform.faults.fail_worker`.
+        """
+        self._require(VMState.RUNNING, VMState.BOOTING, VMState.MIGRATING)
+        self.state = VMState.FAILED
+        if self.host is not None:
+            self.host.evict(self)
+        self.tracer.emit(self.sim.now, "vm.failed", self.name)
+
+    def rehome(self, new_host: "PhysicalMachine") -> None:
+        """Move residency to ``new_host`` (called by the migration engine at
+        the end of stop-and-copy)."""
+        self._require(VMState.MIGRATING)
+        assert self.host is not None and self.node is not None
+        self.host.evict(self)
+        new_host.admit(self)
+        self.host = new_host
+        self.fabric.move(self.node, new_host.net)
+
+    # -- work ------------------------------------------------------------------
+    def compute(self, work: float, name: str = "work") -> Event:
+        """Charge ``work`` core-seconds; returns the completion event.
+
+        Each call models one task/thread: it can use at most one core, the
+        VM's VCPUs cap the VM total, and the host's cores are fair-shared
+        among every resident VCPU.
+        """
+        self._require(VMState.RUNNING, VMState.MIGRATING)
+        assert self.host is not None
+        return self.sim.process(self._compute_proc(work, name),
+                                name=f"{self.name}:{name}")
+
+    def _compute_proc(self, work: float, name: str):
+        assert self.host is not None
+        self.activity += 1
+        try:
+            if work > 0:
+                flow = self.fss.open([self.vcpu, self.host.cpu], size=work,
+                                     cap=1.0, name=f"{self.name}:{name}")
+                yield flow.done
+            self.cpu_seconds += work
+        finally:
+            self.activity -= 1
+        return work
+
+    def disk_io(self, nbytes: float, name: str = "io") -> Event:
+        """Charge ``nbytes`` of virtual-disk I/O.
+
+        The paper's VM images all live on one NFS server, so a guest's disk
+        I/O really is network traffic: it crosses the host's physical NIC
+        and fair-shares the NFS server with every other VM of the platform.
+        When the VM has an ``nfs_backend`` (the normal case — the
+        :class:`~repro.virt.datacenter.Datacenter` wires it), the charged
+        path is ``[host.nic, nfs]``; otherwise the host's local disk is
+        used (standalone tests).
+        """
+        self._require(VMState.RUNNING, VMState.MIGRATING)
+        assert self.host is not None
+        return self.sim.process(self._disk_proc(nbytes, name),
+                                name=f"{self.name}:{name}")
+
+    def _disk_proc(self, nbytes: float, name: str):
+        assert self.host is not None
+        if nbytes > 0:
+            if self.nfs_backend is not None:
+                # Guest page cache / write-back absorbs most of the I/O at
+                # memory speed; only the miss fraction reaches the NFS
+                # server, crossing the host's physical NIC.
+                cached = nbytes * C.DISK_CACHE_HIT_RATIO
+                missed = nbytes - cached
+                yield self.sim.timeout(cached / C.PAGE_CACHE_BPS)
+                if missed > 0:
+                    flow = self.fss.open([self.host.net.nic, self.nfs_backend],
+                                         size=float(missed),
+                                         name=f"{self.name}:{name}")
+                    yield flow.done
+            else:
+                flow = self.fss.open([self.host.disk], size=float(nbytes),
+                                     name=f"{self.name}:{name}")
+                yield flow.done
+        self.disk_bytes += nbytes
+        return nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        where = self.host.name if self.host else "nowhere"
+        return f"<VM {self.name} {self.state.value} on {where}>"

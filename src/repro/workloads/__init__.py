@@ -1,0 +1,22 @@
+"""The four MapReduce benchmarks of the paper's Table I.
+
+==========  =========  =========================================================
+Wordcount   MapReduce  reads text files and counts how often words occur
+MRBench     MapReduce  checks whether small jobs are responsive/efficient
+TeraSort    MR + HDFS  sorts data as fast as possible (TeraGen/Sort/Validate)
+TestDFSIO   HDFS       read and write throughput test for HDFS
+==========  =========  =========================================================
+"""
+
+from repro.workloads.wordcount import (WordCountMapper, WordCountReducer,
+                                       wordcount_job)
+from repro.workloads.mrbench import mrbench_job, run_mrbench
+from repro.workloads.terasort import (TeraSortResult, make_terasort_jobs,
+                                      run_terasort, teravalidate)
+from repro.workloads.dfsio import DfsioResult, run_dfsio
+
+__all__ = [
+    "DfsioResult", "TeraSortResult", "WordCountMapper", "WordCountReducer",
+    "make_terasort_jobs", "mrbench_job", "run_dfsio", "run_mrbench",
+    "run_terasort", "teravalidate", "wordcount_job",
+]

@@ -1,0 +1,85 @@
+"""TestDFSIO: HDFS read/write throughput.
+
+The real TestDFSIO runs one map task per file; each map writes (or reads)
+its file through HDFS and the job reports the aggregate throughput
+(``total bytes / sum of task I/O times``).  We drive the DfsClient from the
+worker VMs concurrently, exactly what the map tasks would do.
+
+Fig. 4(b) of the paper shows read throughput above write throughput (the
+write path pays the replication pipeline) and cross-domain below normal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.cluster import HadoopVirtualCluster
+
+_FILLER_RECORD = 64 * 1024  # write files as 64 KiB records
+
+
+@dataclass
+class DfsioResult:
+    """Fig. 4(b) datapoint pair."""
+
+    n_files: int
+    file_bytes: int
+    write_seconds: float
+    read_seconds: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_files * self.file_bytes
+
+    @property
+    def write_throughput_bps(self) -> float:
+        return self.total_bytes / self.write_seconds
+
+    @property
+    def read_throughput_bps(self) -> float:
+        return self.total_bytes / self.read_seconds
+
+
+def _filler_records(file_bytes: int) -> list[tuple[int, int]]:
+    n = max(1, file_bytes // _FILLER_RECORD)
+    return [(i, _FILLER_RECORD) for i in range(n)]
+
+
+def _filler_sizeof(_record) -> int:
+    return _FILLER_RECORD
+
+
+def run_dfsio(cluster: "HadoopVirtualCluster", n_files: int,
+              file_bytes: int, tag: str = "") -> DfsioResult:
+    """Concurrent write pass then concurrent read pass over fresh files."""
+    sim = cluster.sim
+    writers = cluster.workers
+    records = _filler_records(file_bytes)
+
+    # Write phase: file i written from worker i (round-robin).
+    t0 = sim.now
+    events = []
+    for i in range(n_files):
+        vm = writers[i % len(writers)]
+        events.append(cluster.dfs.write_file(
+            vm, f"/dfsio/{tag}/file-{i}", records, sizeof=_filler_sizeof))
+    sim.run_until(sim.all_of(events))
+    write_seconds = sim.now - t0
+
+    # Read phase: file i read from a worker half the ring away, so reads
+    # traverse the datanode path (and, on a cross-domain cluster, the
+    # physical NICs) rather than being trivially node-local.
+    t0 = sim.now
+    events = []
+    offset = max(1, len(writers) // 2)
+    for i in range(n_files):
+        vm = writers[(i + offset) % len(writers)]
+        events.append(cluster.dfs.read_file(vm, f"/dfsio/{tag}/file-{i}",
+                                            prefer_local=False))
+    sim.run_until(sim.all_of(events))
+    read_seconds = sim.now - t0
+
+    return DfsioResult(n_files=n_files, file_bytes=file_bytes,
+                       write_seconds=write_seconds, read_seconds=read_seconds)

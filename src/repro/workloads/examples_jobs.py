@@ -1,0 +1,137 @@
+"""Two more classic Hadoop example jobs: Grep and the Monte-Carlo Pi
+estimator.
+
+These ship with every Hadoop distribution of the paper's era and round out
+the workload library beyond Table I — Grep is a two-job pipeline (count
+matches, then sort by frequency), Pi is the canonical CPU-bound map-only
+job with a trivial reduce.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.mapreduce.api import Context, Mapper, Reducer
+from repro.mapreduce.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.runner import MapReduceRunner
+    from repro.platform.cluster import HadoopVirtualCluster
+
+
+# --- Grep --------------------------------------------------------------------
+
+class GrepMapper(Mapper):
+    """Emit (match, 1) for every regex group occurrence in the line."""
+
+    def __init__(self, pattern: str):
+        self.regex = re.compile(pattern)
+
+    def map(self, key, value, context: Context) -> None:
+        for match in self.regex.findall(str(value)):
+            context.emit(match, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, context: Context) -> None:
+        context.emit(key, sum(values))
+
+
+class InvertMapper(Mapper):
+    """(match, count) -> (-count, match): descending-frequency sort key."""
+
+    def map(self, key, value, context: Context) -> None:
+        context.emit(-int(value), key)
+
+
+class IdentityReducer(Reducer):
+    def reduce(self, key, values, context: Context) -> None:
+        for value in values:
+            context.emit(key, value)
+
+
+def grep_jobs(input_path: str, output_path: str, pattern: str,
+              n_reduces: int = 1) -> tuple[Job, Job]:
+    """(count job, sort job) — run the first, then the second over its
+    output, exactly like ``hadoop jar hadoop-examples.jar grep``."""
+    count = Job(
+        name="grep-count",
+        input_paths=[input_path],
+        output_path=f"{output_path}-tmp",
+        mapper=lambda: GrepMapper(pattern),
+        combiner=SumReducer,
+        reducer=SumReducer,
+        n_reduces=n_reduces,
+        map_cpu_per_byte=1.2e-7,  # regex scanning is pricier than split()
+    )
+    sort = Job(
+        name="grep-sort",
+        input_paths=[f"{output_path}-tmp"],
+        output_path=output_path,
+        mapper=InvertMapper,
+        reducer=IdentityReducer,
+        n_reduces=1,
+    )
+    return count, sort
+
+
+def run_grep(runner: "MapReduceRunner", cluster: "HadoopVirtualCluster",
+             input_path: str, output_path: str, pattern: str,
+             n_reduces: int = 1) -> list[tuple[int, str]]:
+    """Run the two-job pipeline; returns [(-count, match)] sorted."""
+    count, sort = grep_jobs(input_path, output_path, pattern, n_reduces)
+    runner.run_to_completion(count)
+    report = runner.run_to_completion(sort)
+    return runner.read_output(report)
+
+
+# --- Pi -----------------------------------------------------------------------
+
+class PiMapper(Mapper):
+    """Each record is (sample_index, n_points): throw darts, count hits.
+
+    A deterministic per-task RNG (seeded by the record key) keeps the job
+    reproducible across runners — Hadoop's PiEstimator uses Halton
+    sequences for the same reason.
+    """
+
+    def map(self, key, value, context: Context) -> None:
+        n_points = int(value)
+        rng = np.random.default_rng(int(key) + 12345)
+        xy = rng.random((n_points, 2)) * 2.0 - 1.0
+        inside = int(((xy ** 2).sum(axis=1) <= 1.0).sum())
+        context.emit("hits", inside)
+        context.emit("total", n_points)
+
+
+class PiReducer(Reducer):
+    def reduce(self, key, values, context: Context) -> None:
+        context.emit(key, sum(values))
+
+
+def pi_job(input_path: str, output_path: str, n_maps: int) -> Job:
+    return Job(
+        name="pi-estimator",
+        input_paths=[input_path],
+        output_path=output_path,
+        mapper=PiMapper,
+        combiner=PiReducer,
+        reducer=PiReducer,
+        n_reduces=1,
+        force_num_maps=n_maps,
+        map_cpu_per_record=0.0,
+        map_cpu_per_byte=0.0,
+        params={"kind": "cpu-bound"},
+    )
+
+
+def pi_input(n_maps: int, points_per_map: int) -> list[tuple[int, int]]:
+    return [(i, points_per_map) for i in range(n_maps)]
+
+
+def estimate_pi(output: Sequence[tuple]) -> float:
+    counts = dict(output)
+    return 4.0 * counts["hits"] / counts["total"]

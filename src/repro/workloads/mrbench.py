@@ -1,0 +1,77 @@
+"""MRBench (Kim et al., ICPADS'08): small-job responsiveness.
+
+MRBench runs a tiny MapReduce job — by default over one small text input —
+whose purpose is to measure the *framework overhead*: task assignment
+latency, JVM startup, shuffle connection costs.  Hadoop's ``mrbench`` takes
+``-maps`` and ``-reduces`` flags; the paper scales maps 1..6 with reduce=1
+(Fig. 3a) and reduces 1..6 with map=15 (Fig. 3b).
+
+The job body is the identity map + identity reduce over generated
+key/value lines, as in the original benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mapreduce.api import Context, Mapper, Reducer
+from repro.mapreduce.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.runner import JobReport, MapReduceRunner
+    from repro.platform.cluster import HadoopVirtualCluster
+
+#: Default MRBench input: 100 generated lines ("1\n2\n...\n100").
+DEFAULT_INPUT_LINES = 100
+
+
+class MRBenchMapper(Mapper):
+    """Identity over the generated lines."""
+
+    def map(self, key, value, context: Context) -> None:
+        context.emit(str(value), "1")
+
+
+class MRBenchReducer(Reducer):
+    def reduce(self, key, values, context: Context) -> None:
+        for value in values:
+            context.emit(key, value)
+
+
+def mrbench_input(n_lines: int = DEFAULT_INPUT_LINES) -> list[tuple[int, str]]:
+    return [(i, str(i + 1)) for i in range(n_lines)]
+
+
+def mrbench_sizeof(record) -> int:
+    _key, line = record
+    return len(str(line)) + 1
+
+
+def mrbench_job(input_path: str, output_path: str, n_maps: int,
+                n_reduces: int) -> Job:
+    return Job(
+        name=f"mrbench-m{n_maps}-r{n_reduces}",
+        input_paths=[input_path],
+        output_path=output_path,
+        mapper=MRBenchMapper,
+        reducer=MRBenchReducer,
+        n_reduces=n_reduces,
+        force_num_maps=n_maps,
+        intermediate_sizeof=mrbench_sizeof,
+        output_sizeof=mrbench_sizeof,
+    )
+
+
+def run_mrbench(runner: "MapReduceRunner", cluster: "HadoopVirtualCluster",
+                n_maps: int, n_reduces: int, run_index: int = 0
+                ) -> "JobReport":
+    """Stage the tiny input (if absent) and run one MRBench iteration."""
+    input_path = "/mrbench/input"
+    if not cluster.namenode.exists(input_path):
+        event = cluster.dfs.write_file(cluster.master, input_path,
+                                       mrbench_input(), sizeof=mrbench_sizeof)
+        cluster.sim.run_until(event)
+    job = mrbench_job(input_path,
+                      f"/mrbench/output-{n_maps}-{n_reduces}-{run_index}",
+                      n_maps, n_reduces)
+    return runner.run_to_completion(job)

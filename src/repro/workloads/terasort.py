@@ -1,0 +1,174 @@
+"""TeraSort: TeraGen + TeraSort + TeraValidate.
+
+The full benchmark, as the paper describes:
+
+1. **TeraGen** — a map-only job that writes N 100-byte records to HDFS;
+2. **TeraSort** — identity map + identity reduce with a *range partitioner*
+   sampled from the input, so that partition *i* holds keys entirely below
+   partition *i+1* — the global sort;
+3. **TeraValidate** — checks each part is internally sorted and part
+   boundaries are ordered.
+
+Fig. 4(a) reports generation time and sort time separately as data volume
+scales, which :func:`run_terasort` returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.datasets.tera import TeraRecord, tera_sizeof, teragen
+from repro.mapreduce.api import Context, Mapper, RangePartitioner, Reducer
+from repro.mapreduce.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.runner import JobReport, MapReduceRunner
+    from repro.platform.cluster import HadoopVirtualCluster
+
+
+class TeraGenMapper(Mapper):
+    """(row, TeraRecord) -> (record.key, record) — materializes the rows."""
+
+    def map(self, key, value, context: Context) -> None:
+        context.emit(value.key, value)
+
+
+class TeraSortMapper(Mapper):
+    """Identity: (key, record)."""
+
+    def map(self, key, value, context: Context) -> None:
+        context.emit(key, value)
+
+
+class TeraSortReducer(Reducer):
+    """Identity; the engine's sort-merge delivers keys in order."""
+
+    def reduce(self, key, values, context: Context) -> None:
+        for value in values:
+            context.emit(key, value)
+
+
+def _record_sizeof(pair) -> int:
+    return tera_sizeof(pair)
+
+
+def sample_boundaries(records: Sequence[tuple], n_partitions: int
+                      ) -> list[bytes]:
+    """TeraSort's input sampler: quantile key boundaries."""
+    keys = sorted(key for key, _v in records)
+    if not keys or n_partitions <= 1:
+        return []
+    return [keys[(i * len(keys)) // n_partitions]
+            for i in range(1, n_partitions)]
+
+
+def make_terasort_jobs(input_path: str, sorted_path: str,
+                       records: Sequence[tuple], n_reduces: int,
+                       volume_scale: int = 1) -> Job:
+    """The TeraSort job with boundaries sampled from ``records``.
+
+    ``volume_scale``: every materialized record stands for ``scale`` real
+    100-byte records (the experiments simulate paper-scale volumes over a
+    1/scale sample; see fig2's VOLUME_SCALE for the same technique).
+    """
+    return Job(
+        name="terasort",
+        input_paths=[input_path],
+        output_path=sorted_path,
+        mapper=TeraSortMapper,
+        reducer=TeraSortReducer,
+        partitioner=RangePartitioner(sample_boundaries(records, n_reduces)),
+        n_reduces=n_reduces,
+        intermediate_sizeof=lambda pair: _record_sizeof(pair) * volume_scale,
+        output_sizeof=lambda pair: _record_sizeof(pair) * volume_scale,
+        # Sorting is I/O-bound: little user CPU per byte.
+        map_cpu_per_byte=2.5e-8,
+        reduce_cpu_per_byte=2.5e-8,
+    )
+
+
+@dataclass
+class TeraSortResult:
+    """Fig. 4(a) datapoint."""
+
+    nbytes: int
+    generation_time_s: float
+    sort_time_s: float
+    validated: bool
+    gen_report: "JobReport"
+    sort_report: "JobReport"
+
+
+def teravalidate(parts: Sequence[Sequence[tuple]]) -> bool:
+    """True iff every part is sorted and parts are globally ordered."""
+    previous_last = None
+    for part in parts:
+        keys = [key for key, _v in part]
+        if keys != sorted(keys):
+            return False
+        if keys:
+            if previous_last is not None and keys[0] < previous_last:
+                return False
+            previous_last = keys[-1]
+    return True
+
+
+def run_terasort(runner: "MapReduceRunner", cluster: "HadoopVirtualCluster",
+                 nbytes: int, n_reduces: int = 4, seed_tag: str = "",
+                 volume_scale: int = 256) -> TeraSortResult:
+    """Full TeraGen -> TeraSort -> TeraValidate pass over ``nbytes``.
+
+    A 1/``volume_scale`` sample of records is materialized; every byte
+    charge is scaled back to the full volume.
+    """
+    from repro.datasets.tera import records_for_bytes
+
+    rng = cluster.datacenter.rng.stream(f"tera/{seed_tag}/{nbytes}")
+    n_records = records_for_bytes(max(1, nbytes // max(1, volume_scale)))
+    raw = teragen(n_records, rng=rng)
+    gen_input = f"/tera/{seed_tag}/{nbytes}/seed"
+    gen_output = f"/tera/{seed_tag}/{nbytes}/input"
+    sorted_path = f"/tera/{seed_tag}/{nbytes}/sorted"
+
+    # TeraGen: map-only job that writes the records to HDFS.  Its "input" is
+    # the row-id seed file (tiny); the write volume is the real cost.
+    seed_records = [(r.row, r) for r in raw]
+    event = cluster.dfs.write_file(cluster.master, gen_input, seed_records,
+                                   sizeof=lambda _r: 8)
+    cluster.sim.run_until(event)
+
+    gen_job = Job(
+        name="teragen",
+        input_paths=[gen_input],
+        output_path=gen_output,
+        mapper=TeraGenMapper,
+        n_reduces=0,
+        output_sizeof=lambda pair: _record_sizeof(pair) * volume_scale,
+        map_cpu_per_byte=0.0,
+        map_cpu_per_record=2.0e-6 * volume_scale,
+    )
+    gen_report = runner.run_to_completion(gen_job)
+
+    sort_records = []
+    for path in gen_report.output_paths:
+        sort_records.extend(cluster.dfs.peek_records(path))
+    sort_job = make_terasort_jobs(",".join(gen_report.output_paths),
+                                  sorted_path, sort_records, n_reduces,
+                                  volume_scale=volume_scale)
+    # Input paths: the generated part files.
+    sort_job.input_paths = list(gen_report.output_paths)
+    sort_report = runner.run_to_completion(sort_job)
+
+    # Part files must be validated in partition order (output_paths lists
+    # them in reduce *completion* order).
+    parts = [cluster.dfs.peek_records(p)
+             for p in sorted(sort_report.output_paths)]
+    return TeraSortResult(
+        nbytes=nbytes,
+        generation_time_s=gen_report.elapsed,
+        sort_time_s=sort_report.elapsed,
+        validated=teravalidate(parts),
+        gen_report=gen_report,
+        sort_report=sort_report,
+    )

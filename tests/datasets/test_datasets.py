@@ -1,0 +1,134 @@
+"""Unit tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (CONTROL_CLASSES, TeraRecord, generate_corpus,
+                            generate_sample_data, generate_synthetic_control,
+                            teragen)
+from repro.datasets.sample_data import SAMPLE_COMPONENTS, sample_sizeof
+from repro.datasets.synthetic_control import control_chart_sizeof
+from repro.datasets.tera import records_for_bytes, tera_sizeof
+from repro.datasets.text import corpus_sizeof
+
+
+# --- synthetic control --------------------------------------------------------
+
+def test_control_shape_and_labels():
+    X, labels = generate_synthetic_control(n_per_class=10, length=60)
+    assert X.shape == (60, 60)
+    assert labels.shape == (60,)
+    assert set(labels) == set(range(6))
+    assert len(CONTROL_CLASSES) == 6
+
+
+def test_control_default_is_uci_shape():
+    X, labels = generate_synthetic_control()
+    assert X.shape == (600, 60)
+    assert (np.bincount(labels) == 100).all()
+
+
+def test_control_class_statistics():
+    rng = np.random.default_rng(1)
+    X, labels = generate_synthetic_control(n_per_class=50, rng=rng)
+    t = np.arange(60)
+
+    def mean_slope(cls):
+        rows = X[labels == cls]
+        return np.polyfit(t, rows.mean(axis=0), 1)[0]
+
+    # increasing/decreasing trends have clear opposite slopes.
+    assert mean_slope(2) > 0.15
+    assert mean_slope(3) < -0.15
+    # upward shift ends above its start; downward below.
+    up = X[labels == 4]
+    assert up[:, -10:].mean() > up[:, :10].mean() + 5
+    down = X[labels == 5]
+    assert down[:, -10:].mean() < down[:, :10].mean() - 5
+    # cyclic class has higher variance than normal.
+    assert X[labels == 1].var() > X[labels == 0].var()
+    # normal class stays near the mean level 30.
+    assert abs(X[labels == 0].mean() - 30.0) < 1.0
+
+
+def test_control_reproducible():
+    a, _ = generate_synthetic_control(rng=np.random.default_rng(5))
+    b, _ = generate_synthetic_control(rng=np.random.default_rng(5))
+    assert (a == b).all()
+
+
+def test_control_validation():
+    with pytest.raises(ValueError):
+        generate_synthetic_control(n_per_class=0)
+    with pytest.raises(ValueError):
+        generate_synthetic_control(length=1)
+    assert control_chart_sizeof(None) == 480
+
+
+# --- sample data ----------------------------------------------------------------
+
+def test_sample_data_components():
+    X, labels = generate_sample_data(np.random.default_rng(0))
+    assert X.shape == (1000, 2)
+    counts = np.bincount(labels)
+    assert list(counts) == [c for _m, _s, c in SAMPLE_COMPONENTS]
+    # The sigma=0.1 component is tightly packed around (0, 2).
+    tight = X[labels == 2]
+    assert np.allclose(tight.mean(axis=0), [0.0, 2.0], atol=0.05)
+    assert tight.std(axis=0).max() < 0.2
+    assert sample_sizeof(None) == 32
+
+
+# --- text corpus -----------------------------------------------------------------
+
+def test_corpus_size_close_to_request():
+    lines = generate_corpus(50_000, rng=np.random.default_rng(0))
+    total = sum(len(line) + 1 for line in lines)
+    assert 50_000 <= total < 55_000
+
+
+def test_corpus_zipf_skew():
+    lines = generate_corpus(100_000, rng=np.random.default_rng(0))
+    words = " ".join(lines).split()
+    from collections import Counter
+    counts = Counter(words).most_common()
+    # Zipf: the most common word is much more frequent than the median one.
+    assert counts[0][1] > 20 * counts[len(counts) // 2][1]
+
+
+def test_corpus_reproducible_and_sizeof():
+    a = generate_corpus(10_000, rng=np.random.default_rng(3))
+    b = generate_corpus(10_000, rng=np.random.default_rng(3))
+    assert a == b
+    assert corpus_sizeof("hello") == 6
+
+
+def test_corpus_validation():
+    with pytest.raises(ValueError):
+        generate_corpus(0)
+
+
+# --- teragen --------------------------------------------------------------------
+
+def test_teragen_records():
+    records = teragen(100, rng=np.random.default_rng(0))
+    assert len(records) == 100
+    assert all(len(r.key) == 10 for r in records)
+    assert [r.row for r in records] == list(range(100))
+    assert tera_sizeof(records[0]) == 100
+
+
+def test_teragen_keys_random_and_sortable():
+    records = teragen(1000, rng=np.random.default_rng(0))
+    keys = [r.key for r in records]
+    assert len(set(keys)) > 990
+    assert sorted(keys)  # bytes sort fine
+
+
+def test_tera_record_validation():
+    with pytest.raises(ValueError):
+        TeraRecord(b"short", 0)
+    with pytest.raises(ValueError):
+        teragen(-1)
+    assert records_for_bytes(1000) == 10
+    assert records_for_bytes(5) == 1

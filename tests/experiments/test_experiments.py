@@ -1,0 +1,156 @@
+"""Small-scale runs of every experiment harness, asserting the paper's
+qualitative shapes (DESIGN.md §4)."""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.common import ExperimentResult
+from repro.experiments import (fig2_wordcount, fig3_mrbench,
+                               fig4_terasort_dfsio, fig5_migration,
+                               fig6_synthetic_control,
+                               fig7_display_clustering, fig8_cluster_visuals,
+                               table1_benchmarks)
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+# --- result plumbing ---------------------------------------------------------
+
+def test_experiment_result_row_width_checked():
+    result = ExperimentResult("x", "t", columns=("a", "b"))
+    result.add(1, 2)
+    with pytest.raises(ValueError):
+        result.add(1, 2, 3)
+    assert result.column("b") == [2]
+
+
+def test_format_table_renders():
+    result = ExperimentResult("x", "t", columns=("a", "b"))
+    result.add(1, 2.5)
+    result.note("hello")
+    text = format_table(result)
+    assert "x: t" in text and "2.50" in text and "note: hello" in text
+
+
+# --- table 1 -------------------------------------------------------------------
+
+def test_table1_all_benchmarks_run():
+    result = table1_benchmarks.run(seed=0)
+    assert [row[0] for row in result.rows] == ["Wordcount", "MRBench",
+                                               "TeraSort", "DFSIOTest"]
+    assert all(row[2] for row in result.rows)  # ran_ok column
+
+
+# --- fig 2 ------------------------------------------------------------------------
+
+def test_fig2_cross_domain_slower_and_grows():
+    result = fig2_wordcount.run(sizes_mb=(64, 192), seed=0)
+    normal = result.column("normal_s")
+    cross = result.column("cross_domain_s")
+    assert all(c >= n for n, c in zip(normal, cross))
+    assert normal[1] > normal[0]  # bigger input, longer time
+    assert cross[1] > cross[0]
+
+
+# --- fig 3 -----------------------------------------------------------------------
+
+def test_fig3_scaling_shapes():
+    result_a = fig3_mrbench.run_map_scaling(scales=(1, 6), seed=0, runs=1)
+    normal = result_a.column("normal_s")
+    cross = result_a.column("cross_domain_s")
+    assert normal[1] > normal[0]
+    assert all(c > n for n, c in zip(normal, cross))
+
+    result_b = fig3_mrbench.run_reduce_scaling(scales=(1, 6), seed=0, runs=1)
+    assert result_b.column("normal_s")[1] > result_b.column("normal_s")[0]
+
+
+# --- fig 4 -----------------------------------------------------------------------
+
+def test_fig4a_terasort_shapes():
+    result = fig4_terasort_dfsio.run_terasort_sweep(sizes_mb=(100, 400),
+                                                    seed=0)
+    assert all(row[-1] for row in result.rows)  # validated
+    gen_n = result.column("normal_gen_s")
+    sort_n = result.column("normal_sort_s")
+    assert gen_n[1] > gen_n[0] and sort_n[1] > sort_n[0]
+    assert result.column("cross_sort_s")[1] > sort_n[1]
+
+
+def test_fig4b_dfsio_shapes():
+    result = fig4_terasort_dfsio.run_dfsio_sweep(n_files=4, file_mb=32,
+                                                 seed=0)
+    rows = {row[0]: row for row in result.rows}
+    for layout in ("normal", "cross-domain"):
+        _l, write, read = rows[layout]
+        assert read > write
+    assert rows["cross-domain"][1] < rows["normal"][1]  # writes slower
+
+
+# --- fig 5 / table 2 -----------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def migration_reports():
+    return {
+        "idle.1024": fig5_migration.migrate_cluster_under(
+            "idle", 1024 * 1024 * 1024, seed=0),
+        "idle.512": fig5_migration.migrate_cluster_under(
+            "idle", 512 * 1024 * 1024, seed=0),
+        "wc.1024": fig5_migration.migrate_cluster_under(
+            "wordcount", 1024 * 1024 * 1024, seed=0),
+    }
+
+
+def test_table2_memory_scaling(migration_reports):
+    big = migration_reports["idle.1024"]
+    small = migration_reports["idle.512"]
+    assert big.overall_migration_time_s > 1.4 * small.overall_migration_time_s
+    # Downtime does NOT track memory (paper observation i).
+    ratio = big.overall_downtime_s / small.overall_downtime_s
+    assert 0.5 < ratio < 2.0
+
+
+def test_table2_wordcount_overheads(migration_reports):
+    idle = migration_reports["idle.1024"]
+    busy = migration_reports["wc.1024"]
+    assert busy.overall_migration_time_s > 1.5 * idle.overall_migration_time_s
+    assert busy.overall_downtime_s > 5.0 * idle.overall_downtime_s
+    # Per-node downtime varies widely only under load (observation iii).
+    assert busy.downtime_spread() > 3.0 * idle.downtime_spread()
+
+
+def test_fig5_all_vms_arrive(migration_reports):
+    for report in migration_reports.values():
+        assert len(report.records) == 16
+        assert all(r.destination == "pm1" for r in report.records)
+
+
+# --- fig 6 / fig 7 ----------------------------------------------------------------
+
+def test_fig6_runtime_grows_with_cluster_scale():
+    result = fig6_synthetic_control.run(scales=(2, 16), n_per_class=30,
+                                        max_iterations=3, seed=0)
+    for column in ("canopy_s", "dirichlet_s", "meanshift_s"):
+        series = result.column(column)
+        assert series[-1] > series[0], column
+
+
+def test_fig7_runtime_relatively_smooth():
+    result = fig7_display_clustering.run(scales=(2, 16), max_iterations=3,
+                                         seed=0)
+    for algo in fig7_display_clustering.ALGORITHMS:
+        series = result.column(algo)
+        assert max(series) < 2.5 * min(series), algo
+
+
+# --- fig 8 --------------------------------------------------------------------------
+
+def test_fig8_panels_rendered():
+    result = fig8_cluster_visuals.run(seed=42, max_iterations=3)
+    for panel in fig8_cluster_visuals.PANELS:
+        assert panel in result.artifacts
+        art = result.artifacts[panel]
+        assert art.count("\n") > 10
+    sample = result.artifacts["sample-data"]
+    assert "." in sample
+    assert "A" in result.artifacts["kmeans"]

@@ -1,0 +1,58 @@
+"""Tests for experiment result export/import."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import (read_json, write_all, write_csv,
+                                      write_json)
+
+
+@pytest.fixture()
+def result():
+    r = ExperimentResult("figX", "demo", columns=("a", "b"))
+    r.add(1, 2.5)
+    r.add(3, 4.5)
+    r.note("a note")
+    r.artifacts["panel"] = "+---+\n| . |\n+---+"
+    return r
+
+
+def test_write_csv(result, tmp_path):
+    path = write_csv(result, tmp_path)
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,2.5"
+    assert len(lines) == 3
+
+
+def test_json_roundtrip(result, tmp_path):
+    path = write_json(result, tmp_path)
+    loaded = read_json(path)
+    assert loaded.experiment_id == "figX"
+    assert loaded.columns == ("a", "b")
+    assert loaded.rows == [(1, 2.5), (3, 4.5)]
+    assert loaded.notes == ["a note"]
+
+
+def test_write_all_includes_artifacts(result, tmp_path):
+    paths = write_all(result, tmp_path)
+    names = {p.name for p in paths}
+    assert names == {"figX.csv", "figX.json", "figX.panel.txt"}
+    assert "| . |" in (tmp_path / "figX.panel.txt").read_text()
+
+
+def test_json_is_valid(result, tmp_path):
+    path = write_json(result, tmp_path)
+    payload = json.loads(path.read_text())
+    assert payload["title"] == "demo"
+
+
+def test_cli_out_flag(tmp_path, capsys):
+    assert main(["fig8", "--out", str(tmp_path)]) == 0
+    written = {p.name for p in tmp_path.iterdir()}
+    assert "fig8.csv" in written
+    assert "fig8.json" in written
+    assert any(name.endswith(".kmeans.txt") for name in written)

@@ -1,0 +1,69 @@
+"""Tests for speculative map execution."""
+
+import collections
+
+import pytest
+
+from repro.config import HadoopConfig, PlatformConfig
+from repro.errors import ConfigError
+from repro.platform import VHadoopPlatform, normal_placement
+from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
+                                       wordcount_job)
+
+LINES = ["one two three four five"] * 400
+RECORDS = lines_as_records(LINES)
+EXPECTED = dict(collections.Counter(" ".join(LINES).split()))
+
+
+def run_with(speculation: bool, straggler: bool = True, seed=31):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
+    cluster = platform.provision_cluster(
+        "spec", normal_placement(8),
+        hadoop_config=HadoopConfig(speculative_execution=speculation,
+                                   speculative_slowdown=1.3))
+    platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,
+                    timed=False)
+    job = wordcount_job("/in", "/out", n_reduces=2)
+    # One map per map slot so every worker — including the contended one —
+    # runs at least one; give maps real CPU weight so contention shows.
+    job.force_num_maps = 2 * len(cluster.workers)
+    job.map_cpu_per_record = 0.08
+    if straggler:
+        # Saturate one worker's VCPU with a big background computation so
+        # any map landing there becomes a straggler.
+        cluster.workers[0].compute(3000.0)
+        cluster.workers[0].compute(3000.0)
+    report = platform.run_job(cluster, job)
+    return platform, cluster, report
+
+
+def test_speculation_config_validation():
+    with pytest.raises(ConfigError):
+        HadoopConfig(speculative_slowdown=1.0)
+
+
+def test_output_identical_with_and_without_speculation():
+    _p1, _c1, without = run_with(False)
+    _p2, _c2, with_spec = run_with(True)
+    platform, cluster, report = run_with(True)
+    runner = platform.runners[cluster.name]
+    assert dict(runner.read_output(report)) == EXPECTED
+
+
+def test_speculation_launches_backup_for_straggler():
+    platform, _cluster, report = run_with(True)
+    assert platform.tracer.count("task.map.speculate") >= 1
+    # Exactly one result per logical map survived.
+    map_ids = [t.task_id for t in report.tasks if t.kind == "map"]
+    assert len(map_ids) == len(set(map_ids)) == report.n_maps
+
+
+def test_speculation_helps_under_contention():
+    _p1, _c1, without = run_with(False)
+    _p2, _c2, with_spec = run_with(True)
+    assert with_spec.elapsed < without.elapsed
+
+
+def test_no_speculation_without_stragglers():
+    platform, _cluster, _report = run_with(True, straggler=False)
+    assert platform.tracer.count("task.map.speculate") == 0

@@ -1,0 +1,255 @@
+"""Correctness tests for the six clustering algorithms.
+
+All algorithms run over well-separated synthetic blobs through the
+LocalExecutor (pure math).  Cluster-executor equivalence is covered in
+test_cluster_equivalence.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.ml import (CanopyDriver, DirichletDriver, FuzzyKMeansDriver,
+                      KMeansDriver, LocalExecutor, MeanShiftDriver,
+                      MinHashDriver, points_as_records)
+from repro.ml.canopy import canopy_pass
+from repro.ml.fuzzykmeans import memberships
+from repro.ml.vectors import EuclideanDistance
+
+CENTERS = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 8.0]])
+
+
+def make_blobs(n_per=40, sigma=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = np.vstack([rng.normal(c, sigma, size=(n_per, 2)) for c in CENTERS])
+    labels = np.repeat(np.arange(len(CENTERS)), n_per)
+    return pts, labels
+
+
+@pytest.fixture()
+def blobs():
+    return make_blobs()
+
+
+def executor_for(points):
+    return LocalExecutor({"/in": points_as_records(points)}, seed=1)
+
+
+def match_centers(found: np.ndarray, truth: np.ndarray, tol: float) -> bool:
+    """Every true center has a found center within tol."""
+    for t in truth:
+        if not any(np.linalg.norm(f - t) < tol for f in found):
+            return False
+    return True
+
+
+# --- k-means -----------------------------------------------------------------
+
+def test_kmeans_recovers_blob_centers(blobs):
+    # Seeded near the truth (the paper's pipeline seeds k-means from
+    # canopy centers); random seeding can hit bad local optima, which is
+    # k-means behaving correctly, not a bug.
+    points, labels = blobs
+    init = [tuple(c) for c in CENTERS + 1.2]
+    result = KMeansDriver(initial_centers=init, max_iterations=20).run(
+        executor_for(points), "/in")
+    assert result.converged
+    assert match_centers(result.centers(), CENTERS, tol=1.0)
+    # Assignments agree with ground truth up to relabeling.
+    by_truth = {}
+    for pid, cid in result.assignments.items():
+        by_truth.setdefault(labels[pid], set()).add(cid)
+    assert all(len(cids) == 1 for cids in by_truth.values())
+
+
+def test_kmeans_explicit_centers_deterministic(blobs):
+    points, _ = blobs
+    init = [tuple(c) for c in CENTERS + 0.5]
+    a = KMeansDriver(initial_centers=init).run(executor_for(points), "/in")
+    b = KMeansDriver(initial_centers=init).run(executor_for(points), "/in")
+    assert np.allclose(a.centers(), b.centers())
+
+
+def test_kmeans_weights_sum_to_n(blobs):
+    points, _ = blobs
+    result = KMeansDriver(k=3, max_iterations=20).run(
+        executor_for(points), "/in")
+    assert sum(m.weight for m in result.models) == pytest.approx(len(points))
+
+
+def test_kmeans_validation():
+    with pytest.raises(ClusteringError):
+        KMeansDriver()
+    with pytest.raises(ClusteringError):
+        KMeansDriver(k=0)
+    points, _ = make_blobs(n_per=1)
+    with pytest.raises(ClusteringError):
+        KMeansDriver(k=50).run(executor_for(points), "/in")
+
+
+def test_kmeans_random_seed_converges(blobs):
+    points, _ = blobs
+    result = KMeansDriver(k=3, max_iterations=30).run(
+        executor_for(points), "/in")
+    assert result.converged
+    assert result.k == 3
+
+
+def test_kmeans_history_tracks_iterations(blobs):
+    points, _ = blobs
+    result = KMeansDriver(k=3, max_iterations=20).run(
+        executor_for(points), "/in")
+    assert len(result.history) == result.iterations
+    assert len(result.per_iteration_s) == result.iterations
+
+
+# --- canopy -------------------------------------------------------------------
+
+def test_canopy_pass_thresholds():
+    measure = EuclideanDistance()
+    points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+    canopies = canopy_pass(points, t1=1.0, t2=0.5, measure=measure)
+    assert len(canopies) == 2  # the two nearby points share a canopy
+
+
+def test_canopy_finds_three_blobs(blobs):
+    points, _ = blobs
+    result = CanopyDriver(t1=6.0, t2=3.0).run(executor_for(points), "/in")
+    assert result.k == 3
+    assert match_centers(result.centers(), CENTERS, tol=2.0)
+
+
+def test_canopy_assignment_pass(blobs):
+    points, _ = blobs
+    result = CanopyDriver(t1=6.0, t2=3.0).run(executor_for(points), "/in",
+                                              assign=True)
+    assert len(result.assignments) == len(points)
+
+
+def test_canopy_threshold_validation():
+    with pytest.raises(ClusteringError):
+        CanopyDriver(t1=1.0, t2=2.0)
+    with pytest.raises(ClusteringError):
+        CanopyDriver(t1=1.0, t2=0.0)
+
+
+# --- fuzzy k-means --------------------------------------------------------------
+
+def test_fuzzy_memberships_rows_sum_to_one():
+    distances = np.array([[1.0, 2.0, 4.0], [3.0, 0.5, 1.0]])
+    u = memberships(distances, m=2.0)
+    assert np.allclose(u.sum(axis=1), 1.0)
+    # Closer centers get higher membership.
+    assert u[0, 0] > u[0, 1] > u[0, 2]
+
+
+def test_fuzzy_exact_hit_handled():
+    distances = np.array([[0.0, 5.0]])
+    u = memberships(distances, m=2.0)
+    assert u[0, 0] > 0.99
+
+
+def test_fuzzy_recovers_blob_centers(blobs):
+    points, _ = blobs
+    result = FuzzyKMeansDriver(k=3, max_iterations=25).run(
+        executor_for(points), "/in")
+    assert match_centers(result.centers(), CENTERS, tol=1.5)
+
+
+def test_fuzzy_soft_assignments(blobs):
+    points, _ = blobs
+    driver = FuzzyKMeansDriver(k=3, max_iterations=25)
+    result = driver.run(executor_for(points), "/in")
+    u = driver.soft_assignments(points, result)
+    assert u.shape == (len(points), 3)
+    assert np.allclose(u.sum(axis=1), 1.0)
+
+
+def test_fuzzy_validation():
+    with pytest.raises(ClusteringError):
+        FuzzyKMeansDriver(k=3, m=1.0)
+    with pytest.raises(ClusteringError):
+        FuzzyKMeansDriver()
+
+
+# --- mean shift -----------------------------------------------------------------
+
+def test_meanshift_converges_to_blob_modes(blobs):
+    points, _ = blobs
+    result = MeanShiftDriver(t1=4.0, t2=2.0, max_iterations=15).run(
+        executor_for(points), "/in")
+    assert result.converged
+    assert 3 <= result.k <= 5
+    assert match_centers(result.centers(), CENTERS, tol=2.0)
+
+
+def test_meanshift_weight_conserved(blobs):
+    points, _ = blobs
+    result = MeanShiftDriver(t1=4.0, t2=2.0, max_iterations=15).run(
+        executor_for(points), "/in")
+    assert sum(m.weight for m in result.models) == pytest.approx(len(points))
+
+
+def test_meanshift_validation():
+    with pytest.raises(ClusteringError):
+        MeanShiftDriver(t1=1.0, t2=1.5)
+
+
+# --- dirichlet -------------------------------------------------------------------
+
+def test_dirichlet_finds_significant_models(blobs):
+    points, _ = blobs
+    result = DirichletDriver(n_models=8, max_iterations=8).run(
+        executor_for(points), "/in")
+    assert 1 <= result.k <= 8
+    # The significant models' total support covers most points.
+    assert sum(m.weight for m in result.models) > 0.7 * len(points)
+
+
+def test_dirichlet_reproducible(blobs):
+    points, _ = blobs
+    a = DirichletDriver(n_models=6, max_iterations=5).run(
+        executor_for(points), "/in")
+    b = DirichletDriver(n_models=6, max_iterations=5).run(
+        executor_for(points), "/in")
+    assert np.allclose(a.centers(), b.centers())
+
+
+def test_dirichlet_validation():
+    with pytest.raises(ClusteringError):
+        DirichletDriver(n_models=0)
+    with pytest.raises(ClusteringError):
+        DirichletDriver(alpha0=0.0)
+
+
+# --- minhash -------------------------------------------------------------------
+
+def test_minhash_clusters_similar_points(blobs):
+    points, labels = blobs
+    result = MinHashDriver(num_hashes=12, key_groups=2, bucket=4.0,
+                           min_cluster_size=4).run(executor_for(points),
+                                                   "/in")
+    assert result.k >= 3
+    # Most points within a minhash cluster share a ground-truth blob.
+    agreements = total = 0
+    for cid in set(result.assignments.values()):
+        members = [pid for pid, c in result.assignments.items() if c == cid]
+        truth = [labels[pid] for pid in members]
+        agreements += max(truth.count(t) for t in set(truth))
+        total += len(members)
+    assert total > 0
+    assert agreements / total > 0.9
+
+
+def test_minhash_deterministic(blobs):
+    points, _ = blobs
+    a = MinHashDriver(seed=3).run(executor_for(points), "/in")
+    b = MinHashDriver(seed=3).run(executor_for(points), "/in")
+    assert a.assignments == b.assignments
+
+
+def test_minhash_validation():
+    with pytest.raises(ClusteringError):
+        MinHashDriver(num_hashes=0)
+    with pytest.raises(ClusteringError):
+        MinHashDriver(min_cluster_size=0)

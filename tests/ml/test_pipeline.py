@@ -1,0 +1,89 @@
+"""Tests for the canopy-seeded k-means pipeline and nmon export."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError, MonitorError
+from repro.ml import CanopyKMeansPipeline, LocalExecutor, points_as_records
+from repro.monitor.export import parse_nmon, write_nmon
+from repro.monitor.nmon import NmonSample, NodeSeries
+
+CENTERS = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 8.0]])
+
+
+def blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    return np.vstack([rng.normal(c, 0.6, size=(40, 2)) for c in CENTERS])
+
+
+def test_pipeline_seeds_kmeans_from_canopies():
+    points = blobs()
+    executor = LocalExecutor({"/in": points_as_records(points)})
+    result = CanopyKMeansPipeline(t1=6.0, t2=3.0).run(executor, "/in")
+    assert result.canopy.k == 3
+    assert result.kmeans.k == 3
+    for truth in CENTERS:
+        assert min(np.linalg.norm(m.center_array() - truth)
+                   for m in result.models) < 1.0
+    assert len(result.assignments) == len(points)
+    assert result.runtime_s == result.canopy.runtime_s + \
+        result.kmeans.runtime_s
+
+
+def test_pipeline_max_k_caps_seeds():
+    points = blobs()
+    executor = LocalExecutor({"/in": points_as_records(points)})
+    # Very tight thresholds make many canopies; max_k trims them.
+    result = CanopyKMeansPipeline(t1=1.5, t2=0.7, max_k=3).run(
+        executor, "/in")
+    assert result.canopy.k > 3
+    assert result.kmeans.k == 3
+
+
+def test_pipeline_rejects_empty_canopy_stage():
+    executor = LocalExecutor({"/in": []})
+    with pytest.raises(Exception):
+        CanopyKMeansPipeline(t1=2.0, t2=1.0).run(executor, "/in")
+
+
+# --- nmon export --------------------------------------------------------------
+
+def sample_series():
+    series = NodeSeries("vm-test")
+    for i in range(4):
+        series.samples.append(NmonSample(
+            time=float(i * 5), vm="vm-test", cpu_util=0.25 * i,
+            memory_fraction=0.4, disk_bytes_delta=1000.0 * i,
+            net_tx_delta=10.0 * i, net_rx_delta=20.0 * i, activity=i))
+    return series
+
+
+def test_nmon_roundtrip():
+    original = sample_series()
+    text = write_nmon(original)
+    assert text.startswith("AAA,host,vm-test")
+    parsed = parse_nmon(text)
+    assert parsed.vm == "vm-test"
+    assert len(parsed) == len(original)
+    for a, b in zip(original.samples, parsed.samples):
+        assert b.time == pytest.approx(a.time, abs=1e-3)
+        assert b.cpu_util == pytest.approx(a.cpu_util, abs=1e-4)
+        assert b.disk_bytes_delta == pytest.approx(a.disk_bytes_delta)
+        assert b.net_rx_delta == pytest.approx(a.net_rx_delta)
+        assert b.activity == a.activity
+
+
+def test_nmon_export_requires_samples():
+    with pytest.raises(MonitorError):
+        write_nmon(NodeSeries("empty"))
+
+
+def test_nmon_parse_requires_header():
+    with pytest.raises(MonitorError):
+        parse_nmon("ZZZZ,T0001,0.0\n")
+
+
+def test_nmon_parse_detects_missing_sections():
+    text = "AAA,host,x\nZZZZ,T0001,0.0\nCPU_ALL,T0001,10.0\n"
+    with pytest.raises(MonitorError):
+        parse_nmon(text)

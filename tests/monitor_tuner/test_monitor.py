@@ -1,0 +1,125 @@
+"""Unit tests for the nmon monitor and analyser."""
+
+import pytest
+
+from repro import constants as C
+from repro.config import PlatformConfig
+from repro.errors import MonitorError
+from repro.monitor import NmonAnalyser, NmonMonitor
+from repro.platform import VHadoopPlatform, normal_placement
+from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
+                                       wordcount_job)
+
+
+def make_busy_cluster(seed=12):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
+    cluster = platform.provision_cluster("m", normal_placement(6))
+    lines = ["alpha beta gamma delta " * 20] * 2000
+    platform.upload(cluster, "/in", lines_as_records(lines),
+                    sizeof=lambda r: (len(r[1]) + 1) * 30, timed=False)
+    return platform, cluster
+
+
+def test_monitor_validation():
+    platform, cluster = make_busy_cluster()
+    with pytest.raises(MonitorError):
+        NmonMonitor([])
+    with pytest.raises(MonitorError):
+        NmonMonitor(cluster.vms, interval=0)
+
+
+def test_monitor_samples_on_interval():
+    platform, cluster = make_busy_cluster()
+    monitor = NmonMonitor(cluster.vms, interval=2.0)
+    monitor.start()
+    job = wordcount_job("/in", "/out", n_reduces=2, volume_scale=30)
+    platform.run_job(cluster, job)
+    monitor.stop()
+    series = monitor.node(cluster.workers[0].name)
+    assert len(series) >= 5
+    times = series.column("time")
+    assert times == sorted(times)
+    # sampling interval respected
+    deltas = [b - a for a, b in zip(times, times[1:])]
+    assert all(d == pytest.approx(2.0) for d in deltas)
+
+
+def test_monitor_observes_activity_and_io():
+    platform, cluster = make_busy_cluster()
+    monitor = NmonMonitor(cluster.vms, interval=1.0)
+    monitor.start()
+    job = wordcount_job("/in", "/out", n_reduces=2, volume_scale=30)
+    platform.run_job(cluster, job)
+    monitor.stop()
+    samples = monitor.all_samples()
+    assert any(s.cpu_util > 0 for s in samples)
+    assert any(s.disk_bytes_delta > 0 for s in samples)
+    assert any(s.net_tx_delta > 0 for s in samples)
+    assert any(s.activity > 0 for s in samples)
+    assert all(0 <= s.memory_fraction <= 1 for s in samples)
+
+
+def test_monitor_unknown_node():
+    platform, cluster = make_busy_cluster()
+    monitor = NmonMonitor(cluster.vms)
+    with pytest.raises(MonitorError):
+        monitor.node("ghost")
+
+
+def test_analyser_summaries_and_bottleneck():
+    platform, cluster = make_busy_cluster()
+    monitor = NmonMonitor(cluster.vms, interval=1.0)
+    monitor.start()
+    job = wordcount_job("/in", "/out", n_reduces=2, volume_scale=30)
+    platform.run_job(cluster, job)
+    monitor.stop()
+    analyser = NmonAnalyser(monitor)
+    summary = analyser.summarize(cluster.workers[0].name)
+    assert summary.n_samples > 0
+    assert 0 <= summary.cpu_mean <= summary.cpu_peak <= 1
+
+    dc = platform.datacenter
+    shared = [dc.machines[0].cpu, dc.machines[0].net.nic,
+              dc.machines[0].net.netback, dc.image_store.node.vnic]
+    report = analyser.bottleneck(shared, now=platform.sim.now)
+    assert report.busiest_resource in {r.name for r in shared}
+    assert len(report.top(2)) == 2
+
+
+def test_analyser_finds_nfs_or_network_bottleneck():
+    # The paper's conclusion: network I/O and NFS disk I/O are the main
+    # bottlenecks of an I/O-heavy wordcount on the platform.
+    platform, cluster = make_busy_cluster()
+    monitor = NmonMonitor(cluster.vms, interval=1.0)
+    monitor.start()
+    job = wordcount_job("/in", "/out", n_reduces=4, volume_scale=80)
+    platform.run_job(cluster, job)
+    monitor.stop()
+    analyser = NmonAnalyser(monitor)
+    dc = platform.datacenter
+    shared = []
+    for machine in dc.machines:
+        shared.extend([machine.cpu, machine.net.nic, machine.net.netback,
+                       machine.net.bridge])
+    shared.append(dc.image_store.node.vnic)
+    report = analyser.bottleneck(shared, now=platform.sim.now)
+    assert ("nfs" in report.busiest_resource
+            or ".nic" in report.busiest_resource
+            or ".netback" in report.busiest_resource)
+
+
+def test_analyser_no_samples_raises():
+    platform, cluster = make_busy_cluster()
+    monitor = NmonMonitor(cluster.vms)
+    analyser = NmonAnalyser(monitor)
+    with pytest.raises(MonitorError):
+        analyser.summarize(cluster.workers[0].name)
+
+
+def test_imbalance_zero_when_idle():
+    platform, cluster = make_busy_cluster()
+    monitor = NmonMonitor(cluster.vms, interval=1.0)
+    for _ in range(3):
+        monitor.sample_now(platform.sim.now)
+    analyser = NmonAnalyser(monitor)
+    assert analyser.imbalance() == 0.0

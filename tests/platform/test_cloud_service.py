@@ -1,0 +1,110 @@
+"""Tests for the on-demand elastic vHadoop service (paper future work)."""
+
+import collections
+
+import pytest
+
+from repro import constants as C
+from repro.cloud import OnDemandVHadoopService, ServiceRequest
+from repro.config import PlatformConfig, VMConfig
+from repro.errors import ConfigError
+from repro.platform import VHadoopPlatform
+from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
+                                       wordcount_job)
+
+LINES = ["iota kappa lambda", "kappa lambda", "lambda"] * 6
+EXPECTED = dict(collections.Counter(" ".join(LINES).split()))
+
+
+def wc_request(name, n_nodes=4, memory=None):
+    return ServiceRequest(
+        name=name,
+        n_nodes=n_nodes,
+        records=lines_as_records(LINES),
+        make_job=lambda inp, out: wordcount_job(inp, out, n_reduces=2),
+        sizeof=line_record_sizeof,
+        vm_config=VMConfig(memory=memory) if memory else None,
+    )
+
+
+def make_service(seed=23, n_hosts=2):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=n_hosts, seed=seed))
+    return platform, OnDemandVHadoopService(platform)
+
+
+def test_single_request_end_to_end():
+    platform, service = make_service()
+    event = service.submit(wc_request("one"))
+    (outcome,) = service.run_all([event])
+    assert dict(outcome.output) == EXPECTED
+    assert outcome.report is not None
+    assert outcome.total_s > 18.0  # boot time is part of the service time
+    assert outcome.queue_wait_s == 0.0
+
+
+def test_teardown_returns_capacity():
+    platform, service = make_service()
+    free_before = sum(m.dram_free for m in platform.datacenter.machines)
+    event = service.submit(wc_request("cycle"))
+    service.run_all([event])
+    free_after = sum(m.dram_free for m in platform.datacenter.machines)
+    assert free_after == free_before
+
+
+def test_concurrent_requests_share_the_datacenter():
+    platform, service = make_service()
+    events = [service.submit(wc_request(f"r{i}")) for i in range(3)]
+    outcomes = service.run_all(events)
+    assert all(dict(o.output) == EXPECTED for o in outcomes)
+    # All three fit at once: nobody waited.
+    assert all(o.queue_wait_s == 0.0 for o in outcomes)
+    # They really overlapped.
+    starts = [o.started_at for o in outcomes]
+    ends = [o.finished_at for o in outcomes]
+    assert min(ends) > max(starts)
+
+
+def test_oversized_demand_queues_then_runs():
+    # Each host has 30 GiB for guests; 2 GiB VMs x 16 nodes = 32 GiB per
+    # request, so two requests (64 GiB) exceed the 60 GiB datacenter: the
+    # second must wait for the first to tear down.
+    platform, service = make_service()
+    big = lambda name: wc_request(name, n_nodes=16, memory=2 * C.GiB)
+    first = service.submit(big("first"))
+    second = service.submit(big("second"))
+    assert service.queued >= 1  # second did not fit immediately
+    outcomes = service.run_all([first, second])
+    by_name = {o.request.name: o for o in outcomes}
+    assert by_name["second"].queue_wait_s > 0.0
+    assert by_name["second"].started_at >= by_name["first"].finished_at
+    assert dict(by_name["second"].output) == EXPECTED
+
+
+def test_small_request_skips_ahead_of_oversized_one():
+    platform, service = make_service()
+    blocker = service.submit(wc_request("blocker", n_nodes=16,
+                                        memory=2 * C.GiB))
+    too_big = service.submit(wc_request("too-big", n_nodes=16,
+                                        memory=2 * C.GiB))
+    small = service.submit(wc_request("small", n_nodes=3))
+    outcomes = service.run_all([blocker, too_big, small])
+    by_name = {o.request.name: o for o in outcomes}
+    # The small request fit beside the blocker and never queued.
+    assert by_name["small"].queue_wait_s == 0.0
+    assert by_name["too-big"].queue_wait_s > 0.0
+
+
+def test_request_validation():
+    with pytest.raises(ConfigError):
+        wc_request("tiny", n_nodes=1)
+    with pytest.raises(ConfigError):
+        ServiceRequest(name="empty", n_nodes=3, records=[],
+                       make_job=lambda i, o: None)
+
+
+def test_service_emits_trace():
+    platform, service = make_service()
+    service.run_all([service.submit(wc_request("traced"))])
+    done = platform.tracer.last("cloud.request.done")
+    assert done is not None
+    assert done["total"] > 0

@@ -1,0 +1,135 @@
+"""Fault-injection tests: datanode loss, re-replication, task re-execution.
+
+These exercise the machinery behind the paper's observation that Hadoop's
+fault tolerance "will re-run the job or restore from other available
+backup data" during migration downtime.
+"""
+
+import collections
+
+import pytest
+
+from repro.config import HadoopConfig, PlatformConfig
+from repro.errors import VMStateError
+from repro.hdfs.replication import under_replicated
+from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform.faults import (alive_workers, fail_worker,
+                                   repair_cluster)
+from repro.virt import VMState
+from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
+                                       wordcount_job)
+
+LINES = ["epsilon zeta eta theta", "zeta eta", "theta theta epsilon"] * 10
+RECORDS = lines_as_records(LINES)
+EXPECTED = dict(collections.Counter(" ".join(LINES).split()))
+
+
+def make(n=8, seed=13, replication=2):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
+    cluster = platform.provision_cluster(
+        "f", normal_placement(n),
+        hadoop_config=HadoopConfig(dfs_replication=replication))
+    platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,
+                    timed=False)
+    return platform, cluster
+
+
+def test_fail_worker_detaches_services():
+    platform, cluster = make()
+    victim = cluster.workers[0]
+    n_trackers = len(cluster.trackers)
+    n_datanodes = len(cluster.namenode.datanodes)
+    fail_worker(cluster, victim)
+    assert victim.state is VMState.FAILED
+    assert len(cluster.trackers) == n_trackers - 1
+    assert len(cluster.namenode.datanodes) == n_datanodes - 1
+    assert victim.name not in [t.name for t in cluster.trackers]
+    assert len(alive_workers(cluster)) == len(cluster.workers) - 1
+
+
+def test_fail_worker_requires_membership():
+    platform, cluster = make()
+    outsider = platform.datacenter.create_vm("out",
+                                             platform.datacenter.machine(0))
+    with pytest.raises(VMStateError):
+        fail_worker(cluster, outsider)
+
+
+def test_failed_vm_rejects_work():
+    platform, cluster = make()
+    victim = cluster.workers[0]
+    fail_worker(cluster, victim)
+    with pytest.raises(VMStateError):
+        victim.compute(1.0)
+    with pytest.raises(VMStateError):
+        victim.fail()  # double-fail rejected
+
+
+def test_replication_repair_restores_replica_count():
+    platform, cluster = make()
+    # Find a datanode holding at least one replica.
+    victim_dn = next(dn for dn in cluster.datanodes if dn.blocks)
+    fail_worker(cluster, victim_dn.vm)
+    missing = under_replicated(cluster.namenode,
+                               cluster.config.dfs_replication)
+    assert missing  # the dead node really held replicas
+    report = repair_cluster(cluster)
+    assert report.repaired
+    assert not report.unrecoverable
+    assert report.bytes_copied > 0
+    assert not under_replicated(cluster.namenode,
+                                cluster.config.dfs_replication)
+
+
+def test_reads_survive_datanode_loss():
+    platform, cluster = make()
+    victim_dn = next(dn for dn in cluster.datanodes if dn.blocks)
+    fail_worker(cluster, victim_dn.vm)
+    reader = alive_workers(cluster)[0]
+    read = cluster.dfs.read_file(reader, "/in")
+    platform.sim.run_until(read)
+    assert list(read.value) == RECORDS
+
+
+def test_job_completes_after_pre_job_failure():
+    platform, cluster = make()
+    fail_worker(cluster, cluster.workers[2])
+    report = platform.run_job(cluster,
+                              wordcount_job("/in", "/out", n_reduces=2))
+    assert dict(platform.collect(cluster, report)) == EXPECTED
+    # No task ran on the dead tracker.
+    assert all(t.tracker != cluster.workers[2].name for t in report.tasks)
+
+
+def test_shuffle_recovers_lost_map_output():
+    """A map's VM dies after the map phase; the shuffle re-runs the map."""
+    platform, cluster = make(n=6)
+    runner = platform.runners[cluster.name]
+    job = wordcount_job("/in", "/out", n_reduces=2)
+    event = runner.submit(job)
+
+    # Let the map phase finish, then kill the VM that ran the first map —
+    # its intermediate output dies with it.
+    sim = platform.sim
+    while not platform.tracer.count("job.maps.done"):
+        sim.step()
+    mapper_name = next(platform.tracer.select("task.map.done"))["tracker"]
+    victim = next(tr.vm for tr in cluster.trackers
+                  if tr.name == mapper_name)
+    fail_worker(cluster, victim)
+
+    sim.run_until(event)
+    report = event.value
+    assert dict(runner.read_output(report)) == EXPECTED
+    # The engine recovered the dead VM's map output during the shuffle.
+    assert platform.tracer.count("task.map.recover") >= 1
+
+
+def test_under_replicated_detects_small_cluster_limits():
+    platform, cluster = make(n=3, replication=2)
+    # Kill one of the two datanodes: replication clamps to the single
+    # survivor, so nothing is under-replicated *after* repair.
+    victim_dn = next(dn for dn in cluster.datanodes if dn.blocks)
+    fail_worker(cluster, victim_dn.vm)
+    repair_cluster(cluster)
+    assert not under_replicated(cluster.namenode, 2)

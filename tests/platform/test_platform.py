@@ -1,0 +1,131 @@
+"""Tests for placements, provisioning and the VHadoopPlatform facade."""
+
+import pytest
+
+from repro.config import HadoopConfig, PlatformConfig, VMConfig
+from repro.errors import ConfigError, PlacementError
+from repro.platform import (VHadoopPlatform, balanced_placement,
+                            cross_domain_placement, normal_placement)
+from repro.platform.provisioning import validate_placement
+from repro.virt import VMState
+from repro.workloads.wordcount import lines_as_records, wordcount_job
+
+
+# --- placements -----------------------------------------------------------
+
+def test_normal_placement_single_host():
+    p = normal_placement(16)
+    assert p.n_vms == 16
+    assert p.hosts_used() == {0}
+    assert p.label == "normal"
+
+
+def test_cross_domain_placement_splits_equally():
+    p = cross_domain_placement(16, n_hosts=2)
+    assert p.assignment.count(0) == 8
+    assert p.assignment.count(1) == 8
+    # Contiguous split: first half on host 0.
+    assert p.assignment[:8] == (0,) * 8
+
+
+def test_cross_domain_odd_counts():
+    p = cross_domain_placement(5, n_hosts=2)
+    assert p.hosts_used() == {0, 1}
+    assert p.n_vms == 5
+
+
+def test_balanced_placement_round_robin():
+    p = balanced_placement(6, 2)
+    assert p.assignment == (0, 1, 0, 1, 0, 1)
+
+
+def test_placement_validation():
+    with pytest.raises(PlacementError):
+        normal_placement(0)
+    with pytest.raises(PlacementError):
+        cross_domain_placement(4, n_hosts=1)
+    with pytest.raises(PlacementError):
+        balanced_placement(3, 0)
+
+
+def test_validate_placement_against_machines():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2))
+    bad = normal_placement(4, host_index=7)
+    with pytest.raises(PlacementError):
+        validate_placement(bad, platform.datacenter.machines)
+
+
+# --- provisioning -----------------------------------------------------------
+
+def test_provision_places_and_runs_vms():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
+    cluster = platform.provision_cluster("c", cross_domain_placement(6))
+    assert cluster.n_nodes == 6
+    assert len(cluster.workers) == 5
+    assert all(vm.state is VMState.RUNNING for vm in cluster.vms)
+    assert cluster.cross_domain
+    assert cluster.hosts_used() == {"pm0", "pm1"}
+
+
+def test_provision_with_boot_charges_time():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
+    platform.provision_cluster("c", normal_placement(4), boot=True)
+    assert platform.sim.now > 18.0  # guest boot floor
+
+
+def test_provision_rejects_duplicates_and_tiny_clusters():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
+    platform.provision_cluster("c", normal_placement(2))
+    with pytest.raises(ConfigError):
+        platform.provision_cluster("c", normal_placement(2))
+    with pytest.raises(ConfigError):
+        platform.provision_cluster("tiny", normal_placement(1))
+
+
+def test_custom_vm_and_hadoop_config():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
+    cluster = platform.provision_cluster(
+        "c", normal_placement(3),
+        vm_config=VMConfig(memory=512 * 1024 * 1024),
+        hadoop_config=HadoopConfig(map_tasks_maximum=3))
+    assert cluster.master.config.memory == 512 * 1024 * 1024
+    assert cluster.trackers[0].map_slots.capacity == 3
+
+
+def test_upload_timed_vs_untimed():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
+    cluster = platform.provision_cluster("c", normal_placement(4))
+    records = lines_as_records(["hello world"] * 100)
+    platform.upload(cluster, "/untimed", records, timed=False)
+    t0 = platform.sim.now
+    assert t0 == 0.0
+    platform.upload(cluster, "/timed", records,
+                    sizeof=lambda _r: 1_000_000)
+    assert platform.sim.now > t0
+    assert cluster.dfs.peek_records("/untimed") == tuple(records)
+    assert cluster.dfs.peek_records("/timed") == tuple(records)
+
+
+def test_full_flow_provision_upload_run_collect():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
+    cluster = platform.provision_cluster("c", normal_placement(4))
+    platform.upload(cluster, "/in", lines_as_records(["x y x"]), timed=False)
+    report = platform.run_job(cluster, wordcount_job("/in", "/out"))
+    assert dict(platform.collect(cluster, report)) == {"x": 2, "y": 1}
+    assert platform.tracer.count("job.done") == 1
+
+
+def test_reconfigure_rebuilds_slots():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
+    cluster = platform.provision_cluster("c", normal_placement(4))
+    cluster.reconfigure(cluster.config.replace(map_tasks_maximum=4))
+    assert all(t.map_slots.capacity == 4 for t in cluster.trackers)
+    assert platform.tracer.count("cluster.reconfigure") == 1
+
+
+def test_cluster_requires_worker():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
+    from repro.platform.cluster import HadoopVirtualCluster
+    vm = platform.datacenter.create_vm("solo", platform.datacenter.machine(0))
+    with pytest.raises(ConfigError):
+        HadoopVirtualCluster("bad", platform.datacenter, vm, [])

@@ -1,0 +1,311 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator, Interrupt
+
+
+def test_empty_run_leaves_clock_at_zero():
+    sim = Simulator()
+    sim.run()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=0.5)
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(2.0)
+        return 42
+
+    proc = sim.process(body(sim))
+    sim.run()
+    assert proc.value == 42
+    assert sim.now == 2.0
+
+
+def test_process_sequencing_and_values():
+    sim = Simulator()
+    seen = []
+
+    def body(sim):
+        got = yield sim.timeout(1.0, value="a")
+        seen.append((sim.now, got))
+        got = yield sim.timeout(2.0, value="b")
+        seen.append((sim.now, got))
+
+    sim.process(body(sim))
+    sim.run()
+    assert seen == [(1.0, "a"), (3.0, "b")]
+
+
+def test_processes_wait_on_each_other():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return result + "!"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "child-result!"
+
+
+def test_simultaneous_events_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def make(tag):
+        def body(sim):
+            yield sim.timeout(1.0)
+            order.append(tag)
+        return body
+
+    for tag in range(5):
+        sim.process(make(tag)(sim))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    results = []
+
+    def waiter(sim):
+        value = yield gate
+        results.append((sim.now, value))
+
+    def opener(sim):
+        yield sim.timeout(7.0)
+        gate.succeed("open")
+
+    sim.process(waiter(sim))
+    sim.process(opener(sim))
+    sim.run()
+    assert results == [(7.0, "open")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        _ = sim.event().value
+
+
+def test_failed_event_throws_into_waiter():
+    sim = Simulator()
+    boom = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield boom
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim))
+    boom.fail(ValueError("kaput"))
+    sim.run()
+    assert caught == ["kaput"]
+
+
+def test_unwaited_failed_event_raises_out_of_run():
+    sim = Simulator()
+    sim.event().fail(RuntimeError("unseen"))
+    with pytest.raises(RuntimeError, match="unseen"):
+        sim.run()
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not-an-exception")  # type: ignore[arg-type]
+
+
+def test_process_failure_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("inner")
+
+    def outer(sim):
+        try:
+            yield sim.process(bad(sim))
+        except KeyError:
+            return "caught"
+
+    p = sim.process(outer(sim))
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_yield_on_already_processed_event():
+    sim = Simulator()
+    early = sim.timeout(1.0, value="early")
+
+    def late(sim):
+        yield sim.timeout(5.0)
+        value = yield early
+        return value
+
+    p = sim.process(late(sim))
+    sim.run()
+    assert p.value == "early"
+    assert sim.now == 5.0
+
+
+def test_yield_non_event_raises_in_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield "not an event"
+
+    def outer(sim):
+        try:
+            yield sim.process(bad(sim))
+        except SimulationError:
+            return "typed"
+
+    p = sim.process(outer(sim))
+    sim.run()
+    assert p.value == "typed"
+
+
+def test_interrupt_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            log.append((sim.now, i.cause))
+            yield sim.timeout(1.0)
+        return "recovered"
+
+    def interrupter(sim, victim):
+        yield sim.timeout(2.0)
+        victim.interrupt("wake-up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [(2.0, "wake-up")]
+    assert victim.triggered and victim.value == "recovered"
+    # The abandoned 100 s timeout still sat in the queue (SimPy semantics);
+    # draining it moved the clock to 100 but resumed nobody.
+    assert sim.now == 100.0
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_any_of_triggers_on_first():
+    sim = Simulator()
+    a = sim.timeout(1.0, "a")
+    b = sim.timeout(5.0, "b")
+
+    def body(sim):
+        result = yield sim.any_of([a, b])
+        return result
+
+    p = sim.process(body(sim))
+    sim.run(until=2.0)
+    assert p.triggered
+    assert p.value == {a: "a"}
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+    a = sim.timeout(1.0, "a")
+    b = sim.timeout(5.0, "b")
+
+    def body(sim):
+        result = yield sim.all_of([a, b])
+        return sorted(result.values())
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert sim.now == 5.0
+    assert p.value == ["a", "b"]
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+    cond = sim.all_of([])
+    sim.run()
+    assert cond.triggered and cond.value == {}
+
+
+def test_process_body_must_be_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_clock_is_monotone_across_many_events():
+    sim = Simulator()
+    stamps = []
+
+    def body(sim, delay):
+        yield sim.timeout(delay)
+        stamps.append(sim.now)
+
+    for d in (3.0, 1.0, 2.0, 1.0, 0.0):
+        sim.process(body(sim, d))
+    sim.run()
+    assert stamps == sorted(stamps)
+    assert sim.now == 3.0

@@ -1,0 +1,107 @@
+"""Tests for the CLI entry point and the configuration dataclasses."""
+
+import pytest
+
+from repro import constants as C
+from repro.cli import build_parser, main
+from repro.config import HadoopConfig, HostConfig, PlatformConfig, VMConfig
+from repro.errors import ConfigError
+
+
+# --- CLI -------------------------------------------------------------------
+
+def test_parser_knows_all_experiments():
+    parser = build_parser()
+    for name in ("table1", "fig2", "fig3", "fig4", "fig5", "table2",
+                 "fig6", "fig7", "fig8", "all"):
+        args = parser.parse_args([name])
+        assert args.experiment == name
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_cli_runs_fig8(capsys):
+    assert main(["fig8", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out
+    assert "sample-data" in out
+    assert "+--" in out  # ASCII panel border
+
+
+def test_cli_quick_fig6(capsys):
+    assert main(["fig6", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out and "canopy_s" in out
+
+
+def test_cli_seed_changes_results(capsys):
+    main(["fig8", "--seed", "1"])
+    first = capsys.readouterr().out
+    main(["fig8", "--seed", "2"])
+    second = capsys.readouterr().out
+    assert first != second
+
+
+# --- configs -----------------------------------------------------------------
+
+def test_hadoop_config_defaults_match_paper_era():
+    config = HadoopConfig()
+    assert config.dfs_block_size == 64 * C.MiB
+    assert config.dfs_replication >= 1
+    assert config.map_tasks_maximum == 2
+    assert config.reduce_tasks_maximum == 2
+
+
+def test_hadoop_config_validation():
+    with pytest.raises(ConfigError):
+        HadoopConfig(dfs_replication=0)
+    with pytest.raises(ConfigError):
+        HadoopConfig(dfs_block_size=1024)
+    with pytest.raises(ConfigError):
+        HadoopConfig(map_tasks_maximum=0)
+    with pytest.raises(ConfigError):
+        HadoopConfig(shuffle_parallel_copies=0)
+    with pytest.raises(ConfigError):
+        HadoopConfig(task_startup_s=-1.0)
+    with pytest.raises(ConfigError):
+        HadoopConfig(job_localization_bytes=-1)
+
+
+def test_hadoop_config_replace_is_pure():
+    base = HadoopConfig()
+    changed = base.replace(map_tasks_maximum=4)
+    assert changed.map_tasks_maximum == 4
+    assert base.map_tasks_maximum == 2
+
+
+def test_platform_config_validation():
+    with pytest.raises(ConfigError):
+        PlatformConfig(n_hosts=0)
+    with pytest.raises(ConfigError):
+        PlatformConfig(nfs_bandwidth=0.0)
+
+
+def test_vm_config_with_memory():
+    vm = VMConfig()
+    bigger = vm.with_memory(2 * C.GiB)
+    assert bigger.memory == 2 * C.GiB
+    assert vm.memory == C.DEFAULT_VM_MEMORY
+
+
+def test_host_config_guest_dram():
+    host = HostConfig()
+    assert host.guest_dram == host.dram - host.dom0_reserved
+    with pytest.raises(ConfigError):
+        HostConfig(netback_bandwidth=0.0)
+
+
+def test_constants_sanity():
+    # Relationships the models depend on.
+    assert C.XEN_NETBACK_BPS < C.GBIT_ETHERNET_BPS < C.VIRTUAL_BRIDGE_BPS
+    assert C.NFS_BPS < C.GBIT_ETHERNET_BPS
+    assert 0.0 < C.DISK_CACHE_HIT_RATIO < 1.0
+    assert C.MIGRATION_SEND_BUDGET_FACTOR > 1.0
+    assert C.DEFAULT_VM_MEMORY == 1024 * C.MiB  # the paper's VM shape

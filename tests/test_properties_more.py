@@ -1,0 +1,123 @@
+"""Second wave of property-based and integration invariants."""
+
+import collections
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import constants as C
+from repro.config import HadoopConfig, PlatformConfig
+from repro.mapreduce import Job, LocalJobRunner, Mapper, Reducer
+from repro.platform import VHadoopPlatform, normal_placement
+from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
+                                       wordcount_job)
+
+_SLOW = dict(deadline=None,
+             suppress_health_check=[HealthCheck.too_slow,
+                                    HealthCheck.data_too_large])
+
+
+# --- HDFS block packing --------------------------------------------------------
+
+@settings(max_examples=25, **_SLOW)
+@given(st.lists(st.integers(1, 4 * 1024 * 1024), min_size=1, max_size=40))
+def test_block_packing_preserves_records_and_caps_size(record_sizes):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=0))
+    cluster = platform.provision_cluster(
+        "pack", normal_placement(3),
+        hadoop_config=HadoopConfig(dfs_block_size=1 * C.MiB))
+    records = list(range(len(record_sizes)))
+    sizes = dict(zip(records, record_sizes))
+    packed = cluster.dfs._pack_blocks(records, lambda r: sizes[r])
+    # Every record lands exactly once, in order.
+    regenerated = [r for _block, payload in packed for r in payload]
+    assert regenerated == records
+    # Block metadata is consistent with its payload.
+    for block, payload in packed:
+        assert block.n_records == len(payload)
+        assert block.size == sum(sizes[r] for r in payload)
+        # A block only exceeds the limit when a single record does.
+        if len(payload) > 1:
+            assert block.size <= 1 * C.MiB
+
+
+# --- generic MapReduce equivalence ----------------------------------------------
+
+class KeyModMapper(Mapper):
+    def __init__(self, modulus):
+        self.modulus = modulus
+
+    def map(self, key, value, context):
+        context.emit(int(value) % self.modulus, int(value))
+
+
+class MaxReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit(key, max(values))
+
+
+@settings(max_examples=8, **_SLOW)
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=60),
+       st.integers(2, 7), st.integers(1, 4))
+def test_generic_job_cluster_equals_local(values, modulus, n_reduces):
+    records = [(i, v) for i, v in enumerate(values)]
+    job = Job(name="keymax", input_paths=["/in"], output_path="/out",
+              mapper=lambda: KeyModMapper(modulus), reducer=MaxReducer,
+              n_reduces=n_reduces)
+    local = sorted(LocalJobRunner().run(job, records))
+
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
+    cluster = platform.provision_cluster("g", normal_placement(4))
+    platform.upload(cluster, "/in", records, timed=False)
+    report = platform.run_job(cluster, job)
+    assert sorted(platform.collect(cluster, report)) == local
+    # And the answer is right by construction.
+    expected = {}
+    for v in values:
+        k = v % modulus
+        expected[k] = max(expected.get(k, -1), v)
+    assert dict(local) == expected
+
+
+# --- migration + running job integration ----------------------------------------
+
+def test_job_finishes_correctly_while_cluster_migrates():
+    """The paper's point: despite migration downtime, 'the MapReduce
+    workloads can be successfully finished'."""
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=6))
+    cluster = platform.provision_cluster("mig", normal_placement(8))
+    lines = ["mu nu xi omicron pi " * 10] * 2000
+    platform.upload(cluster, "/in", lines_as_records(lines),
+                    sizeof=lambda r: (len(r[1]) + 1) * 60, timed=False)
+    job = wordcount_job("/in", "/out", n_reduces=4, volume_scale=60)
+    job_event = platform.runners[cluster.name].submit(job)
+
+    dc = platform.datacenter
+    dc.run(until=5.0)  # the job is under way
+    migration = dc.virtlm.migrate_cluster(cluster.vms, dc.machine(1))
+    dc.sim.run_until(job_event)
+    report = job_event.value
+    output = dict(platform.runners[cluster.name].read_output(report))
+    assert output == dict(collections.Counter(" ".join(lines).split()))
+    dc.sim.run_until(migration)
+    assert all(vm.host is dc.machine(1) for vm in cluster.vms)
+
+
+def test_migrating_cluster_job_slower_than_undisturbed():
+    def run(migrate: bool) -> float:
+        platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=6))
+        cluster = platform.provision_cluster("m2", normal_placement(8))
+        lines = ["rho sigma tau " * 20] * 2000
+        platform.upload(cluster, "/in", lines_as_records(lines),
+                        sizeof=lambda r: (len(r[1]) + 1) * 80, timed=False)
+        job = wordcount_job("/in", "/out", n_reduces=4, volume_scale=80)
+        event = platform.runners[cluster.name].submit(job)
+        dc = platform.datacenter
+        if migrate:
+            dc.run(until=3.0)
+            dc.virtlm.migrate_cluster(cluster.vms, dc.machine(1))
+        dc.sim.run_until(event)
+        return event.value.elapsed
+
+    assert run(migrate=True) > run(migrate=False)

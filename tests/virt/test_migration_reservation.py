@@ -1,0 +1,76 @@
+"""Tests for resource-reserved (rate-capped) live migration."""
+
+import collections
+
+import pytest
+
+from repro import constants as C
+from repro.config import PlatformConfig, VMConfig
+from repro.errors import MigrationError
+from repro.platform import VHadoopPlatform, normal_placement
+from repro.virt import Datacenter
+from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
+                                       wordcount_job)
+
+
+def test_rate_cap_validation():
+    dc = Datacenter(PlatformConfig(n_hosts=2))
+    vm = dc.create_vm("v", dc.machine(0))
+    dc.instant_boot(vm)
+    with pytest.raises(MigrationError):
+        dc.migrator.migrate(vm, dc.machine(1), rate_cap_bps=0)
+
+
+def test_capped_migration_is_slower():
+    dc = Datacenter(PlatformConfig(n_hosts=2, seed=1))
+    a = dc.create_vm("a", dc.machine(0), VMConfig(memory=512 * C.MiB),
+                     jittered_dirty_rate=False)
+    b = dc.create_vm("b", dc.machine(0), VMConfig(memory=512 * C.MiB),
+                     jittered_dirty_rate=False)
+    dc.instant_boot(a)
+    dc.instant_boot(b)
+    free = dc.migrator.migrate(a, dc.machine(1))
+    dc.run()
+    capped = dc.migrator.migrate(b, dc.machine(1),
+                                 rate_cap_bps=30e6)
+    dc.run()
+    assert capped.value.migration_time_s > 2.0 * free.value.migration_time_s
+
+
+def test_reservation_reduces_job_interference():
+    """The CLOUD'11 result this feature reproduces: capping the migration
+    stream slows the migration but protects the running workload."""
+
+    def run(rate_cap):
+        platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=9))
+        cluster = platform.provision_cluster("r", normal_placement(8))
+        lines = ["ups downs lefts rights " * 15] * 3000
+        platform.upload(cluster, "/in", lines_as_records(lines),
+                        sizeof=lambda r: (len(r[1]) + 1) * 80, timed=False)
+        job = wordcount_job("/in", "/out", n_reduces=4, volume_scale=80)
+        job_event = platform.runners[cluster.name].submit(job)
+        dc = platform.datacenter
+        dc.run(until=3.0)
+        migration = dc.virtlm.migrate_cluster(cluster.vms, dc.machine(1),
+                                              rate_cap_bps=rate_cap)
+        dc.sim.run_until(job_event)
+        job_elapsed = job_event.value.elapsed
+        dc.sim.run_until(migration)
+        return job_elapsed, migration.value.overall_migration_time_s
+
+    job_free, mig_free = run(rate_cap=None)
+    job_capped, mig_capped = run(rate_cap=25e6)
+    # The reservation trades migration speed for workload protection.
+    assert mig_capped > mig_free
+    assert job_capped < job_free
+
+
+def test_capped_cluster_migration_still_correct():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=2))
+    cluster = platform.provision_cluster("c", normal_placement(4))
+    dc = platform.datacenter
+    event = dc.virtlm.migrate_cluster(cluster.vms, dc.machine(1),
+                                      rate_cap_bps=40e6)
+    dc.sim.run_until(event)
+    assert all(vm.host is dc.machine(1) for vm in cluster.vms)
+    assert len(event.value.records) == 4

@@ -1,0 +1,117 @@
+"""Integration tests for the four Table I benchmark workloads."""
+
+import collections
+
+import pytest
+
+from repro import constants as C
+from repro.config import PlatformConfig
+from repro.platform import (VHadoopPlatform, cross_domain_placement,
+                            normal_placement)
+from repro.workloads import (run_dfsio, run_mrbench, run_terasort,
+                             teravalidate, wordcount_job)
+from repro.workloads.mrbench import mrbench_input, mrbench_sizeof
+from repro.workloads.wordcount import lines_as_records, line_record_sizeof
+
+
+def make(n=8, layout="normal", seed=4):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
+    placement = (normal_placement(n) if layout == "normal"
+                 else cross_domain_placement(n))
+    cluster = platform.provision_cluster("w", placement)
+    return platform, cluster
+
+
+# --- wordcount -------------------------------------------------------------
+
+def test_wordcount_paper_semantics_no_combiner():
+    job = wordcount_job("/in", "/out")
+    assert job.combiner is None  # the paper's description has no combiner
+
+
+def test_wordcount_counts_correctly():
+    platform, cluster = make()
+    lines = ["a b a", "c a"]
+    platform.upload(cluster, "/in", lines_as_records(lines),
+                    sizeof=line_record_sizeof, timed=False)
+    report = platform.run_job(cluster, wordcount_job("/in", "/out"))
+    assert dict(platform.collect(cluster, report)) == {"a": 3, "b": 1, "c": 1}
+
+
+# --- mrbench ---------------------------------------------------------------------
+
+def test_mrbench_identity_roundtrip():
+    platform, cluster = make()
+    runner = platform.runner(cluster)
+    report = run_mrbench(runner, cluster, n_maps=3, n_reduces=2)
+    assert report.n_maps == 3
+    assert report.n_reduces == 2
+    out = runner.read_output(report)
+    assert len(out) == len(mrbench_input())
+    assert {k for k, _v in out} == {str(i + 1) for i in range(100)}
+
+
+def test_mrbench_input_staged_once():
+    platform, cluster = make()
+    runner = platform.runner(cluster)
+    run_mrbench(runner, cluster, 1, 1, run_index=0)
+    run_mrbench(runner, cluster, 1, 1, run_index=1)
+    assert cluster.namenode.exists("/mrbench/input")
+    assert mrbench_sizeof((0, "42")) == 3
+
+
+# --- terasort ---------------------------------------------------------------------
+
+def test_terasort_sorts_and_validates():
+    platform, cluster = make()
+    runner = platform.runner(cluster)
+    result = run_terasort(runner, cluster, 20 * C.MB, n_reduces=4,
+                          volume_scale=64)
+    assert result.validated
+    assert result.generation_time_s > 0
+    assert result.sort_time_s > 0
+    # All records survive the sort.
+    total = sum(len(cluster.dfs.peek_records(p))
+                for p in result.sort_report.output_paths)
+    gen_total = sum(len(cluster.dfs.peek_records(p))
+                    for p in result.gen_report.output_paths)
+    assert total == gen_total > 0
+
+
+def test_teravalidate_detects_disorder():
+    good = [[(b"a", 1), (b"b", 2)], [(b"c", 3)]]
+    assert teravalidate(good)
+    unsorted_part = [[(b"b", 1), (b"a", 2)]]
+    assert not teravalidate(unsorted_part)
+    bad_boundary = [[(b"c", 1)], [(b"a", 2)]]
+    assert not teravalidate(bad_boundary)
+    assert teravalidate([[], [(b"a", 1)]])
+
+
+def test_terasort_larger_data_takes_longer():
+    platform, cluster = make(seed=6)
+    runner = platform.runner(cluster)
+    small = run_terasort(runner, cluster, 10 * C.MB, n_reduces=2,
+                         seed_tag="s", volume_scale=64)
+    large = run_terasort(runner, cluster, 80 * C.MB, n_reduces=2,
+                         seed_tag="l", volume_scale=64)
+    assert large.sort_time_s > small.sort_time_s
+
+
+# --- dfsio -------------------------------------------------------------------------
+
+def test_dfsio_read_faster_than_write():
+    platform, cluster = make(n=16)
+    result = run_dfsio(cluster, n_files=6, file_bytes=32 * C.MB)
+    assert result.read_throughput_bps > result.write_throughput_bps
+    assert result.total_bytes == 6 * 32 * C.MB
+
+
+def test_dfsio_cross_domain_writes_slower():
+    results = {}
+    for layout in ("normal", "cross-domain"):
+        platform, cluster = make(n=16, layout=layout, seed=8)
+        results[layout] = run_dfsio(cluster, n_files=6,
+                                    file_bytes=32 * C.MB, tag=layout)
+    assert (results["cross-domain"].write_throughput_bps
+            < results["normal"].write_throughput_bps)

@@ -1,0 +1,25 @@
+"""Scheduler policies on a mixed multi-tenant workload (FIFO/Fair/Capacity)."""
+
+from repro.experiments import format_table
+from repro.experiments import sched_policies
+
+
+def test_policy_comparison(one_shot):
+    result = one_shot(sched_policies.run, seed=0, quick=True)
+    print()
+    print(format_table(result))
+    rows = {row[0]: row for row in result.rows}
+    wait = {name: rows[name][result.columns.index("small_mean_wait_s")]
+            for name in rows}
+    # Fair sharing serves the interactive pool while the batch job runs.
+    assert wait["fair"] < wait["fifo"]
+    # Capacity guarantees help too, though without preemption.
+    assert wait["capacity"] < wait["fifo"]
+    # Only the fair scheduler (preemption configured) ever kills a task.
+    preempt = {name: rows[name][result.columns.index("preemptions")]
+               for name in rows}
+    assert preempt["fair"] > 0
+    assert preempt["fifo"] == preempt["capacity"] == 0
+    # Jobs overlapped under every policy.
+    assert all(c > 0 for c in result.column("concurrent_s"))
+    assert all(m > 0 for m in result.column("makespan_s"))

@@ -21,7 +21,7 @@ from repro.experiments import (fig2_wordcount, fig3_mrbench,
                                fig4_terasort_dfsio, fig5_migration,
                                fig6_synthetic_control,
                                fig7_display_clustering, fig8_cluster_visuals,
-                               table1_benchmarks)
+                               sched_policies, table1_benchmarks)
 
 
 def _run_fig2(args) -> list:
@@ -76,6 +76,10 @@ def _run_table1(args) -> list:
     return [table1_benchmarks.run(seed=args.seed)]
 
 
+def _run_schedule(args) -> list:
+    return [sched_policies.run(seed=args.seed, quick=args.quick)]
+
+
 _EXPERIMENTS: dict[str, Callable] = {
     "table1": _run_table1,
     "fig2": _run_fig2,
@@ -86,6 +90,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "fig6": _run_fig6,
     "fig7": _run_fig7,
     "fig8": _run_fig8,
+    "schedule": _run_schedule,
 }
 
 

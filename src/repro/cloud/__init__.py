@@ -13,6 +13,7 @@ cluster-per-job service on top of the platform.
 """
 
 from repro.cloud.service import (OnDemandVHadoopService, ServiceOutcome,
-                                 ServiceRequest)
+                                 ServiceRequest, SharedVHadoopService)
 
-__all__ = ["OnDemandVHadoopService", "ServiceOutcome", "ServiceRequest"]
+__all__ = ["OnDemandVHadoopService", "ServiceOutcome", "ServiceRequest",
+           "SharedVHadoopService"]

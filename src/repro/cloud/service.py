@@ -30,6 +30,7 @@ from repro.mapreduce.job import Job
 from repro.mapreduce.runner import JobReport, MapReduceRunner
 from repro.platform.cluster import HadoopVirtualCluster
 from repro.platform.vhadoop import VHadoopPlatform
+from repro.scheduler import JobScheduler, SchedulerReport, SchedulingPolicy
 from repro.sim.kernel import Event
 
 #: A request's job factory receives the input path and an output path.
@@ -75,14 +76,35 @@ class ServiceOutcome:
         return self.finished_at - self.submitted_at
 
 
-class OnDemandVHadoopService:
-    """Elastic cluster-per-job execution over one platform."""
+@dataclass
+class _QueueEntry:
+    """A waiting request plus how often younger requests jumped past it."""
 
-    def __init__(self, platform: VHadoopPlatform):
+    request: ServiceRequest
+    done: Event
+    outcome: ServiceOutcome
+    skips: int = 0
+
+
+class OnDemandVHadoopService:
+    """Elastic cluster-per-job execution over one platform.
+
+    ``max_head_skips`` is the aging guard on admission: once the oldest
+    waiting request has been skipped by that many younger admissions, the
+    scan stops at it — capacity drains until the head fits, so a large
+    request can no longer starve behind an endless stream of small ones.
+    ``None`` restores the unbounded legacy behaviour.
+    """
+
+    def __init__(self, platform: VHadoopPlatform,
+                 max_head_skips: Optional[int] = 16):
+        if max_head_skips is not None and max_head_skips < 0:
+            raise ConfigError("max_head_skips must be >= 0 or None")
         self.platform = platform
         self.datacenter = platform.datacenter
         self.sim = platform.sim
-        self._queue: list[tuple[ServiceRequest, Event, ServiceOutcome]] = []
+        self.max_head_skips = max_head_skips
+        self._queue: list[_QueueEntry] = []
         self._ids = itertools.count()
         self.completed: list[ServiceOutcome] = []
 
@@ -91,7 +113,7 @@ class OnDemandVHadoopService:
         """Queue a request; the event's value is a :class:`ServiceOutcome`."""
         done = self.sim.event()
         outcome = ServiceOutcome(request=request, submitted_at=self.sim.now)
-        self._queue.append((request, done, outcome))
+        self._queue.append(_QueueEntry(request, done, outcome))
         self._admit()
         return done
 
@@ -118,24 +140,38 @@ class OnDemandVHadoopService:
         return slots >= request.n_nodes
 
     def _admit(self) -> None:
-        """Start every queued request that currently fits (FIFO scan).
+        """Start every queued request that currently fits (FIFO scan with
+        bounded skipping).
 
         Admission reserves the cluster's DRAM *synchronously* (a hold per
         VM) so that several same-instant admissions cannot double-book the
         capacity; the hold is swapped for real VM residency when the serve
         process provisions.
+
+        A request that fits may skip ahead of older ones that do not — but
+        each admission that jumps a waiting request ages it, and once the
+        queue head has been skipped ``max_head_skips`` times the scan stops
+        there: nothing younger is admitted until the head fits.
         """
+        blocked: list[_QueueEntry] = []
         for entry in list(self._queue):
-            request, done, outcome = entry
-            if not self._fits(request):
+            if (self.max_head_skips is not None and blocked
+                    and blocked[0].skips >= self.max_head_skips):
+                break  # the head has aged out its skip budget
+            if not self._fits(entry.request):
+                blocked.append(entry)
                 continue
+            for older in blocked:
+                older.skips += 1
+            request = entry.request
             self._queue.remove(entry)
             hosts = self._place(request)
             memory = self._vm_memory(request)
             for machine in hosts:
                 machine.reserve_dram(memory, f"svc-hold:{request.name}")
-            self.sim.process(self._serve(request, done, outcome, hosts),
-                             name=f"svc:{request.name}")
+            self.sim.process(
+                self._serve(request, entry.done, entry.outcome, hosts),
+                name=f"svc:{request.name}")
 
     # -- serving -------------------------------------------------------------
     def _place(self, request: ServiceRequest) -> list:
@@ -199,3 +235,67 @@ class OnDemandVHadoopService:
             self._admit()  # freed capacity may admit queued requests
         done.succeed(outcome)
         return outcome
+
+
+class SharedVHadoopService:
+    """Multi-tenant execution on one long-lived shared cluster.
+
+    Where :class:`OnDemandVHadoopService` boots a cluster per job, this
+    mode keeps one :class:`HadoopVirtualCluster` warm and pushes every
+    request through a :class:`~repro.scheduler.JobScheduler` — no boot or
+    teardown cost per job, jobs interleave at slot granularity, and tenants
+    are isolated by scheduler pools.  ``request.n_nodes`` is ignored: the
+    cluster is whatever was provisioned.
+    """
+
+    def __init__(self, platform: VHadoopPlatform,
+                 cluster: HadoopVirtualCluster,
+                 policy: Optional[SchedulingPolicy] = None):
+        self.platform = platform
+        self.cluster = cluster
+        self.sim = platform.sim
+        self.scheduler = JobScheduler(
+            cluster, policy=policy,
+            runner=platform.runners.get(cluster.name))
+        self._ids = itertools.count()
+        self.completed: list[ServiceOutcome] = []
+
+    def submit(self, request: ServiceRequest,
+               pool: str = "default") -> Event:
+        """Stage the request's input and submit its job to ``pool``; the
+        event's value is a :class:`ServiceOutcome`."""
+        done = self.sim.event()
+        outcome = ServiceOutcome(request=request, submitted_at=self.sim.now)
+        instance = next(self._ids)
+        base = f"/shared/{request.name}-{instance}"
+        self.sim.process(self._serve(request, pool, base, done, outcome),
+                         name=f"shared-svc:{request.name}")
+        return done
+
+    def _serve(self, request: ServiceRequest, pool: str, base: str,
+               done: Event, outcome: ServiceOutcome):
+        outcome.started_at = self.sim.now
+        upload = self.cluster.dfs.write_file(
+            self.cluster.master, f"{base}/input", request.records,
+            sizeof=request.sizeof)
+        yield upload
+        job = request.make_job(f"{base}/input", f"{base}/output")
+        report = yield self.scheduler.submit(job, pool=pool)
+        outcome.report = report
+        outcome.output = self.scheduler.runner.read_output(report)
+        outcome.finished_at = self.sim.now
+        self.completed.append(outcome)
+        self.cluster.tracer.emit(
+            self.sim.now, "cloud.request.done", request.name,
+            total=outcome.total_s, waited=outcome.queue_wait_s, shared=True)
+        done.succeed(outcome)
+        return outcome
+
+    def run_all(self, events: Sequence[Event]) -> list[ServiceOutcome]:
+        """Drive the simulator until every given request completes."""
+        gate = self.sim.all_of(list(events))
+        self.sim.run_until(gate)
+        return [event.value for event in events]
+
+    def scheduler_report(self) -> SchedulerReport:
+        return self.scheduler.finalize()

@@ -105,11 +105,25 @@ class JobReport:
     output_paths: list[str] = field(default_factory=list)
     tasks: list[TaskAttempt] = field(default_factory=list)
     counters: Counters = field(default_factory=Counters)
+    #: Scheduler accounting (filled by the slot workers / repro.scheduler).
+    pool: str = "default"
+    first_task_at: Optional[float] = None
+    slot_seconds: float = 0.0
+    preempted_tasks: int = 0
+    speculated_maps: int = 0
+    speculated_reduces: int = 0
 
     @property
     def elapsed(self) -> float:
         """Total job runtime in simulated seconds — the paper's y-axis."""
         return self.finished_at - self.submitted_at
+
+    @property
+    def wait_s(self) -> float:
+        """Submission-to-first-task latency (scheduling + localization)."""
+        if self.first_task_at is None:
+            return 0.0
+        return self.first_task_at - self.submitted_at
 
     @property
     def map_phase_s(self) -> float:
@@ -154,7 +168,9 @@ class MapReduceRunner:
         """Concatenated output records of a finished job (control-plane
         peek; charges no simulated time)."""
         out: list[tuple[Any, Any]] = []
-        for path in report.output_paths:
+        # Part-file name order == partition order (output_paths itself
+        # lists them in completion order, which scheduling perturbs).
+        for path in sorted(report.output_paths):
             out.extend(self.cluster.dfs.peek_records(path))
         return out
 
@@ -166,24 +182,7 @@ class MapReduceRunner:
         self.tracer.emit(self.sim.now, "job.submit", job.name,
                          n_reduces=job.n_reduces)
         yield self.sim.timeout(config.job_overhead_s / 2)
-
-        # Job localization: every TaskTracker pulls job.jar + config from
-        # the JobTracker/HDFS before it can run a task of this job.  The
-        # aggregate volume grows linearly with cluster size, which is what
-        # makes small jobs slower on larger virtual clusters (Fig. 6).
-        if config.job_localization_bytes > 0:
-            fabric = self.cluster.datacenter.fabric
-            master = self.cluster.master
-            pulls = []
-            for tracker in self.cluster.trackers:
-                pulls.append(fabric.transfer(
-                    master.node, tracker.vm.node,
-                    config.job_localization_bytes,
-                    name=f"{job.name}:localize:{tracker.name}"))
-                pulls.append(tracker.vm.disk_io(
-                    config.job_localization_bytes,
-                    name=f"{job.name}:localize"))
-            yield self.sim.all_of(pulls)
+        yield from self._localize(job)
 
         specs = self._make_map_specs(job)
         report.n_maps = len(specs)
@@ -207,6 +206,28 @@ class MapReduceRunner:
         self.tracer.emit(self.sim.now, "job.done", job.name,
                          elapsed=report.elapsed)
         return report
+
+    def _localize(self, job: Job):
+        """Job localization: every TaskTracker pulls job.jar + config from
+        the JobTracker/HDFS before it can run a task of this job.  The
+        aggregate volume grows linearly with cluster size, which is what
+        makes small jobs slower on larger virtual clusters (Fig. 6).
+        """
+        config = self.cluster.config
+        if config.job_localization_bytes <= 0:
+            return
+        fabric = self.cluster.datacenter.fabric
+        master = self.cluster.master
+        pulls = []
+        for tracker in self.cluster.trackers:
+            pulls.append(fabric.transfer(
+                master.node, tracker.vm.node,
+                config.job_localization_bytes,
+                name=f"{job.name}:localize:{tracker.name}"))
+            pulls.append(tracker.vm.disk_io(
+                config.job_localization_bytes,
+                name=f"{job.name}:localize"))
+        yield self.sim.all_of(pulls)
 
     # -- splits --------------------------------------------------------------
     def _make_map_specs(self, job: Job) -> list[_MapSpec]:
@@ -293,8 +314,14 @@ class MapReduceRunner:
         outputs.sort(key=lambda o: o.spec.index)
         return outputs
 
-    def _pick_speculative(self, state: dict) -> Optional[_MapSpec]:
-        """The longest-running straggler eligible for a backup attempt."""
+    def _pick_speculative(self, state: dict, report: JobReport,
+                          kind: str = "map"):
+        """The longest-running straggler eligible for a backup attempt.
+
+        Works for both phases: map ``state["running"]`` holds
+        ``index -> (start, _MapSpec)``, reduce holds
+        ``partition -> (start, partition)``.
+        """
         config = self.cluster.config
         if not config.speculative_execution or not state["durations"]:
             return None
@@ -302,17 +329,23 @@ class MapReduceRunner:
         threshold = config.speculative_slowdown * mean
         now = self.sim.now
         candidates = [
-            (now - start, spec)
-            for index, (start, spec) in state["running"].items()
+            (now - start, index, item)
+            for index, (start, item) in state["running"].items()
             if index not in state["finished"]
             and index not in state["duplicated"]
             and (now - start) > threshold]
         if not candidates:
             return None
-        _age, spec = max(candidates, key=lambda pair: pair[0])
-        state["duplicated"].add(spec.index)
-        self.tracer.emit(now, "task.map.speculate", spec.task_id)
-        return spec
+        _age, index, item = max(candidates, key=lambda trip: trip[0])
+        state["duplicated"].add(index)
+        if kind == "map":
+            task_id = item.task_id
+            report.speculated_maps += 1
+        else:
+            task_id = f"r-{index:05d}"
+            report.speculated_reduces += 1
+        self.tracer.emit(now, f"task.{kind}.speculate", task_id)
+        return item
 
     def _pick_map_task(self, tracker: "TaskTracker",
                        pending: list[_MapSpec]) -> tuple[Optional[_MapSpec], str]:
@@ -365,7 +398,7 @@ class MapReduceRunner:
             spec, locality = self._pick_map_task(tracker, pending)
             speculative = False
             if spec is None:
-                spec = self._pick_speculative(state)
+                spec = self._pick_speculative(state, report, "map")
                 if spec is None:
                     if remaining["n"] > 0 and config.speculative_execution:
                         continue  # keep heartbeating; stragglers may appear
@@ -377,6 +410,9 @@ class MapReduceRunner:
             # for its entire duration, not only during CPU bursts — this
             # drives the dirty-page rate seen by live migration.
             tracker.vm.activity += 1
+            claimed = self.sim.now
+            if report.first_task_at is None:
+                report.first_task_at = claimed
             try:
                 yield self.sim.timeout(config.task_startup_s)
                 start = self.sim.now
@@ -402,6 +438,7 @@ class MapReduceRunner:
                 if remaining["n"] == 0 and not all_done.triggered:
                     all_done.succeed(None)
             finally:
+                report.slot_seconds += self.sim.now - claimed
                 tracker.vm.activity -= 1
                 tracker.map_slots.release()
         return None
@@ -433,9 +470,7 @@ class MapReduceRunner:
             pairs = run_mapper(job.mapper(), spec.records, ctx)
         except Exception as exc:
             raise TaskFailure(spec.task_id, exc) from exc
-        report.counters.merge(ctx.counters)
-        report.counters.incr("job", "map_input_records", len(spec.records))
-        report.counters.incr("job", "map_output_records", len(pairs))
+        n_mapped = len(pairs)
         if self.cluster.config.use_combiner:
             pairs = combine(job.combiner, pairs, ctx)
         # 4. partition + spill.
@@ -450,64 +485,107 @@ class MapReduceRunner:
         spill = sum(partition_bytes.values())
         if spill > 0 and not job.map_only:
             yield vm.disk_io(spill, name=f"spill:{spec.task_id}")
+        # Counters land only when the attempt completes: a preempted or
+        # superseded attempt must contribute nothing to the job totals.
+        report.counters.merge(ctx.counters)
+        report.counters.incr("job", "map_input_records", len(spec.records))
+        report.counters.incr("job", "map_output_records", n_mapped)
         return _MapOutput(spec, tracker, partitions, partition_bytes,
                           job=job, report=report)
 
     # -- reduce phase --------------------------------------------------------
     def _reduce_phase(self, job: Job, map_outputs: list[_MapOutput],
                       report: JobReport):
-        pending = list(range(job.n_reduces))
+        state = self._make_reduce_state(job)
         all_done = self.sim.event()
-        remaining = {"n": len(pending)}
+        remaining = {"n": job.n_reduces}
         if remaining["n"] == 0:
             all_done.succeed(None)
         for tracker in self.cluster.trackers:
             for slot in range(tracker.reduce_slots.capacity):
                 self.sim.process(
-                    self._reduce_worker(job, tracker, pending, map_outputs,
+                    self._reduce_worker(job, tracker, state, map_outputs,
                                         report, remaining, all_done),
                     name=f"{job.name}:reduceworker:{tracker.name}:{slot}")
         yield all_done
         return None
 
-    def _reduce_worker(self, job: Job, tracker: "TaskTracker",
-                       pending: list[int], map_outputs: list[_MapOutput],
-                       report: JobReport, remaining: dict, all_done: Event):
+    @staticmethod
+    def _make_reduce_state(job: Job) -> dict:
+        """Shared reduce-phase state, mirroring the map phase plus a
+        commit table (``committing``) so racing speculative attempts
+        never write the same ``part-r-NNNNN`` file twice."""
+        return {
+            "pending": list(range(job.n_reduces)),
+            "running": {},        # partition -> (start_time, partition)
+            "finished": set(),    # partition
+            "duplicated": set(),  # partition with a backup launched
+            "durations": [],      # completed reduce durations
+            "committing": {},     # partition -> attempt token
+        }
+
+    def _reduce_worker(self, job: Job, tracker: "TaskTracker", state: dict,
+                       map_outputs: list[_MapOutput], report: JobReport,
+                       remaining: dict, all_done: Event):
         from repro.virt.vm import VMState
         config = self.cluster.config
-        while pending:
+        pending = state["pending"]
+        while pending or (config.speculative_execution
+                          and remaining["n"] > 0):
             if tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
                 break
             yield self.sim.timeout(
                 float(self._rng.uniform(0.0, config.heartbeat_s)))
-            if not pending:
-                break
-            partition = pending.pop(0)
+            speculative = False
+            if pending:
+                partition = pending.pop(0)
+            else:
+                partition = self._pick_speculative(state, report, "reduce")
+                if partition is None:
+                    if remaining["n"] > 0 and config.speculative_execution:
+                        continue  # keep heartbeating; stragglers may appear
+                    break
+                speculative = True
             yield tracker.reduce_slots.acquire()
             tracker.vm.activity += 1
+            claimed = self.sim.now
+            if report.first_task_at is None:
+                report.first_task_at = claimed
             try:
                 yield self.sim.timeout(config.task_startup_s)
                 start = self.sim.now
-                nbytes_in, nbytes_out = yield from self._run_reduce_task(
-                    job, tracker, partition, map_outputs, report)
+                if not speculative:
+                    state["running"][partition] = (start, partition)
+                token = object()
+                result = yield from self._run_reduce_task(
+                    job, tracker, partition, map_outputs, report, state,
+                    token)
+                if result is None or partition in state["finished"]:
+                    continue  # the other attempt won the race
+                state["finished"].add(partition)
+                state["running"].pop(partition, None)
+                state["durations"].append(self.sim.now - start)
+                nbytes_in, nbytes_out = result
                 report.tasks.append(TaskAttempt(
                     task_id=f"r-{partition:05d}", kind="reduce",
                     tracker=tracker.name, start=start, end=self.sim.now,
                     input_bytes=nbytes_in, output_bytes=nbytes_out,
                     locality="-"))
                 self.tracer.emit(self.sim.now, "task.reduce.done",
-                                 f"r-{partition:05d}", tracker=tracker.name)
+                                 f"r-{partition:05d}", tracker=tracker.name,
+                                 speculative=speculative)
+                remaining["n"] -= 1
+                if remaining["n"] == 0 and not all_done.triggered:
+                    all_done.succeed(None)
             finally:
+                report.slot_seconds += self.sim.now - claimed
                 tracker.vm.activity -= 1
                 tracker.reduce_slots.release()
-            remaining["n"] -= 1
-            if remaining["n"] == 0 and not all_done.triggered:
-                all_done.succeed(None)
         return None
 
     def _run_reduce_task(self, job: Job, tracker: "TaskTracker",
                          partition: int, map_outputs: list[_MapOutput],
-                         report: JobReport):
+                         report: JobReport, state: dict, token: object):
         vm = tracker.vm
         config = self.cluster.config
         # 1. shuffle: fetch this partition from every map's VM.
@@ -540,6 +618,13 @@ class MapReduceRunner:
             out_pairs = run_reducer(reducer, group_by_key(rows), ctx)
         except Exception as exc:
             raise TaskFailure(f"r-{partition:05d}", exc) from exc
+        # Commit protocol: only one attempt per partition may write the
+        # output file (and merge its counters); a racing speculative
+        # attempt that arrives second discards its work.
+        if (partition in state["finished"]
+                or partition in state["committing"]):
+            return None
+        state["committing"][partition] = token
         report.counters.merge(ctx.counters)
         report.counters.incr("job", "reduce_input_records", n)
         report.counters.incr("job", "reduce_output_records", len(out_pairs))

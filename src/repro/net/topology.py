@@ -27,7 +27,7 @@ from typing import Optional, Sequence
 from repro import constants as C
 from repro.errors import SimulationError
 from repro.sim import FairShareSystem, SharedResource, Simulator, Tracer
-from repro.sim.kernel import Event
+from repro.sim.kernel import Event, Interrupt
 from repro.sim.fairshare import FluidFlow
 
 
@@ -149,16 +149,25 @@ class NetworkFabric:
         self.tracer.emit(started, "net.transfer.start", name,
                          src=src.name, dst=dst.name, bytes=nbytes,
                          cross_domain=self.crosses_physical_nic(src, dst))
-        if latency > 0:
-            yield self.sim.timeout(latency)
-        if path and nbytes > 0:
-            flow = self.fss.open(path, size=float(nbytes), cap=cap, name=name)
-            yield flow.done
-        src.tx_bytes += nbytes
-        dst.rx_bytes += nbytes
+        flow = None
+        moved = nbytes
+        try:
+            if latency > 0:
+                yield self.sim.timeout(latency)
+            if path and nbytes > 0:
+                flow = self.fss.open(path, size=float(nbytes), cap=cap,
+                                     name=name)
+                yield flow.done
+        except Interrupt:
+            # The transfer's owner was preempted: tear the stream down and
+            # account only the bytes that made it across.
+            moved = self.fss.close(flow) if flow is not None and flow.active \
+                else 0.0
+        src.tx_bytes += moved
+        dst.rx_bytes += moved
         elapsed = self.sim.now - started
         self.tracer.emit(self.sim.now, "net.transfer.end", name,
-                         src=src.name, dst=dst.name, bytes=nbytes,
+                         src=src.name, dst=dst.name, bytes=moved,
                          elapsed=elapsed)
         return elapsed
 

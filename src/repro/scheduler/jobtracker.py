@@ -1,0 +1,596 @@
+"""JobScheduler: the JobTracker's multi-job slot arbiter.
+
+Execution model
+---------------
+The scheduler owns one pool of slot workers per cluster — one perpetual
+process per (TaskTracker, kind, slot), exactly Hadoop's slot model.  Each
+worker loops: park while no job has dispatchable work of its kind, pay a
+heartbeat latency, ask the policy which job gets the slot, pick a task
+(locality-aware for maps, via the runner's own selection code) and run it.
+Per-job task execution is delegated to :class:`MapReduceRunner` internals,
+so the functional output of every job is bit-identical to a solo
+:class:`~repro.mapreduce.local.LocalJobRunner` run.
+
+Determinism: workers draw heartbeat latencies from their *own* named RNG
+stream (``scheduler/heartbeat/<cluster>``), so single-job runs through the
+plain runner keep their exact timing.
+
+Preemption (fair scheduler with ``preemption_timeout_s`` pools) kills the
+youngest *map* tasks of over-share pools: the killed attempt's in-flight
+flows are cancelled (the virt/net layers catch :class:`Interrupt` and bill
+only the work actually done) and the task returns to its job's pending
+queue.  Reduce tasks are never killed — re-shuffling is too expensive, as
+in Hadoop — so reduce min-shares are enforced at assignment time only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.mapreduce.job import Job
+from repro.mapreduce.runner import (JobReport, MapReduceRunner, TaskAttempt,
+                                    _MapOutput, _MapSpec)
+from repro.scheduler.policies import (FifoScheduler, SchedulingPolicy,
+                                      _pool_demand, _pool_running)
+from repro.scheduler.report import JobStats, SchedulerReport
+from repro.sim.kernel import AllOf, AnyOf, Event, Process
+
+_STAGE_OF = {"map": "maps", "reduce": "reduces"}
+
+
+class JobExecution:
+    """Scheduler-side state of one submitted job."""
+
+    def __init__(self, job: Job, pool: str, seq: int, report: JobReport):
+        self.job = job
+        self.pool = pool
+        self.seq = seq
+        self.report = report
+        self.stage = "init"        # init -> maps -> reduces/writing -> done
+        self.map_state: Optional[dict] = None
+        self.map_outputs: list[_MapOutput] = []
+        self.map_remaining = {"n": 0}
+        self.reduce_state: Optional[dict] = None
+        self.reduce_remaining = {"n": 0}
+        self.maps_done: Optional[Event] = None
+        self.reduces_done: Optional[Event] = None
+        self.running = {"map": 0, "reduce": 0}
+        self.done: Optional[Event] = None
+
+    def stage_accepts(self, kind: str) -> bool:
+        return self.stage == _STAGE_OF[kind]
+
+    def pending_count(self, kind: str) -> int:
+        if not self.stage_accepts(kind):
+            return 0
+        state = self.map_state if kind == "map" else self.reduce_state
+        return len(state["pending"]) if state else 0
+
+    def remaining(self, kind: str) -> int:
+        return (self.map_remaining if kind == "map"
+                else self.reduce_remaining)["n"]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<JobExecution {self.job.name} pool={self.pool} "
+                f"stage={self.stage}>")
+
+
+class _RunningTask:
+    """Registry entry for one in-flight (preemptible) map attempt."""
+
+    __slots__ = ("ex", "task_id", "start", "kill", "speculative")
+
+    def __init__(self, ex: JobExecution, task_id: str, start: float,
+                 kill: Event, speculative: bool):
+        self.ex = ex
+        self.task_id = task_id
+        self.start = start
+        self.kill = kill
+        self.speculative = speculative
+
+
+class JobScheduler:
+    """Concurrent job admission + slot arbitration for one cluster."""
+
+    def __init__(self, cluster, policy: Optional[SchedulingPolicy] = None,
+                 runner: Optional[MapReduceRunner] = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.tracer = cluster.tracer
+        self.policy = policy or FifoScheduler()
+        self.runner = runner or MapReduceRunner(cluster)
+        self._rng = cluster.datacenter.rng.stream(
+            f"scheduler/heartbeat/{cluster.name}")
+        self.report = SchedulerReport(policy=self.policy.name,
+                                      cluster=cluster.name)
+        self._jobs: list[JobExecution] = []
+        self._active: list[JobExecution] = []
+        self._seq = 0
+        self._wake: dict[str, Event] = {"map": self.sim.event(),
+                                        "reduce": self.sim.event()}
+        self._parked = {"map": 0, "reduce": 0}
+        self._running_maps: list[_RunningTask] = []
+        self._workers_started = False
+        self._monitor_alive = False
+        self._stamp = self.sim.now
+
+    # -- public ------------------------------------------------------------
+    def submit(self, job: Job, pool: str = "default") -> Event:
+        """Admit ``job`` into ``pool``; the returned event's value is its
+        :class:`JobReport` once the job finishes."""
+        ex = JobExecution(job, pool, self._seq,
+                          JobReport(job_name=job.name,
+                                    submitted_at=self.sim.now,
+                                    n_reduces=job.n_reduces, pool=pool))
+        self._seq += 1
+        self.policy.register_job(ex)
+        self._accrue()
+        self._jobs.append(ex)
+        self._active.append(ex)
+        if self.report.started_at is None:
+            self.report.started_at = self.sim.now
+        self._ensure_workers()
+        self._ensure_monitor()
+        ex.done = self.sim.process(self._job_driver(ex),
+                                   name=f"sched:{job.name}")
+        self.tracer.emit(self.sim.now, "scheduler.submit", job.name,
+                         pool=pool, policy=self.policy.name)
+        return ex.done
+
+    def run_all(self) -> SchedulerReport:
+        """Drive the simulator until every submitted job has finished."""
+        for ex in list(self._jobs):
+            self.sim.run_until(ex.done)
+        return self.finalize()
+
+    def finalize(self) -> SchedulerReport:
+        if self._active:
+            raise SimulationError(
+                f"{len(self._active)} jobs still active; run_all() first")
+        self._accrue()
+        self.report.finished_at = max(
+            (ex.report.finished_at for ex in self._jobs),
+            default=self.sim.now)
+        return self.report
+
+    # -- live metrics (tuner hooks) ---------------------------------------
+    def total_slots(self, kind: str) -> int:
+        from repro.virt.vm import VMState
+        total = 0
+        for tracker in self.cluster.trackers:
+            if tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
+                continue
+            slots = (tracker.map_slots if kind == "map"
+                     else tracker.reduce_slots)
+            total += slots.capacity
+        return total
+
+    def backlog(self, kind: str) -> int:
+        """Dispatchable-but-unassigned tasks of ``kind`` right now."""
+        return sum(ex.pending_count(kind) for ex in self._active)
+
+    # -- job lifecycle -----------------------------------------------------
+    def _job_driver(self, ex: JobExecution):
+        config = self.cluster.config
+        job, report = ex.job, ex.report
+        self.tracer.emit(self.sim.now, "job.submit", job.name,
+                         n_reduces=job.n_reduces)
+        yield self.sim.timeout(config.job_overhead_s / 2)
+        yield from self.runner._localize(job)
+
+        specs = self.runner._make_map_specs(job)
+        report.n_maps = len(specs)
+        report.input_bytes = sum(s.nbytes for s in specs)
+        ex.map_state = {
+            "pending": list(specs),
+            "running": {},
+            "finished": set(),
+            "duplicated": set(),
+            "durations": [],
+        }
+        ex.map_remaining = {"n": len(specs)}
+        ex.maps_done = self.sim.event()
+        if not specs:
+            ex.maps_done.succeed(None)
+        self._accrue()
+        ex.stage = "maps"
+        self._signal("map")
+        yield ex.maps_done
+        ex.map_outputs.sort(key=lambda o: o.spec.index)
+        report.map_phase_end = self.sim.now
+        self.tracer.emit(self.sim.now, "job.maps.done", job.name,
+                         n_maps=len(specs))
+
+        if job.map_only:
+            self._accrue()
+            ex.stage = "writing"
+            yield from self.runner._write_map_only_output(
+                job, ex.map_outputs, report)
+        else:
+            ex.reduce_state = MapReduceRunner._make_reduce_state(job)
+            ex.reduce_remaining = {"n": job.n_reduces}
+            ex.reduces_done = self.sim.event()
+            if job.n_reduces == 0:
+                ex.reduces_done.succeed(None)
+            self._accrue()
+            ex.stage = "reduces"
+            self._signal("reduce")
+            yield ex.reduces_done
+
+        yield self.sim.timeout(config.job_overhead_s / 2)
+        self._accrue()
+        ex.stage = "done"
+        report.finished_at = self.sim.now
+        self._active.remove(ex)
+        self._record(ex)
+        self.tracer.emit(self.sim.now, "job.done", job.name,
+                         elapsed=report.elapsed)
+        return report
+
+    def _record(self, ex: JobExecution) -> None:
+        r = ex.report
+        self.report.jobs.append(JobStats(
+            job_name=r.job_name, pool=ex.pool, submitted_at=r.submitted_at,
+            finished_at=r.finished_at, wait_s=r.wait_s, elapsed=r.elapsed,
+            slot_seconds=r.slot_seconds, preempted_tasks=r.preempted_tasks,
+            speculated_tasks=r.speculated_maps + r.speculated_reduces))
+        stats = self.report.pool(ex.pool)
+        stats.n_jobs += 1
+        stats.wait_s_total += r.wait_s
+        stats.elapsed_total += r.elapsed
+        stats.slot_seconds += r.slot_seconds
+
+    # -- slot workers ------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._workers_started:
+            return
+        self._workers_started = True
+        for tracker in self.cluster.trackers:
+            for slot in range(tracker.map_slots.capacity):
+                self.sim.process(
+                    self._slot_worker(tracker, "map"),
+                    name=f"sched:mapslot:{tracker.name}:{slot}")
+            for slot in range(tracker.reduce_slots.capacity):
+                self.sim.process(
+                    self._slot_worker(tracker, "reduce"),
+                    name=f"sched:reduceslot:{tracker.name}:{slot}")
+
+    def _signal(self, kind: str) -> None:
+        wake = self._wake[kind]
+        self._wake[kind] = self.sim.event()
+        if not wake.triggered:
+            wake.succeed(None)
+
+    def _dispatchable(self, kind: str) -> tuple[list, list]:
+        """(jobs with pending tasks, jobs with only speculation left)."""
+        config = self.cluster.config
+        pending, spec_only = [], []
+        for ex in self._active:
+            if not ex.stage_accepts(kind):
+                continue
+            if ex.pending_count(kind) > 0:
+                pending.append(ex)
+            elif config.speculative_execution and ex.remaining(kind) > 0:
+                spec_only.append(ex)
+        return pending, spec_only
+
+    def _slot_worker(self, tracker, kind: str):
+        from repro.virt.vm import VMState
+        config = self.cluster.config
+        while True:
+            if tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
+                break  # dead trackers take no more tasks
+            pending, spec_only = self._dispatchable(kind)
+            if not pending and not spec_only:
+                self._accrue()
+                self._parked[kind] += 1
+                wake = self._wake[kind]
+                yield wake
+                self._accrue()
+                self._parked[kind] -= 1
+                continue
+            # Tasks are handed out on tracker heartbeats: whichever tracker
+            # heartbeats next gets the slot's assignment.
+            yield self.sim.timeout(
+                float(self._rng.uniform(0.0, config.heartbeat_s)))
+            pending, spec_only = self._dispatchable(kind)
+            total = self.total_slots(kind)
+            if pending:
+                ex = self.policy.select(pending, kind, active=self._active,
+                                        total_slots=total)
+                if ex is None:
+                    continue
+                yield from self._run_slot(ex, tracker, kind)
+                continue
+            # No queued tasks anywhere: offer the slot for backup attempts
+            # of stragglers, in submission order.
+            for ex in sorted(spec_only, key=lambda e: e.seq):
+                ran = yield from self._run_slot(ex, tracker, kind)
+                if ran:
+                    break
+
+    def _run_slot(self, ex: JobExecution, tracker, kind: str):
+        if kind == "map":
+            ran = yield from self._run_map_slot(ex, tracker)
+        else:
+            ran = yield from self._run_reduce_slot(ex, tracker)
+        return ran
+
+    # -- map slot ----------------------------------------------------------
+    def _run_map_slot(self, ex: JobExecution, tracker):
+        config = self.cluster.config
+        state = ex.map_state
+        self._accrue()
+        spec, locality = self.runner._pick_map_task(tracker, state["pending"])
+        speculative = False
+        if spec is None:
+            spec = self.runner._pick_speculative(state, ex.report, "map")
+            if spec is None:
+                return False
+            speculative = True
+            locality = self.runner._locality_of(tracker, spec)
+        yield tracker.map_slots.acquire()
+        self._accrue()
+        ex.running["map"] += 1
+        tracker.vm.activity += 1
+        claimed = self.sim.now
+        if ex.report.first_task_at is None:
+            ex.report.first_task_at = claimed
+        record = None
+        try:
+            yield self.sim.timeout(config.task_startup_s)
+            start = self.sim.now
+            if not speculative:
+                state["running"][spec.index] = (start, spec)
+            kill = self.sim.event()
+            record = _RunningTask(ex, spec.task_id, start, kill, speculative)
+            self._running_maps.append(record)
+            gen = self.runner._run_map_task(ex.job, tracker, spec, locality,
+                                            ex.report)
+            output, preempted = yield from self._drive(gen, kill)
+            if preempted:
+                self._revert_map(ex, spec, speculative)
+                return True
+            if spec.index in state["finished"]:
+                return True  # the other attempt won the race
+            state["finished"].add(spec.index)
+            state["running"].pop(spec.index, None)
+            state["durations"].append(self.sim.now - start)
+            ex.map_outputs.append(output)
+            spilled = sum(output.partition_bytes.values())
+            ex.report.tasks.append(TaskAttempt(
+                task_id=spec.task_id, kind="map", tracker=tracker.name,
+                start=start, end=self.sim.now, input_bytes=spec.nbytes,
+                output_bytes=spilled, locality=locality))
+            self.tracer.emit(self.sim.now, "task.map.done", spec.task_id,
+                             tracker=tracker.name, locality=locality,
+                             speculative=speculative)
+            ex.map_remaining["n"] -= 1
+            if ex.map_remaining["n"] == 0 and not ex.maps_done.triggered:
+                ex.maps_done.succeed(None)
+            return True
+        finally:
+            if record is not None and record in self._running_maps:
+                self._running_maps.remove(record)
+            self._accrue()
+            ex.running["map"] -= 1
+            ex.report.slot_seconds += self.sim.now - claimed
+            tracker.vm.activity -= 1
+            tracker.map_slots.release()
+
+    def _revert_map(self, ex: JobExecution, spec: _MapSpec,
+                    speculative: bool) -> None:
+        """Put a killed map attempt back where the scheduler found it."""
+        state = ex.map_state
+        if speculative:
+            state["duplicated"].discard(spec.index)
+        elif spec.index not in state["finished"]:
+            state["running"].pop(spec.index, None)
+            state["pending"].insert(0, spec)
+        ex.report.preempted_tasks += 1
+        self.report.preemptions += 1
+        self.report.pool(ex.pool).preemptions_suffered += 1
+        self.tracer.emit(self.sim.now, "task.map.preempted", spec.task_id,
+                         job=ex.job.name, pool=ex.pool)
+        self._signal("map")
+
+    # -- reduce slot -------------------------------------------------------
+    def _run_reduce_slot(self, ex: JobExecution, tracker):
+        config = self.cluster.config
+        state = ex.reduce_state
+        self._accrue()
+        speculative = False
+        if state["pending"]:
+            partition = state["pending"].pop(0)
+        else:
+            partition = self.runner._pick_speculative(state, ex.report,
+                                                      "reduce")
+            if partition is None:
+                return False
+            speculative = True
+        yield tracker.reduce_slots.acquire()
+        self._accrue()
+        ex.running["reduce"] += 1
+        tracker.vm.activity += 1
+        claimed = self.sim.now
+        if ex.report.first_task_at is None:
+            ex.report.first_task_at = claimed
+        try:
+            yield self.sim.timeout(config.task_startup_s)
+            start = self.sim.now
+            if not speculative:
+                state["running"][partition] = (start, partition)
+            token = object()
+            result = yield from self.runner._run_reduce_task(
+                ex.job, tracker, partition, ex.map_outputs, ex.report,
+                state, token)
+            if result is None or partition in state["finished"]:
+                return True  # the other attempt won the race
+            state["finished"].add(partition)
+            state["running"].pop(partition, None)
+            state["durations"].append(self.sim.now - start)
+            nbytes_in, nbytes_out = result
+            ex.report.tasks.append(TaskAttempt(
+                task_id=f"r-{partition:05d}", kind="reduce",
+                tracker=tracker.name, start=start, end=self.sim.now,
+                input_bytes=nbytes_in, output_bytes=nbytes_out,
+                locality="-"))
+            self.tracer.emit(self.sim.now, "task.reduce.done",
+                             f"r-{partition:05d}", tracker=tracker.name,
+                             speculative=speculative)
+            ex.reduce_remaining["n"] -= 1
+            if (ex.reduce_remaining["n"] == 0
+                    and not ex.reduces_done.triggered):
+                ex.reduces_done.succeed(None)
+            return True
+        finally:
+            self._accrue()
+            ex.running["reduce"] -= 1
+            ex.report.slot_seconds += self.sim.now - claimed
+            tracker.vm.activity -= 1
+            tracker.reduce_slots.release()
+
+    # -- preemptible task driving -----------------------------------------
+    def _drive(self, gen, kill: Event):
+        """Run task generator ``gen``, racing every wait against ``kill``.
+
+        Returns ``(result, preempted)``.  On a kill the generator is closed
+        and any live sub-processes it was waiting on are interrupted; the
+        virt/net layers cancel their flows and bill only the work done.
+        """
+        try:
+            target = next(gen)
+        except StopIteration as stop:
+            return stop.value, False
+        while True:
+            yield self.sim.any_of([target, kill])
+            if kill.triggered and not target.triggered:
+                gen.close()
+                self._cancel(target)
+                return None, True
+            try:
+                target = gen.send(target.value)
+            except StopIteration as stop:
+                return stop.value, False
+
+    @staticmethod
+    def _cancel(event: Event) -> None:
+        """Interrupt the live process(es) behind an abandoned wait."""
+        if isinstance(event, Process):
+            if event.is_alive:
+                event.interrupt("preempted")
+        elif isinstance(event, (AllOf, AnyOf)):
+            for child in event.events:
+                if isinstance(child, Process) and child.is_alive:
+                    child.interrupt("preempted")
+
+    # -- preemption monitor ------------------------------------------------
+    def _ensure_monitor(self) -> None:
+        if self._monitor_alive or not self.policy.preemption_enabled:
+            return
+        self._monitor_alive = True
+        self.sim.process(self._preemption_monitor(),
+                         name=f"sched:preemption:{self.cluster.name}")
+
+    def _preemption_monitor(self):
+        interval = getattr(self.policy, "preemption_check_s", 1.0)
+        starved_since: dict[str, float] = {}
+        while self._active:
+            yield self.sim.timeout(interval)
+            self._check_preemption(starved_since)
+        self._monitor_alive = False
+
+    def _check_preemption(self, starved_since: dict[str, float]) -> None:
+        now = self.sim.now
+        active = self._active
+        total = self.total_slots("map")
+        fair = self.policy.shares(active, "map", total)
+        for pool in sorted({ex.pool for ex in active}):
+            cfg = self.policy.pool(pool)
+            if cfg.preemption_timeout_s is None:
+                starved_since.pop(pool, None)
+                continue
+            running = _pool_running(active, pool, "map")
+            demand = _pool_demand(active, pool, "map")
+            target = min(cfg.min_share, demand)
+            if running >= target:
+                starved_since.pop(pool, None)
+                continue
+            since = starved_since.setdefault(pool, now)
+            if now - since < cfg.preemption_timeout_s:
+                continue
+            if self._kill_for(pool, target - running, fair, active):
+                starved_since[pool] = now  # give the kills time to land
+
+    def _kill_for(self, beneficiary: str, need: int, fair: dict[str, float],
+                  active: list[JobExecution]) -> int:
+        """Kill up to ``need`` youngest over-share map tasks.
+
+        A victim pool is never driven below ``max(min_share,
+        ceil(fair_share))`` — a pool at its guarantee is inviolable, which
+        is the fair-share dominance invariant the property tests check.
+        """
+        victims = [rec for rec in self._running_maps
+                   if rec.ex.pool != beneficiary and not rec.kill.triggered]
+        allowance: dict[str, int] = {}
+        floor: dict[str, int] = {}
+        for pool in {rec.ex.pool for rec in victims}:
+            cfg = self.policy.pool(pool)
+            running = _pool_running(active, pool, "map")
+            keep = max(cfg.min_share,
+                       math.ceil(fair.get(pool, 0.0) - 1e-9))
+            floor[pool] = keep
+            allowance[pool] = max(0, running - keep)
+        victims.sort(key=lambda rec: (-rec.start, rec.ex.seq, rec.task_id))
+        killed = 0
+        for rec in victims:
+            if killed >= need:
+                break
+            pool = rec.ex.pool
+            if allowance.get(pool, 0) <= 0:
+                continue
+            allowance[pool] -= 1
+            killed += 1
+            rec.kill.succeed(beneficiary)
+            self.report.pool(beneficiary).preemptions_claimed += 1
+            self.tracer.emit(
+                self.sim.now, "scheduler.preempt", rec.task_id,
+                victim_pool=pool, for_pool=beneficiary,
+                victim_running=_pool_running(active, pool, "map"),
+                victim_floor=floor[pool],
+                victim_min_share=self.policy.pool(pool).min_share,
+                speculative=rec.speculative)
+        return killed
+
+    # -- accounting --------------------------------------------------------
+    def _accrue(self) -> None:
+        """Integrate time-weighted metrics up to now.
+
+        Called *before* every scheduler-state mutation so each interval is
+        charged under the state that actually held during it.
+        """
+        now = self.sim.now
+        dt = now - self._stamp
+        self._stamp = now
+        if dt <= 0 or not self._jobs:
+            return
+        active = self._active
+        busy = sum(ex.running["map"] + ex.running["reduce"] for ex in active)
+        self.report.busy_slot_seconds += busy * dt
+        n_running_jobs = sum(
+            1 for ex in active
+            if ex.running["map"] + ex.running["reduce"] > 0)
+        if n_running_jobs >= 2:
+            self.report.concurrent_busy_s += dt
+        for kind in ("map", "reduce"):
+            if (self._parked[kind] > 0
+                    and any(ex.pending_count(kind) > 0 for ex in active)):
+                self.report.idle_while_pending_s += dt
+            shares = self.policy.shares(active, kind, self.total_slots(kind))
+            for pool, share in shares.items():
+                running = _pool_running(active, pool, kind)
+                if share > running:
+                    self.report.pool(pool).deficit_slot_seconds += (
+                        (share - running) * dt)

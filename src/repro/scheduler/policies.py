@@ -1,0 +1,235 @@
+"""Pluggable slot-arbitration policies.
+
+A policy answers one question: *given the jobs that currently have
+dispatchable work of a kind, which job gets the free slot?*  The three
+implementations mirror Hadoop 0.20's contrib schedulers.
+
+All tie-breaks are deterministic (sequence number, then name) so scheduled
+runs stay bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.scheduler.pools import PoolConfig, QueueConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduler.jobtracker import JobExecution
+
+
+def _pool_running(active: Sequence["JobExecution"], pool: str,
+                  kind: str) -> int:
+    return sum(ex.running[kind] for ex in active if ex.pool == pool)
+
+
+def _pool_demand(active: Sequence["JobExecution"], pool: str,
+                 kind: str) -> int:
+    return sum(ex.running[kind] + ex.pending_count(kind)
+               for ex in active if ex.pool == pool)
+
+
+class SchedulingPolicy:
+    """Base policy: FIFO with no pools and no preemption."""
+
+    name = "policy"
+
+    def register_job(self, ex: "JobExecution") -> None:
+        """Hook called at submission (pool auto-creation / validation)."""
+
+    def select(self, candidates: Sequence["JobExecution"], kind: str, *,
+               active: Sequence["JobExecution"],
+               total_slots: int) -> Optional["JobExecution"]:
+        raise NotImplementedError
+
+    def shares(self, active: Sequence["JobExecution"], kind: str,
+               total_slots: int) -> dict[str, float]:
+        """Per-pool entitled share of ``total_slots`` (metrics hook).
+
+        Policies without a share concept return ``{}``.
+        """
+        return {}
+
+    @property
+    def preemption_enabled(self) -> bool:
+        return False
+
+
+class FifoScheduler(SchedulingPolicy):
+    """Hadoop 0.20's default: strict submission order."""
+
+    name = "fifo"
+
+    def select(self, candidates, kind, *, active, total_slots):
+        if not candidates:
+            return None
+        return min(candidates, key=lambda ex: ex.seq)
+
+
+class FairScheduler(SchedulingPolicy):
+    """Fair sharing across pools (Zaharia et al.'s fair scheduler).
+
+    Pools below their min-share are served first (most starved relative to
+    the guarantee); the rest are ordered by running-per-weight.  Unknown
+    pools are auto-created with defaults, matching Hadoop's behaviour.
+    Preemption (when any pool sets ``preemption_timeout_s``) kills the
+    *youngest* over-share map tasks; reduces are never killed — their
+    shuffled state is too expensive to redo, so min-share enforcement for
+    reduces happens at assignment time only.
+    """
+
+    name = "fair"
+
+    def __init__(self, pools: Iterable[PoolConfig] = (),
+                 preemption_check_s: float = 1.0):
+        self.pools: dict[str, PoolConfig] = {p.name: p for p in pools}
+        if preemption_check_s <= 0:
+            raise ConfigError("preemption_check_s must be > 0")
+        self.preemption_check_s = preemption_check_s
+
+    def pool(self, name: str) -> PoolConfig:
+        if name not in self.pools:
+            self.pools[name] = PoolConfig(name=name)
+        return self.pools[name]
+
+    def register_job(self, ex):
+        self.pool(ex.pool)
+
+    def select(self, candidates, kind, *, active, total_slots):
+        if not candidates:
+            return None
+        by_pool: dict[str, list] = {}
+        for ex in candidates:
+            by_pool.setdefault(ex.pool, []).append(ex)
+
+        def pool_key(name: str):
+            cfg = self.pool(name)
+            running = _pool_running(active, name, kind)
+            if cfg.min_share > 0 and running < cfg.min_share:
+                # Starved pools first, most starved relative to guarantee.
+                return (0, running / cfg.min_share, name)
+            return (1, running / cfg.weight, name)
+
+        winner = min(by_pool, key=pool_key)
+        return min(by_pool[winner], key=lambda ex: ex.seq)
+
+    def shares(self, active, kind, total_slots):
+        """Weighted max-min fair shares with min-share floors, capped by
+        demand (water-filling)."""
+        demands = {}
+        for ex in active:
+            d = ex.running[kind] + ex.pending_count(kind)
+            if d > 0:
+                demands[ex.pool] = demands.get(ex.pool, 0) + d
+        if not demands or total_slots <= 0:
+            return {pool: 0.0 for pool in demands}
+        alloc = {pool: float(min(self.pool(pool).min_share, demands[pool]))
+                 for pool in demands}
+        granted = sum(alloc.values())
+        if granted > total_slots:
+            scale = total_slots / granted
+            return {pool: a * scale for pool, a in alloc.items()}
+        left = total_slots - granted
+        open_pools = {p for p in demands if alloc[p] < demands[p]}
+        while left > 1e-9 and open_pools:
+            weight_sum = sum(self.pool(p).weight for p in open_pools)
+            gave = 0.0
+            for p in list(open_pools):
+                slice_ = left * self.pool(p).weight / weight_sum
+                take = min(slice_, demands[p] - alloc[p])
+                alloc[p] += take
+                gave += take
+                if alloc[p] >= demands[p] - 1e-9:
+                    open_pools.discard(p)
+            left -= gave
+            if gave <= 1e-12:
+                break
+        return alloc
+
+    @property
+    def preemption_enabled(self) -> bool:
+        return any(p.preemption_timeout_s is not None
+                   for p in self.pools.values())
+
+
+class CapacityScheduler(SchedulingPolicy):
+    """Hierarchical queues with guaranteed capacities + elastic overflow.
+
+    A leaf queue's *guaranteed* fraction of the cluster is the product of
+    ``capacity`` values up its ancestor chain; ``max_capacity`` bounds how
+    far it may overflow into idle sibling capacity.  The most underserved
+    queue relative to its guarantee is served first; within a queue, FIFO.
+    """
+
+    name = "capacity"
+
+    def __init__(self, queues: Iterable[QueueConfig]):
+        self.queues: dict[str, QueueConfig] = {}
+        for q in queues:
+            if q.name in self.queues:
+                raise ConfigError(f"duplicate queue {q.name!r}")
+            self.queues[q.name] = q
+        if not self.queues:
+            raise ConfigError("CapacityScheduler needs at least one queue")
+        children: dict[Optional[str], list[QueueConfig]] = {}
+        for q in self.queues.values():
+            if q.parent is not None and q.parent not in self.queues:
+                raise ConfigError(
+                    f"queue {q.name!r}: unknown parent {q.parent!r}")
+            children.setdefault(q.parent, []).append(q)
+        for parent, kids in children.items():
+            total = sum(k.capacity for k in kids)
+            if total > 1.0 + 1e-9:
+                where = parent or "<root>"
+                raise ConfigError(
+                    f"children of {where} overcommit capacity ({total:.2f})")
+        self._children = children
+        self.guaranteed: dict[str, float] = {}
+        for q in self.queues.values():
+            frac, node = q.capacity, q
+            while node.parent is not None:
+                node = self.queues[node.parent]
+                frac *= node.capacity
+            self.guaranteed[q.name] = frac
+
+    def is_leaf(self, name: str) -> bool:
+        return not self._children.get(name)
+
+    def register_job(self, ex):
+        if ex.pool not in self.queues or not self.is_leaf(ex.pool):
+            leaves = sorted(n for n in self.queues if self.is_leaf(n))
+            raise ConfigError(
+                f"job {ex.job.name!r}: queue {ex.pool!r} is not a leaf "
+                f"queue (choose one of {leaves})")
+
+    def select(self, candidates, kind, *, active, total_slots):
+        if not candidates:
+            return None
+        by_queue: dict[str, list] = {}
+        for ex in candidates:
+            by_queue.setdefault(ex.pool, []).append(ex)
+
+        eligible = []
+        for name in by_queue:
+            running = _pool_running(active, name, kind)
+            ceiling = self.queues[name].max_capacity * total_slots
+            if running >= ceiling:
+                continue  # at the elastic cap; may not grow further
+            used = running / max(self.guaranteed[name] * total_slots, 1e-9)
+            eligible.append((used, name))
+        if not eligible:
+            return None
+        _used, winner = min(eligible)
+        return min(by_queue[winner], key=lambda ex: ex.seq)
+
+    def shares(self, active, kind, total_slots):
+        out = {}
+        for name in self.queues:
+            if not self.is_leaf(name):
+                continue
+            demand = _pool_demand(active, name, kind)
+            if demand > 0:
+                out[name] = min(float(demand),
+                                self.guaranteed[name] * total_slots)
+        return out

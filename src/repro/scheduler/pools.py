@@ -1,0 +1,63 @@
+"""Pool and queue declarations for the fair and capacity schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """One fair-scheduler pool (Hadoop's ``mapred.fairscheduler`` pools).
+
+    ``min_share`` is a per-task-kind slot guarantee: a pool with demand is
+    entitled to that many map slots *and* that many reduce slots before
+    weighted sharing distributes the rest.  When ``preemption_timeout_s``
+    is set, a pool kept below its min-share for that long may kill young
+    map tasks of over-share pools to claim its guarantee.
+    """
+
+    name: str
+    weight: float = 1.0
+    min_share: int = 0
+    preemption_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("pool name must be non-empty")
+        if self.weight <= 0:
+            raise ConfigError(f"pool {self.name!r}: weight must be > 0")
+        if self.min_share < 0:
+            raise ConfigError(f"pool {self.name!r}: min_share must be >= 0")
+        if (self.preemption_timeout_s is not None
+                and self.preemption_timeout_s <= 0):
+            raise ConfigError(
+                f"pool {self.name!r}: preemption_timeout_s must be > 0")
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """One capacity-scheduler queue.
+
+    ``capacity`` is the fraction of the *parent's* capacity guaranteed to
+    this queue; ``max_capacity`` is an absolute ceiling (fraction of the
+    whole cluster) the queue may elastically grow into when siblings are
+    idle.  Jobs are submitted to leaf queues by name.
+    """
+
+    name: str
+    capacity: float
+    parent: Optional[str] = None
+    max_capacity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("queue name must be non-empty")
+        if not 0.0 < self.capacity <= 1.0:
+            raise ConfigError(
+                f"queue {self.name!r}: capacity must be in (0, 1]")
+        if not 0.0 < self.max_capacity <= 1.0:
+            raise ConfigError(
+                f"queue {self.name!r}: max_capacity must be in (0, 1]")

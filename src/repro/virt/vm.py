@@ -25,7 +25,7 @@ from repro.config import VMConfig
 from repro.errors import VMStateError
 from repro.net import NetNode, NetworkFabric
 from repro.sim import FairShareSystem, SharedResource, Simulator, Tracer
-from repro.sim.kernel import Event
+from repro.sim.kernel import Event, Interrupt
 from repro.virt.memory import DirtyMemoryModel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -158,15 +158,23 @@ class VirtualMachine:
     def _compute_proc(self, work: float, name: str):
         assert self.host is not None
         self.activity += 1
+        flow = None
+        done = work
         try:
             if work > 0:
                 flow = self.fss.open([self.vcpu, self.host.cpu], size=work,
                                      cap=1.0, name=f"{self.name}:{name}")
                 yield flow.done
-            self.cpu_seconds += work
+        except Interrupt:
+            # Preempted (task kill): cancel the remaining demand and charge
+            # only the work actually retired.  The process *succeeds* with
+            # the partial amount so nothing downstream sees a failure.
+            done = self.fss.close(flow) if flow is not None and flow.active \
+                else 0.0
         finally:
+            self.cpu_seconds += done
             self.activity -= 1
-        return work
+        return done
 
     def disk_io(self, nbytes: float, name: str = "io") -> Event:
         """Charge ``nbytes`` of virtual-disk I/O.
@@ -186,25 +194,34 @@ class VirtualMachine:
 
     def _disk_proc(self, nbytes: float, name: str):
         assert self.host is not None
-        if nbytes > 0:
-            if self.nfs_backend is not None:
-                # Guest page cache / write-back absorbs most of the I/O at
-                # memory speed; only the miss fraction reaches the NFS
-                # server, crossing the host's physical NIC.
-                cached = nbytes * C.DISK_CACHE_HIT_RATIO
-                missed = nbytes - cached
-                yield self.sim.timeout(cached / C.PAGE_CACHE_BPS)
-                if missed > 0:
-                    flow = self.fss.open([self.host.net.nic, self.nfs_backend],
-                                         size=float(missed),
+        flow = None
+        done = nbytes
+        try:
+            if nbytes > 0:
+                if self.nfs_backend is not None:
+                    # Guest page cache / write-back absorbs most of the I/O
+                    # at memory speed; only the miss fraction reaches the
+                    # NFS server, crossing the host's physical NIC.
+                    cached = nbytes * C.DISK_CACHE_HIT_RATIO
+                    missed = nbytes - cached
+                    yield self.sim.timeout(cached / C.PAGE_CACHE_BPS)
+                    if missed > 0:
+                        flow = self.fss.open(
+                            [self.host.net.nic, self.nfs_backend],
+                            size=float(missed),
+                            name=f"{self.name}:{name}")
+                        yield flow.done
+                else:
+                    flow = self.fss.open([self.host.disk],
+                                         size=float(nbytes),
                                          name=f"{self.name}:{name}")
                     yield flow.done
-            else:
-                flow = self.fss.open([self.host.disk], size=float(nbytes),
-                                     name=f"{self.name}:{name}")
-                yield flow.done
-        self.disk_bytes += nbytes
-        return nbytes
+        except Interrupt:
+            # Preempted: abandon the remaining I/O, keep what was moved.
+            done = self.fss.close(flow) if flow is not None and flow.active \
+                else 0.0
+        self.disk_bytes += done
+        return done
 
     def __repr__(self) -> str:  # pragma: no cover
         where = self.host.name if self.host else "nowhere"

@@ -67,3 +67,59 @@ def test_speculation_helps_under_contention():
 def test_no_speculation_without_stragglers():
     platform, _cluster, _report = run_with(True, straggler=False)
     assert platform.tracer.count("task.map.speculate") == 0
+
+
+# -- reduce-phase speculation -------------------------------------------------
+
+REDUCE_WORDS = [f"w{i:03d}" for i in range(240)]
+REDUCE_LINES = [" ".join(REDUCE_WORDS[i:i + 8])
+                for i in range(0, 240, 8)] * 10
+REDUCE_RECORDS = lines_as_records(REDUCE_LINES)
+REDUCE_EXPECTED = dict(collections.Counter(" ".join(REDUCE_LINES).split()))
+
+
+def run_reduces_with(speculation: bool, straggler: bool = True, seed=37):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
+    cluster = platform.provision_cluster(
+        "rspec", normal_placement(8),
+        hadoop_config=HadoopConfig(speculative_execution=speculation,
+                                   speculative_slowdown=1.3))
+    platform.upload(cluster, "/rin", REDUCE_RECORDS,
+                    sizeof=line_record_sizeof, timed=False)
+    # One reduce per reduce slot so every worker — including the contended
+    # one — runs one; give reduces real CPU weight so contention shows.
+    n_reduces = (cluster.config.reduce_tasks_maximum
+                 * len(cluster.workers))
+    job = wordcount_job("/rin", "/rout", n_reduces=n_reduces)
+    job.reduce_cpu_per_record = 0.08
+    if straggler:
+        cluster.workers[0].compute(3000.0)
+        cluster.workers[0].compute(3000.0)
+    report = platform.run_job(cluster, job)
+    return platform, cluster, report
+
+
+def test_reduce_speculation_launches_backup_for_straggler():
+    platform, cluster, report = run_reduces_with(True)
+    assert platform.tracer.count("task.reduce.speculate") >= 1
+    assert report.speculated_reduces >= 1
+    # Exactly one surviving attempt per partition.
+    reduce_ids = [t.task_id for t in report.tasks if t.kind == "reduce"]
+    assert len(reduce_ids) == len(set(reduce_ids)) == report.n_reduces
+    runner = platform.runners[cluster.name]
+    assert dict(runner.read_output(report)) == REDUCE_EXPECTED
+
+
+def test_reduce_output_identical_with_and_without_speculation():
+    platform1, cluster1, without = run_reduces_with(False)
+    platform2, cluster2, with_spec = run_reduces_with(True)
+    out_without = platform1.runners[cluster1.name].read_output(without)
+    out_with = platform2.runners[cluster2.name].read_output(with_spec)
+    assert out_without == out_with
+    assert without.speculated_reduces == 0
+
+
+def test_reduce_speculation_helps_under_contention():
+    _p1, _c1, without = run_reduces_with(False)
+    _p2, _c2, with_spec = run_reduces_with(True)
+    assert with_spec.elapsed < without.elapsed

@@ -1,0 +1,219 @@
+"""Unit tests for the FIFO / Fair / Capacity scheduling policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scheduler import (CapacityScheduler, FairScheduler, FifoScheduler,
+                             PoolConfig, QueueConfig)
+
+
+class _Job:
+    def __init__(self, name):
+        self.name = name
+
+
+class _Ex:
+    """Just enough of a JobExecution for policy arbitration."""
+
+    def __init__(self, name, pool, seq, running=0, pending=0, kind="map"):
+        self.job = _Job(name)
+        self.pool = pool
+        self.seq = seq
+        self.running = {"map": 0, "reduce": 0}
+        self.running[kind] = running
+        self._pending = {kind: pending}
+
+    def pending_count(self, kind):
+        return self._pending.get(kind, 0)
+
+
+# -- config validation -------------------------------------------------------
+
+def test_pool_config_validation():
+    with pytest.raises(ConfigError):
+        PoolConfig(name="")
+    with pytest.raises(ConfigError):
+        PoolConfig(name="p", weight=0.0)
+    with pytest.raises(ConfigError):
+        PoolConfig(name="p", min_share=-1)
+    with pytest.raises(ConfigError):
+        PoolConfig(name="p", preemption_timeout_s=0.0)
+
+
+def test_queue_config_validation():
+    with pytest.raises(ConfigError):
+        QueueConfig(name="", capacity=0.5)
+    with pytest.raises(ConfigError):
+        QueueConfig(name="q", capacity=0.0)
+    with pytest.raises(ConfigError):
+        QueueConfig(name="q", capacity=1.5)
+    with pytest.raises(ConfigError):
+        QueueConfig(name="q", capacity=0.5, max_capacity=0.0)
+
+
+def test_fair_scheduler_check_interval_validation():
+    with pytest.raises(ConfigError):
+        FairScheduler(preemption_check_s=0.0)
+
+
+# -- FIFO --------------------------------------------------------------------
+
+def test_fifo_selects_lowest_sequence():
+    policy = FifoScheduler()
+    a = _Ex("a", "default", 2, pending=1)
+    b = _Ex("b", "default", 0, pending=1)
+    c = _Ex("c", "default", 1, pending=1)
+    assert policy.select([a, b, c], "map", active=[a, b, c],
+                         total_slots=4) is b
+    assert policy.select([], "map", active=[], total_slots=4) is None
+    assert not policy.preemption_enabled
+    assert policy.shares([a, b, c], "map", 4) == {}
+
+
+# -- Fair --------------------------------------------------------------------
+
+def test_fair_starved_pool_wins_over_weight():
+    policy = FairScheduler(pools=[PoolConfig("guaranteed", min_share=2),
+                                  PoolConfig("heavy", weight=10.0)])
+    g = _Ex("g", "guaranteed", 5, running=0, pending=3)
+    h = _Ex("h", "heavy", 0, running=0, pending=3)
+    active = [g, h]
+    assert policy.select(active, "map", active=active, total_slots=8) is g
+
+
+def test_fair_orders_by_running_per_weight():
+    policy = FairScheduler(pools=[PoolConfig("light", weight=1.0),
+                                  PoolConfig("heavy", weight=2.0)])
+    light = _Ex("l", "light", 0, running=2, pending=3)
+    heavy = _Ex("h", "heavy", 1, running=2, pending=3)
+    active = [light, heavy]
+    # 2/2 < 2/1: the heavier pool is the more underserved one.
+    assert policy.select(active, "map", active=active, total_slots=8) is heavy
+
+
+def test_fair_within_pool_is_fifo():
+    policy = FairScheduler()
+    first = _Ex("first", "p", 0, pending=1)
+    second = _Ex("second", "p", 1, pending=1)
+    active = [first, second]
+    assert policy.select([second, first], "map", active=active,
+                         total_slots=4) is first
+
+
+def test_fair_auto_creates_unknown_pools():
+    policy = FairScheduler()
+    ex = _Ex("x", "surprise", 0, pending=1)
+    policy.register_job(ex)
+    assert policy.pool("surprise").weight == 1.0
+
+
+def test_fair_shares_waterfill_with_min_share_floor():
+    policy = FairScheduler(pools=[PoolConfig("a", min_share=4),
+                                  PoolConfig("b")])
+    a = _Ex("a", "a", 0, running=0, pending=10)
+    b = _Ex("b", "b", 1, running=0, pending=10)
+    shares = policy.shares([a, b], "map", 10)
+    # a gets its floor of 4, the remaining 6 split evenly (equal weights).
+    assert shares["a"] == pytest.approx(7.0)
+    assert shares["b"] == pytest.approx(3.0)
+
+
+def test_fair_shares_scale_down_oversubscribed_min_shares():
+    policy = FairScheduler(pools=[PoolConfig("a", min_share=8),
+                                  PoolConfig("b", min_share=8)])
+    a = _Ex("a", "a", 0, pending=8)
+    b = _Ex("b", "b", 1, pending=8)
+    shares = policy.shares([a, b], "map", 8)
+    assert shares["a"] == pytest.approx(4.0)
+    assert shares["b"] == pytest.approx(4.0)
+
+
+def test_fair_shares_capped_by_demand():
+    policy = FairScheduler()
+    small = _Ex("s", "small", 0, pending=2)
+    big = _Ex("b", "big", 1, pending=100)
+    shares = policy.shares([small, big], "map", 10)
+    assert shares["small"] == pytest.approx(2.0)
+    assert shares["big"] == pytest.approx(8.0)
+
+
+def test_fair_preemption_enabled_only_with_timeout():
+    assert not FairScheduler(pools=[PoolConfig("p")]).preemption_enabled
+    assert FairScheduler(
+        pools=[PoolConfig("p", min_share=1,
+                          preemption_timeout_s=5.0)]).preemption_enabled
+
+
+# -- Capacity ----------------------------------------------------------------
+
+def test_capacity_validation():
+    with pytest.raises(ConfigError):
+        CapacityScheduler(queues=[])
+    with pytest.raises(ConfigError):
+        CapacityScheduler(queues=[QueueConfig("a", 0.5),
+                                  QueueConfig("a", 0.5)])
+    with pytest.raises(ConfigError):
+        CapacityScheduler(queues=[QueueConfig("a", 0.5, parent="ghost")])
+    with pytest.raises(ConfigError):
+        CapacityScheduler(queues=[QueueConfig("a", 0.7),
+                                  QueueConfig("b", 0.7)])
+
+
+def test_capacity_guaranteed_fraction_is_product_of_ancestors():
+    policy = CapacityScheduler(queues=[
+        QueueConfig("prod", 0.6),
+        QueueConfig("adhoc", 0.4),
+        QueueConfig("etl", 0.5, parent="prod"),
+        QueueConfig("reports", 0.5, parent="prod"),
+    ])
+    assert policy.guaranteed["etl"] == pytest.approx(0.3)
+    assert policy.guaranteed["adhoc"] == pytest.approx(0.4)
+    assert not policy.is_leaf("prod")
+    assert policy.is_leaf("etl")
+
+
+def test_capacity_rejects_jobs_on_non_leaf_queues():
+    policy = CapacityScheduler(queues=[
+        QueueConfig("prod", 1.0),
+        QueueConfig("etl", 1.0, parent="prod"),
+    ])
+    with pytest.raises(ConfigError):
+        policy.register_job(_Ex("x", "prod", 0))
+    with pytest.raises(ConfigError):
+        policy.register_job(_Ex("x", "nowhere", 0))
+    policy.register_job(_Ex("x", "etl", 0))  # leaves are fine
+
+
+def test_capacity_serves_most_underserved_queue():
+    policy = CapacityScheduler(queues=[QueueConfig("a", 0.5),
+                                       QueueConfig("b", 0.5)])
+    a = _Ex("a", "a", 0, running=4, pending=3)
+    b = _Ex("b", "b", 1, running=1, pending=3)
+    active = [a, b]
+    assert policy.select(active, "map", active=active, total_slots=10) is b
+
+
+def test_capacity_max_capacity_caps_elastic_growth():
+    policy = CapacityScheduler(queues=[
+        QueueConfig("capped", 0.5, max_capacity=0.25),
+        QueueConfig("open", 0.5),
+    ])
+    capped = _Ex("c", "capped", 0, running=2, pending=5)
+    active = [capped]
+    # 2 running >= 0.25 * 8: the queue may not grow, even with demand.
+    assert policy.select([capped], "map", active=active,
+                         total_slots=8) is None
+    # The other queue may elastically take the whole cluster.
+    open_ = _Ex("o", "open", 1, running=6, pending=5)
+    active = [capped, open_]
+    assert policy.select([open_], "map", active=active, total_slots=8) is open_
+
+
+def test_capacity_shares_are_guarantee_capped():
+    policy = CapacityScheduler(queues=[QueueConfig("a", 0.25),
+                                       QueueConfig("b", 0.75)])
+    a = _Ex("a", "a", 0, pending=100)
+    b = _Ex("b", "b", 1, pending=1)
+    shares = policy.shares([a, b], "map", 8)
+    assert shares["a"] == pytest.approx(2.0)   # 0.25 * 8, demand-unbounded
+    assert shares["b"] == pytest.approx(1.0)   # demand-capped

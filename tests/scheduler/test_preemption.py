@@ -1,0 +1,114 @@
+"""Preemption: starved min-share pools claim slots; guarantees hold."""
+
+import collections
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.mapreduce import LocalJobRunner
+from repro.platform import VHadoopPlatform, balanced_placement
+from repro.scheduler import FairScheduler, JobScheduler, PoolConfig
+from repro.workloads.mrbench import mrbench_input, mrbench_job, mrbench_sizeof
+from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
+                                       wordcount_job)
+
+LINES = ["lorem ipsum dolor sit amet", "ipsum dolor sit", "dolor sit"] * 40
+RECORDS = lines_as_records(LINES)
+SMALL_RECORDS = mrbench_input(n_lines=20)
+
+
+def run_contended(preemption_timeout=4.0, n_small=2, seed=7):
+    """A slot-hogging batch job, then small jobs into a min-share pool."""
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
+    cluster = platform.provision_cluster("pre",
+                                         balanced_placement(8, n_hosts=2))
+    platform.upload(cluster, "/batch/in", RECORDS, sizeof=line_record_sizeof,
+                    timed=False)
+    platform.upload(cluster, "/small/in", SMALL_RECORDS,
+                    sizeof=mrbench_sizeof, timed=False)
+    policy = FairScheduler(pools=[
+        PoolConfig("interactive", min_share=4,
+                   preemption_timeout_s=preemption_timeout),
+        PoolConfig("batch"),
+    ], preemption_check_s=1.0)
+    scheduler = JobScheduler(cluster, policy=policy,
+                             runner=platform.runner(cluster))
+    batch = wordcount_job("/batch/in", "/batch/out", n_reduces=2)
+    batch.name = "hog"
+    batch.map_cpu_per_record = 6.0      # long maps: waves outlive the wait
+    batch.force_num_maps = 3 * scheduler.total_slots("map")
+    events = [scheduler.submit(batch, pool="batch")]
+    sim = platform.sim
+
+    def late_arrivals():
+        yield sim.timeout(8.0)
+        for i in range(n_small):
+            job = mrbench_job("/small/in", f"/small/out-{i}", n_maps=4,
+                              n_reduces=1)
+            job.name = f"small-{i}"
+            events.append(scheduler.submit(job, pool="interactive"))
+
+    sim.run_until(sim.process(late_arrivals(), name="arrivals"))
+    sim.run_until(sim.all_of(list(events)))
+    return platform, scheduler, scheduler.finalize(), batch, events
+
+
+def test_starved_pool_preempts_and_everyone_still_finishes():
+    platform, scheduler, report, batch, events = run_contended()
+    assert report.preemptions > 0
+    hog = next(j for j in report.jobs if j.job_name == "hog")
+    assert hog.preempted_tasks == report.preemptions
+    assert report.pool("batch").preemptions_suffered == report.preemptions
+    assert report.pool("interactive").preemptions_claimed == \
+        report.preemptions
+    # Preemption hurt only timing, never output.
+    batch_report = events[0].value
+    assert platform.collect(platform.clusters["pre"], batch_report) == \
+        LocalJobRunner().run(batch, RECORDS)
+    expected = dict(collections.Counter(" ".join(LINES).split()))
+    assert dict(platform.collect(platform.clusters["pre"],
+                                 batch_report)) == expected
+
+
+def test_only_map_tasks_are_preempted():
+    platform, _scheduler, report, _batch, _events = run_contended()
+    kills = list(platform.tracer.select("scheduler.preempt"))
+    assert kills
+    assert all(k.source.startswith("m-") for k in kills)
+    reverted = list(platform.tracer.select("task.map.preempted"))
+    assert len(reverted) == report.preemptions
+
+
+def test_victims_never_driven_below_their_floor():
+    platform, _scheduler, _report, _batch, _events = run_contended()
+    kills = list(platform.tracer.select("scheduler.preempt"))
+    by_sweep = collections.defaultdict(list)
+    for k in kills:
+        by_sweep[(k.time, k["victim_pool"])].append(k)
+    for (_time, _pool), sweep in by_sweep.items():
+        floor = sweep[0]["victim_floor"]
+        running = sweep[0]["victim_running"]
+        assert floor >= sweep[0]["victim_min_share"]
+        # One sweep never kills into the victim's guaranteed share.
+        assert len(sweep) <= running - floor
+
+
+def test_preemption_speeds_up_the_starved_pool():
+    _p1, _s1, with_pre, _b1, _e1 = run_contended(preemption_timeout=4.0)
+    _p2, _s2, without, _b2, _e2 = run_contended(preemption_timeout=1e6)
+    assert without.preemptions == 0
+    mean_with = with_pre.pool("interactive").mean_wait_s
+    mean_without = without.pool("interactive").mean_wait_s
+    assert mean_with < mean_without
+
+
+def test_preempted_attempts_do_not_inflate_counters():
+    platform, _scheduler, report, _batch, events = run_contended()
+    assert report.preemptions > 0
+    batch_report = events[0].value
+    total_words = sum(
+        collections.Counter(" ".join(LINES).split()).values())
+    assert batch_report.counters.get("job", "map_input_records") == \
+        len(RECORDS)
+    assert batch_report.counters.get("job", "map_output_records") == \
+        total_words

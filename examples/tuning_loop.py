@@ -14,7 +14,6 @@ Run:  python examples/tuning_loop.py
 from repro import (HadoopConfig, PlatformConfig, VHadoopPlatform,
                    cross_domain_placement, normal_placement)
 from repro.datasets.text import generate_corpus
-from repro.monitor import NmonAnalyser, NmonMonitor
 from repro.tuner import (ConsolidateCrossDomainRule,
                          IncreaseSlotsWhenCpuIdleRule, MapReduceTuner)
 from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
@@ -34,16 +33,14 @@ def reconfiguration_loop() -> None:
     platform.upload(cluster, "/in", lines_as_records(lines),
                     sizeof=scaled_line_sizeof(SCALE), timed=False)
 
-    monitor = NmonMonitor(cluster.vms, interval=2.0)
-    analyser = NmonAnalyser(monitor)
-    monitor.start()
+    cluster.telemetry.start_monitor(interval=2.0)
     job = wordcount_job("/in", "/before", n_reduces=4, volume_scale=SCALE)
     before = platform.run_job(cluster, job)
-    monitor.stop()
+    cluster.telemetry.stop_monitor()
     print(f"before tuning: {before.elapsed:.1f} s "
           f"(map slots = {cluster.config.map_tasks_maximum})")
 
-    tuner = MapReduceTuner(cluster, analyser,
+    tuner = MapReduceTuner(cluster,
                            rules=[IncreaseSlotsWhenCpuIdleRule(max_slots=3)])
     recommendation = tuner.step()
     print(f"tuner: {recommendation.reason}")
@@ -69,9 +66,8 @@ def migration_loop() -> None:
     dc.fabric.transfer(a.node, b.node, 3e9)
     dc.run(until=dc.now + 30.0)
 
-    monitor = NmonMonitor(cluster.vms, interval=2.0)
-    monitor.sample_now(dc.now)
-    tuner = MapReduceTuner(cluster, NmonAnalyser(monitor),
+    cluster.telemetry.monitor.sample_now(dc.now)
+    tuner = MapReduceTuner(cluster,
                            rules=[ConsolidateCrossDomainRule(
                                net_busy_threshold=0.3)])
     recommendation = tuner.step()

@@ -21,7 +21,8 @@ from repro.experiments import (fig2_wordcount, fig3_mrbench,
                                fig4_terasort_dfsio, fig5_migration,
                                fig6_synthetic_control,
                                fig7_display_clustering, fig8_cluster_visuals,
-                               sched_policies, table1_benchmarks)
+                               sched_policies, table1_benchmarks,
+                               telemetry_demo)
 
 
 def _run_fig2(args) -> list:
@@ -80,6 +81,10 @@ def _run_schedule(args) -> list:
     return [sched_policies.run(seed=args.seed, quick=args.quick)]
 
 
+def _run_telemetry(args) -> list:
+    return [telemetry_demo.run(seed=args.seed, quick=args.quick)]
+
+
 _EXPERIMENTS: dict[str, Callable] = {
     "table1": _run_table1,
     "fig2": _run_fig2,
@@ -91,6 +96,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "fig7": _run_fig7,
     "fig8": _run_fig8,
     "schedule": _run_schedule,
+    "telemetry": _run_telemetry,
 }
 
 

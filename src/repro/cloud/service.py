@@ -32,6 +32,7 @@ from repro.platform.cluster import HadoopVirtualCluster
 from repro.platform.vhadoop import VHadoopPlatform
 from repro.scheduler import JobScheduler, SchedulerReport, SchedulingPolicy
 from repro.sim.kernel import Event
+from repro.telemetry import events as EV
 
 #: A request's job factory receives the input path and an output path.
 JobFactory = Callable[[str, str], Job]
@@ -230,7 +231,7 @@ class OnDemandVHadoopService:
             outcome.finished_at = self.sim.now
             self.completed.append(outcome)
             self.datacenter.tracer.emit(
-                self.sim.now, "cloud.request.done", request.name,
+                self.sim.now, EV.CLOUD_REQUEST_DONE, request.name,
                 total=outcome.total_s, waited=outcome.queue_wait_s)
             self._admit()  # freed capacity may admit queued requests
         done.succeed(outcome)
@@ -286,7 +287,7 @@ class SharedVHadoopService:
         outcome.finished_at = self.sim.now
         self.completed.append(outcome)
         self.cluster.tracer.emit(
-            self.sim.now, "cloud.request.done", request.name,
+            self.sim.now, EV.CLOUD_REQUEST_DONE, request.name,
             total=outcome.total_s, waited=outcome.queue_wait_s, shared=True)
         done.succeed(outcome)
         return outcome

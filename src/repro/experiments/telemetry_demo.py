@@ -1,0 +1,71 @@
+"""Telemetry experiment: span accounting and critical path of a Wordcount.
+
+Not a figure from the paper — a harness exercising the unified telemetry
+subsystem end to end: a Wordcount runs on the paper's 16-node cluster with
+nmon sampling on, and the resulting span log is reduced to
+
+* per-category span counts and total busy seconds,
+* the job's critical path (work vs wait, coverage of the makespan),
+* exported artifacts: a ``chrome://tracing`` JSON timeline and the
+  Prometheus-format metrics dump (written via ``--out``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.datasets.text import generate_corpus
+from repro.experiments.common import (ExperimentResult, make_platform,
+                                      sixteen_node_cluster)
+from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
+                                       wordcount_job)
+
+#: Input volume (unscaled) and the time-compression scale.
+VOLUME_BYTES = 64_000_000
+SCALE = 100
+
+
+def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    platform = make_platform(seed=seed)
+    cluster = sixteen_node_cluster(platform, "normal", name="tel")
+    volume = VOLUME_BYTES // (4 if quick else 1)
+    lines = generate_corpus(volume // SCALE,
+                            rng=platform.datacenter.rng.stream("corpus"))
+    platform.upload(cluster, "/in", lines_as_records(lines),
+                    sizeof=scaled_line_sizeof(SCALE), timed=False)
+
+    telemetry = cluster.telemetry
+    telemetry.start_monitor(interval=2.0)
+    job = wordcount_job("/in", "/out", n_reduces=8, volume_scale=SCALE)
+    report = platform.run_job(cluster, job)
+    telemetry.stop_monitor()
+
+    result = ExperimentResult(
+        experiment_id="telemetry",
+        title="span accounting + critical path (Wordcount, 16 nodes)",
+        columns=("category", "spans", "busy_s", "on_critical_path"))
+
+    timeline = telemetry.job_timeline(job.name)
+    path = timeline.critical_path()
+    on_path = {}
+    for segment in path.span_segments():
+        category = segment.span.kind.split(".")[0]
+        on_path[category] = on_path.get(category, 0) + 1
+    by_category: dict[str, list] = {}
+    for span in telemetry.spans:
+        by_category.setdefault(span.kind.split(".")[0], []).append(span)
+    for category in sorted(by_category):
+        spans = by_category[category]
+        result.add(category, len(spans),
+                   sum(s.duration for s in spans),
+                   on_path.get(category, 0))
+
+    result.note(f"makespan {path.makespan:.2f} s = work {path.work_s:.2f} s "
+                f"+ wait {path.wait_s:.2f} s "
+                f"(coverage {path.coverage:.0%}); "
+                f"job elapsed {report.elapsed:.2f} s")
+    result.note(f"bottleneck: {telemetry.bottleneck().busiest_resource}")
+    result.artifacts["chrome_trace.json"] = json.dumps(
+        telemetry.chrome_trace(), indent=None)
+    result.artifacts["metrics.prom"] = telemetry.prometheus_text()
+    return result

@@ -20,12 +20,12 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
 
 from repro.config import HadoopConfig
-from repro.errors import HdfsError
 from repro.hdfs.block import Block, next_block_id
 from repro.hdfs.files import DfsFile
 from repro.hdfs.namenode import NameNode
 from repro.sim import Simulator, Tracer
 from repro.sim.kernel import Event
+from repro.telemetry import events as EV
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net import NetworkFabric
@@ -45,12 +45,13 @@ class DfsClient:
 
     def __init__(self, sim: Simulator, fabric: "NetworkFabric",
                  namenode: NameNode, config: HadoopConfig,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None, metrics=None):
         self.sim = sim
         self.fabric = fabric
         self.namenode = namenode
         self.config = config
         self.tracer = tracer or Tracer(enabled=False)
+        self.metrics = metrics
 
     # -- write -------------------------------------------------------------
     def write_file(self, writer: "VirtualMachine", path: str,
@@ -90,11 +91,20 @@ class DfsClient:
         replication = replication or self.config.dfs_replication
         f = self.namenode.create_file(path)
         packed = self._pack_blocks(records, sizeof)
+        span = self.tracer.begin_span(self.sim.now, EV.DFS_WRITE, path,
+                                      writer=writer.name,
+                                      blocks=len(packed))
         for block, payload in packed:
             yield from self._write_block(writer, f, block, payload,
                                          replication)
-        self.tracer.emit(self.sim.now, "dfs.file.written", path,
+        self.tracer.end_span(span, self.sim.now, bytes=f.size)
+        self.tracer.emit(self.sim.now, EV.DFS_FILE_WRITTEN, path,
                          blocks=len(packed), bytes=f.size)
+        if self.metrics is not None:
+            self.metrics.counter("hdfs.bytes.written",
+                                 "file bytes committed to HDFS").inc(f.size)
+            self.metrics.counter("hdfs.files.written",
+                                 "files committed to HDFS").inc()
         return f
 
     def _write_block(self, writer, f: DfsFile, block: Block,

@@ -23,6 +23,7 @@ from repro.hdfs.block import Block
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.namenode import NameNode
 from repro.sim import Simulator, Tracer
+from repro.telemetry import events as EV
 from repro.sim.kernel import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -102,14 +103,14 @@ class ReplicationRepairer:
             holders = self.namenode.replicas.get(block.block_id, [])
             if not holders:
                 report.unrecoverable.append(block.block_id)
-                self.tracer.emit(self.sim.now, "hdfs.repair.lost",
+                self.tracer.emit(self.sim.now, EV.HDFS_REPAIR_LOST,
                                  block.block_id)
                 continue
             target = min(replication, len(self.namenode.datanodes))
             while len(self.namenode.replicas[block.block_id]) < target:
                 yield from self._copy_replica(block, report)
         report.finished_at = self.sim.now
-        self.tracer.emit(self.sim.now, "hdfs.repair.done", "namenode",
+        self.tracer.emit(self.sim.now, EV.HDFS_REPAIR_DONE, "namenode",
                          repaired=len(report.repaired),
                          unrecoverable=len(report.unrecoverable))
         return report

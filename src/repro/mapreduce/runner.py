@@ -39,6 +39,8 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import Job
 from repro.sim import Resource
 from repro.sim.kernel import Event
+from repro.sim.trace import Span
+from repro.telemetry import events as EV
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.platform.cluster import HadoopVirtualCluster, TaskTracker
@@ -150,6 +152,7 @@ class MapReduceRunner:
         self.cluster = cluster
         self.sim = cluster.sim
         self.tracer = cluster.tracer
+        self.metrics = cluster.telemetry.metrics
         self._rng = cluster.datacenter.rng.stream(
             f"mapreduce/heartbeat/{cluster.name}")
 
@@ -179,8 +182,10 @@ class MapReduceRunner:
         config = self.cluster.config
         report = JobReport(job_name=job.name, submitted_at=self.sim.now,
                            n_reduces=job.n_reduces)
-        self.tracer.emit(self.sim.now, "job.submit", job.name,
+        self.tracer.emit(self.sim.now, EV.JOB_SUBMIT, job.name,
                          n_reduces=job.n_reduces)
+        job_span = self.tracer.begin_span(self.sim.now, EV.JOB_RUN, job.name,
+                                          n_reduces=job.n_reduces)
         yield self.sim.timeout(config.job_overhead_s / 2)
         yield from self._localize(job)
 
@@ -188,24 +193,49 @@ class MapReduceRunner:
         report.n_maps = len(specs)
         report.input_bytes = sum(s.nbytes for s in specs)
 
+        map_span = self.tracer.begin_span(self.sim.now, EV.PHASE_MAP,
+                                          job.name, parent=job_span,
+                                          n_maps=len(specs))
         map_outputs: list[_MapOutput] = yield self.sim.process(
-            self._map_phase(job, specs, report), name=f"{job.name}:maps")
+            self._map_phase(job, specs, report, map_span),
+            name=f"{job.name}:maps")
         report.map_phase_end = self.sim.now
-        self.tracer.emit(self.sim.now, "job.maps.done", job.name,
+        self.tracer.end_span(map_span, self.sim.now)
+        self.tracer.emit(self.sim.now, EV.JOB_MAPS_DONE, job.name,
                          n_maps=len(specs))
 
         if job.map_only:
             yield from self._write_map_only_output(job, map_outputs, report)
         else:
+            reduce_span = self.tracer.begin_span(
+                self.sim.now, EV.PHASE_REDUCE, job.name, parent=job_span,
+                n_reduces=job.n_reduces)
             yield self.sim.process(
-                self._reduce_phase(job, map_outputs, report),
+                self._reduce_phase(job, map_outputs, report, reduce_span),
                 name=f"{job.name}:reduces")
+            self.tracer.end_span(reduce_span, self.sim.now)
 
         yield self.sim.timeout(config.job_overhead_s / 2)
         report.finished_at = self.sim.now
-        self.tracer.emit(self.sim.now, "job.done", job.name,
+        self.tracer.end_span(job_span, self.sim.now, elapsed=report.elapsed)
+        self.tracer.emit(self.sim.now, EV.JOB_DONE, job.name,
                          elapsed=report.elapsed)
+        self._record_job_metrics(job, report)
         return report
+
+    def _record_job_metrics(self, job: Job, report: JobReport) -> None:
+        labels = {"job": job.name}
+        m = self.metrics
+        m.counter("mapreduce.jobs.completed", "finished jobs").inc()
+        m.histogram("mapreduce.job.duration",
+                    "job makespan in simulated seconds",
+                    labels).observe(report.elapsed)
+        m.counter("mapreduce.input.bytes", "bytes read by map tasks",
+                  labels).inc(report.input_bytes)
+        m.counter("mapreduce.shuffle.bytes", "bytes moved map -> reduce",
+                  labels).inc(report.shuffle_bytes)
+        m.counter("mapreduce.output.bytes", "bytes written by reduces",
+                  labels).inc(report.output_bytes)
 
     def _localize(self, job: Job):
         """Job localization: every TaskTracker pulls job.jar + config from
@@ -286,7 +316,8 @@ class MapReduceRunner:
         return specs
 
     # -- map phase --------------------------------------------------------------
-    def _map_phase(self, job: Job, specs: list[_MapSpec], report: JobReport):
+    def _map_phase(self, job: Job, specs: list[_MapSpec], report: JobReport,
+                   phase_span: Optional[Span] = None):
         # Shared phase state: the task queue plus what speculation needs —
         # which tasks are running (and since when), which have finished,
         # which already have a backup attempt, and completed durations.
@@ -296,6 +327,7 @@ class MapReduceRunner:
             "finished": set(),    # spec.index
             "duplicated": set(),  # spec.index with a backup launched
             "durations": [],      # completed map durations
+            "span": phase_span,   # parent for task-attempt spans
         }
         outputs: list[_MapOutput] = []
         # The phase ends when every *task* has finished — idle trackers
@@ -341,10 +373,12 @@ class MapReduceRunner:
         if kind == "map":
             task_id = item.task_id
             report.speculated_maps += 1
+            speculate_kind = EV.TASK_MAP_SPECULATE
         else:
             task_id = f"r-{index:05d}"
             report.speculated_reduces += 1
-        self.tracer.emit(now, f"task.{kind}.speculate", task_id)
+            speculate_kind = EV.TASK_REDUCE_SPECULATE
+        self.tracer.emit(now, speculate_kind, task_id)
         return item
 
     def _pick_map_task(self, tracker: "TaskTracker",
@@ -418,8 +452,18 @@ class MapReduceRunner:
                 start = self.sim.now
                 if not speculative:
                     state["running"][spec.index] = (start, spec)
+                attempt_span = self.tracer.begin_span(
+                    start, EV.TASK_MAP, spec.task_id, parent=state["span"],
+                    tracker=tracker.name, locality=locality,
+                    speculative=speculative)
                 output = yield from self._run_map_task(job, tracker, spec,
                                                        locality, report)
+                self.tracer.end_span(attempt_span, self.sim.now,
+                                     won=spec.index not in state["finished"])
+                self.metrics.histogram(
+                    "mapreduce.task.duration", "task attempt duration",
+                    {"phase": "map", "job": job.name}).observe(
+                        self.sim.now - start)
                 if spec.index in state["finished"]:
                     continue  # the other attempt won the race
                 state["finished"].add(spec.index)
@@ -431,7 +475,7 @@ class MapReduceRunner:
                     task_id=spec.task_id, kind="map", tracker=tracker.name,
                     start=start, end=self.sim.now, input_bytes=spec.nbytes,
                     output_bytes=spilled, locality=locality))
-                self.tracer.emit(self.sim.now, "task.map.done",
+                self.tracer.emit(self.sim.now, EV.TASK_MAP_DONE,
                                  spec.task_id, tracker=tracker.name,
                                  locality=locality, speculative=speculative)
                 remaining["n"] -= 1
@@ -495,8 +539,10 @@ class MapReduceRunner:
 
     # -- reduce phase --------------------------------------------------------
     def _reduce_phase(self, job: Job, map_outputs: list[_MapOutput],
-                      report: JobReport):
+                      report: JobReport,
+                      phase_span: Optional[Span] = None):
         state = self._make_reduce_state(job)
+        state["span"] = phase_span
         all_done = self.sim.event()
         remaining = {"n": job.n_reduces}
         if remaining["n"] == 0:
@@ -557,9 +603,19 @@ class MapReduceRunner:
                 if not speculative:
                     state["running"][partition] = (start, partition)
                 token = object()
+                attempt_span = self.tracer.begin_span(
+                    start, EV.TASK_REDUCE, f"r-{partition:05d}",
+                    parent=state["span"], tracker=tracker.name,
+                    speculative=speculative)
                 result = yield from self._run_reduce_task(
                     job, tracker, partition, map_outputs, report, state,
-                    token)
+                    token, attempt_span)
+                self.tracer.end_span(attempt_span, self.sim.now,
+                                     won=result is not None)
+                self.metrics.histogram(
+                    "mapreduce.task.duration", "task attempt duration",
+                    {"phase": "reduce", "job": job.name}).observe(
+                        self.sim.now - start)
                 if result is None or partition in state["finished"]:
                     continue  # the other attempt won the race
                 state["finished"].add(partition)
@@ -571,7 +627,7 @@ class MapReduceRunner:
                     tracker=tracker.name, start=start, end=self.sim.now,
                     input_bytes=nbytes_in, output_bytes=nbytes_out,
                     locality="-"))
-                self.tracer.emit(self.sim.now, "task.reduce.done",
+                self.tracer.emit(self.sim.now, EV.TASK_REDUCE_DONE,
                                  f"r-{partition:05d}", tracker=tracker.name,
                                  speculative=speculative)
                 remaining["n"] -= 1
@@ -585,14 +641,15 @@ class MapReduceRunner:
 
     def _run_reduce_task(self, job: Job, tracker: "TaskTracker",
                          partition: int, map_outputs: list[_MapOutput],
-                         report: JobReport, state: dict, token: object):
+                         report: JobReport, state: dict, token: object,
+                         attempt_span: Optional[Span] = None):
         vm = tracker.vm
         config = self.cluster.config
         # 1. shuffle: fetch this partition from every map's VM.
         fetch_sem = Resource(self.sim, config.shuffle_parallel_copies,
                              name=f"{vm.name}.fetchers")
         fetches = [self.sim.process(
-            self._fetch(output, partition, vm, fetch_sem),
+            self._fetch(output, partition, vm, fetch_sem, attempt_span),
             name=f"fetch:{output.spec.task_id}:r{partition}")
             for output in map_outputs
             if output.partition_bytes.get(partition, 0.0) > 0]
@@ -637,7 +694,8 @@ class MapReduceRunner:
         report.output_bytes += f.size
         return nbytes_in, float(f.size)
 
-    def _fetch(self, output: _MapOutput, partition: int, to_vm, sem: Resource):
+    def _fetch(self, output: _MapOutput, partition: int, to_vm, sem: Resource,
+               parent_span: Optional[Span] = None):
         """One shuffle fetch, bounded by the reduce's parallel-copy limit.
 
         If the map's VM died since the map ran, its intermediate output is
@@ -650,6 +708,11 @@ class MapReduceRunner:
             if output.tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
                 yield from self._recover_map_output(output, to_vm)
             nbytes = output.partition_bytes[partition]
+            span = self.tracer.begin_span(
+                self.sim.now, EV.SHUFFLE_FETCH,
+                f"{output.spec.task_id}:r{partition}", parent=parent_span,
+                tracker=to_vm.name, src=output.tracker.vm.name,
+                nbytes=nbytes)
             yield self.sim.timeout(C.SHUFFLE_FETCH_OVERHEAD_S)
             pending = [output.tracker.vm.disk_io(
                 nbytes, name=f"shufread:{output.spec.task_id}")]
@@ -658,6 +721,7 @@ class MapReduceRunner:
                     output.tracker.vm.node, to_vm.node, nbytes,
                     name=f"shuffle:{output.spec.task_id}:r{partition}"))
             yield self.sim.all_of(pending)
+            self.tracer.end_span(span, self.sim.now)
         finally:
             sem.release()
         return None
@@ -670,7 +734,7 @@ class MapReduceRunner:
         split read and map CPU — are charged to the recovering VM.
         """
         spec = output.spec
-        self.tracer.emit(self.sim.now, "task.map.recover", spec.task_id,
+        self.tracer.emit(self.sim.now, EV.TASK_MAP_RECOVER, spec.task_id,
                          on=to_vm.name, lost_with=output.tracker.vm.name)
         tracker = next(t for t in self.cluster.trackers if t.vm is to_vm)
         yield self.sim.timeout(self.cluster.config.task_startup_s)

@@ -20,7 +20,7 @@ Single pass, no iteration — MinHash trades accuracy for one cheap job.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -16,7 +16,6 @@ Input records: ``((user, item), rating)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import ClusteringError
 from repro.mapreduce.api import Context, Mapper, Reducer

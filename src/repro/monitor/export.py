@@ -46,8 +46,14 @@ def write_nmon(series: NodeSeries) -> str:
 
 
 def parse_nmon(text: str) -> NodeSeries:
-    """Parse nmon-style CSV back into a :class:`NodeSeries`."""
+    """Parse nmon-style CSV back into a :class:`NodeSeries`.
+
+    Raises :class:`MonitorError` when the ``AAA,host`` header is missing,
+    when a snapshot lacks a required section, or when the ``AAA,samples``
+    count (if present) disagrees with the snapshots actually found.
+    """
     vm = None
+    declared_samples = None
     snapshots: dict[str, dict] = {}
     for raw in text.splitlines():
         line = raw.strip()
@@ -58,6 +64,12 @@ def parse_nmon(text: str) -> NodeSeries:
         if section == "AAA":
             if fields[1] == "host":
                 vm = fields[2]
+            elif fields[1] == "samples":
+                try:
+                    declared_samples = int(fields[2])
+                except (IndexError, ValueError):
+                    raise MonitorError(
+                        f"malformed AAA,samples header: {line!r}") from None
             continue
         tag = fields[1]
         snap = snapshots.setdefault(tag, {})
@@ -89,4 +101,8 @@ def parse_nmon(text: str) -> NodeSeries:
         except KeyError as missing:
             raise MonitorError(
                 f"snapshot {tag} is missing section {missing}") from None
+    if declared_samples is not None and declared_samples != len(series.samples):
+        raise MonitorError(
+            f"nmon header declares {declared_samples} samples but "
+            f"{len(series.samples)} snapshots were found")
     return series

@@ -16,11 +16,12 @@ is correctly interleaved with the workload.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.errors import MonitorError
-from repro.sim.kernel import Event
+from repro.sim.kernel import Event, Interrupt, Process
 from repro.virt.vm import VirtualMachine
 
 
@@ -59,9 +60,22 @@ _TASK_MEMORY_FRACTION = 0.18
 
 
 class NmonMonitor:
-    """Samples a group of VMs on a fixed interval."""
+    """Samples a group of VMs on a fixed interval.
 
-    def __init__(self, vms: Sequence[VirtualMachine], interval: float = 5.0):
+    .. deprecated::
+        Constructing a monitor directly is deprecated — use the cluster's
+        telemetry facade instead (``cluster.telemetry.monitor`` /
+        ``cluster.telemetry.start_monitor()``), which owns the monitor and
+        mirrors its samples into the metrics registry.
+    """
+
+    def __init__(self, vms: Sequence[VirtualMachine], interval: float = 5.0,
+                 _owner: Optional[object] = None):
+        if _owner is None:
+            warnings.warn(
+                "constructing NmonMonitor directly is deprecated; use "
+                "cluster.telemetry.monitor (or .start_monitor()) instead",
+                DeprecationWarning, stacklevel=2)
         if not vms:
             raise MonitorError("monitor needs at least one VM")
         if interval <= 0:
@@ -70,11 +84,14 @@ class NmonMonitor:
         self.interval = float(interval)
         self.series: dict[str, NodeSeries] = {
             vm.name: NodeSeries(vm.name) for vm in self.vms}
+        #: Called with each new :class:`NmonSample` (telemetry metrics hook).
+        self.on_sample: Optional[Callable[[NmonSample], None]] = None
         self._last_disk: dict[str, float] = {}
         self._last_tx: dict[str, float] = {}
         self._last_rx: dict[str, float] = {}
         self._running = False
-        self._proc: Optional[Event] = None
+        self._proc: Optional[Process] = None
+        self._pending: Optional[Event] = None
 
     # -- control -------------------------------------------------------------
     def start(self) -> None:
@@ -86,13 +103,33 @@ class NmonMonitor:
         self._proc = sim.process(self._sampler(sim), name="nmon")
 
     def stop(self) -> None:
+        """Stop sampling and withdraw the pending wakeup.
+
+        A stopped monitor emits no further samples, and its parked sampling
+        timeout is cancelled so it neither keeps the simulation alive nor
+        drags the clock to the next interval boundary.
+        """
+        if not self._running:
+            return
         self._running = False
+        if self._pending is not None and not self._pending.processed:
+            self._pending.cancel()
+        self._pending = None
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("monitor stopped")
+        self._proc = None
 
     # -- sampling -----------------------------------------------------------
     def _sampler(self, sim):
         while self._running:
             self.sample_now(sim.now)
-            yield sim.timeout(self.interval)
+            self._pending = sim.timeout(self.interval)
+            try:
+                yield self._pending
+            except Interrupt:
+                return None
+            finally:
+                self._pending = None
         return None
 
     def sample_now(self, now: float) -> None:
@@ -118,6 +155,8 @@ class NmonMonitor:
             self._last_disk[vm.name] = vm.disk_bytes
             self._last_tx[vm.name] = tx
             self._last_rx[vm.name] = rx
+            if self.on_sample is not None:
+                self.on_sample(sample)
 
     # -- access -----------------------------------------------------------------
     def node(self, vm_name: str) -> NodeSeries:

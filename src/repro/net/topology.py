@@ -29,6 +29,7 @@ from repro.errors import SimulationError
 from repro.sim import FairShareSystem, SharedResource, Simulator, Tracer
 from repro.sim.kernel import Event, Interrupt
 from repro.sim.fairshare import FluidFlow
+from repro.telemetry import events as EV
 
 
 class HostNet:
@@ -146,7 +147,7 @@ class NetworkFabric:
                        name: str, cap: Optional[float]):
         started = self.sim.now
         path, latency = self.path(src, dst)
-        self.tracer.emit(started, "net.transfer.start", name,
+        self.tracer.emit(started, EV.NET_TRANSFER_START, name,
                          src=src.name, dst=dst.name, bytes=nbytes,
                          cross_domain=self.crosses_physical_nic(src, dst))
         flow = None
@@ -166,7 +167,7 @@ class NetworkFabric:
         src.tx_bytes += moved
         dst.rx_bytes += moved
         elapsed = self.sim.now - started
-        self.tracer.emit(self.sim.now, "net.transfer.end", name,
+        self.tracer.emit(self.sim.now, EV.NET_TRANSFER_END, name,
                          src=src.name, dst=dst.name, bytes=moved,
                          elapsed=elapsed)
         return elapsed

@@ -18,6 +18,8 @@ from repro.config import HadoopConfig
 from repro.errors import ConfigError
 from repro.hdfs import DataNode, DfsClient, NameNode
 from repro.sim import Resource
+from repro.telemetry import events as EV
+from repro.telemetry.facade import Telemetry
 from repro.virt.datacenter import Datacenter
 from repro.virt.vm import VirtualMachine
 
@@ -61,8 +63,13 @@ class HadoopVirtualCluster:
             self.namenode.register_datanode(dn)
             self.datanodes.append(dn)
             self.trackers.append(TaskTracker(vm, self.config))
+        #: The cluster's observability handle: tracer + metrics + monitor.
+        self.telemetry = Telemetry(self.sim, self.tracer,
+                                   metrics=datacenter.metrics,
+                                   vms=self.vms, datacenter=datacenter)
         self.dfs = DfsClient(self.sim, datacenter.fabric, self.namenode,
-                             self.config, tracer=self.tracer)
+                             self.config, tracer=self.tracer,
+                             metrics=datacenter.metrics)
 
     # -- convenience -----------------------------------------------------
     @property
@@ -96,7 +103,7 @@ class HadoopVirtualCluster:
         self.config = config
         self.trackers = [TaskTracker(vm, config) for vm in self.workers]
         self.dfs.config = config
-        self.tracer.emit(self.sim.now, "cluster.reconfigure", self.name,
+        self.tracer.emit(self.sim.now, EV.CLUSTER_RECONFIGURE, self.name,
                          map_slots=config.map_tasks_maximum,
                          reduce_slots=config.reduce_tasks_maximum)
 

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 from repro.errors import VMStateError
 from repro.hdfs.replication import (RepairReport, ReplicationRepairer,
                                     mark_datanode_dead)
+from repro.telemetry import events as EV
 from repro.virt.vm import VirtualMachine, VMState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,7 +39,7 @@ def fail_worker(cluster: "HadoopVirtualCluster", vm: VirtualMachine) -> None:
         cluster.datanodes = [dn for dn in cluster.datanodes
                              if dn is not datanode]
     cluster.trackers = [t for t in cluster.trackers if t.vm is not vm]
-    cluster.tracer.emit(cluster.sim.now, "cluster.worker.failed",
+    cluster.tracer.emit(cluster.sim.now, EV.CLUSTER_WORKER_FAILED,
                         cluster.name, vm=vm.name)
 
 

@@ -27,6 +27,7 @@ from repro.mapreduce.job import Job
 from repro.mapreduce.runner import JobReport, MapReduceRunner
 from repro.platform.cluster import HadoopVirtualCluster
 from repro.platform.provisioning import Placement, validate_placement
+from repro.telemetry import events as EV
 from repro.virt.datacenter import Datacenter
 
 
@@ -73,7 +74,7 @@ class VHadoopPlatform:
         self.clusters[name] = cluster
         self.runners[name] = MapReduceRunner(cluster)
         self.datacenter.tracer.emit(
-            self.datacenter.now, "cluster.provisioned", name,
+            self.datacenter.now, EV.CLUSTER_PROVISIONED, name,
             nodes=cluster.n_nodes, placement=placement.label)
         return cluster
 
@@ -145,3 +146,8 @@ class VHadoopPlatform:
     @property
     def tracer(self):
         return self.datacenter.tracer
+
+    @property
+    def telemetry(self):
+        """The datacenter-wide :class:`~repro.telemetry.Telemetry` handle."""
+        return self.datacenter.telemetry

@@ -36,6 +36,8 @@ from repro.scheduler.policies import (FifoScheduler, SchedulingPolicy,
                                       _pool_demand, _pool_running)
 from repro.scheduler.report import JobStats, SchedulerReport
 from repro.sim.kernel import AllOf, AnyOf, Event, Process
+from repro.sim.trace import Span
+from repro.telemetry import events as EV
 
 _STAGE_OF = {"map": "maps", "reduce": "reduces"}
 
@@ -58,6 +60,9 @@ class JobExecution:
         self.reduces_done: Optional[Event] = None
         self.running = {"map": 0, "reduce": 0}
         self.done: Optional[Event] = None
+        self.job_span: Optional[Span] = None
+        self.map_span: Optional[Span] = None
+        self.reduce_span: Optional[Span] = None
 
     def stage_accepts(self, kind: str) -> bool:
         return self.stage == _STAGE_OF[kind]
@@ -135,7 +140,7 @@ class JobScheduler:
         self._ensure_monitor()
         ex.done = self.sim.process(self._job_driver(ex),
                                    name=f"sched:{job.name}")
-        self.tracer.emit(self.sim.now, "scheduler.submit", job.name,
+        self.tracer.emit(self.sim.now, EV.SCHEDULER_SUBMIT, job.name,
                          pool=pool, policy=self.policy.name)
         return ex.done
 
@@ -175,20 +180,27 @@ class JobScheduler:
     def _job_driver(self, ex: JobExecution):
         config = self.cluster.config
         job, report = ex.job, ex.report
-        self.tracer.emit(self.sim.now, "job.submit", job.name,
+        self.tracer.emit(self.sim.now, EV.JOB_SUBMIT, job.name,
                          n_reduces=job.n_reduces)
+        ex.job_span = self.tracer.begin_span(
+            self.sim.now, EV.JOB_RUN, job.name, n_reduces=job.n_reduces,
+            pool=ex.pool, policy=self.policy.name)
         yield self.sim.timeout(config.job_overhead_s / 2)
         yield from self.runner._localize(job)
 
         specs = self.runner._make_map_specs(job)
         report.n_maps = len(specs)
         report.input_bytes = sum(s.nbytes for s in specs)
+        ex.map_span = self.tracer.begin_span(
+            self.sim.now, EV.PHASE_MAP, job.name, parent=ex.job_span,
+            n_maps=len(specs))
         ex.map_state = {
             "pending": list(specs),
             "running": {},
             "finished": set(),
             "duplicated": set(),
             "durations": [],
+            "span": ex.map_span,
         }
         ex.map_remaining = {"n": len(specs)}
         ex.maps_done = self.sim.event()
@@ -200,7 +212,8 @@ class JobScheduler:
         yield ex.maps_done
         ex.map_outputs.sort(key=lambda o: o.spec.index)
         report.map_phase_end = self.sim.now
-        self.tracer.emit(self.sim.now, "job.maps.done", job.name,
+        self.tracer.end_span(ex.map_span, self.sim.now)
+        self.tracer.emit(self.sim.now, EV.JOB_MAPS_DONE, job.name,
                          n_maps=len(specs))
 
         if job.map_only:
@@ -210,6 +223,10 @@ class JobScheduler:
                 job, ex.map_outputs, report)
         else:
             ex.reduce_state = MapReduceRunner._make_reduce_state(job)
+            ex.reduce_span = self.tracer.begin_span(
+                self.sim.now, EV.PHASE_REDUCE, job.name, parent=ex.job_span,
+                n_reduces=job.n_reduces)
+            ex.reduce_state["span"] = ex.reduce_span
             ex.reduce_remaining = {"n": job.n_reduces}
             ex.reduces_done = self.sim.event()
             if job.n_reduces == 0:
@@ -218,6 +235,7 @@ class JobScheduler:
             ex.stage = "reduces"
             self._signal("reduce")
             yield ex.reduces_done
+            self.tracer.end_span(ex.reduce_span, self.sim.now)
 
         yield self.sim.timeout(config.job_overhead_s / 2)
         self._accrue()
@@ -225,8 +243,11 @@ class JobScheduler:
         report.finished_at = self.sim.now
         self._active.remove(ex)
         self._record(ex)
-        self.tracer.emit(self.sim.now, "job.done", job.name,
+        self.tracer.end_span(ex.job_span, self.sim.now,
+                             elapsed=report.elapsed)
+        self.tracer.emit(self.sim.now, EV.JOB_DONE, job.name,
                          elapsed=report.elapsed)
+        self.runner._record_job_metrics(job, report)
         return report
 
     def _record(self, ex: JobExecution) -> None:
@@ -347,9 +368,19 @@ class JobScheduler:
             kill = self.sim.event()
             record = _RunningTask(ex, spec.task_id, start, kill, speculative)
             self._running_maps.append(record)
+            attempt_span = self.tracer.begin_span(
+                start, EV.TASK_MAP, spec.task_id, parent=ex.map_span,
+                tracker=tracker.name, locality=locality,
+                speculative=speculative)
             gen = self.runner._run_map_task(ex.job, tracker, spec, locality,
                                             ex.report)
             output, preempted = yield from self._drive(gen, kill)
+            self.tracer.end_span(attempt_span, self.sim.now,
+                                 preempted=preempted)
+            self.runner.metrics.histogram(
+                "mapreduce.task.duration", "task attempt duration",
+                {"phase": "map", "job": ex.job.name}).observe(
+                    self.sim.now - start)
             if preempted:
                 self._revert_map(ex, spec, speculative)
                 return True
@@ -364,7 +395,7 @@ class JobScheduler:
                 task_id=spec.task_id, kind="map", tracker=tracker.name,
                 start=start, end=self.sim.now, input_bytes=spec.nbytes,
                 output_bytes=spilled, locality=locality))
-            self.tracer.emit(self.sim.now, "task.map.done", spec.task_id,
+            self.tracer.emit(self.sim.now, EV.TASK_MAP_DONE, spec.task_id,
                              tracker=tracker.name, locality=locality,
                              speculative=speculative)
             ex.map_remaining["n"] -= 1
@@ -392,7 +423,10 @@ class JobScheduler:
         ex.report.preempted_tasks += 1
         self.report.preemptions += 1
         self.report.pool(ex.pool).preemptions_suffered += 1
-        self.tracer.emit(self.sim.now, "task.map.preempted", spec.task_id,
+        self.runner.metrics.counter(
+            "scheduler.preemptions", "map attempts killed by preemption",
+            {"pool": ex.pool}).inc()
+        self.tracer.emit(self.sim.now, EV.TASK_MAP_PREEMPTED, spec.task_id,
                          job=ex.job.name, pool=ex.pool)
         self._signal("map")
 
@@ -423,9 +457,19 @@ class JobScheduler:
             if not speculative:
                 state["running"][partition] = (start, partition)
             token = object()
+            attempt_span = self.tracer.begin_span(
+                start, EV.TASK_REDUCE, f"r-{partition:05d}",
+                parent=ex.reduce_span, tracker=tracker.name,
+                speculative=speculative)
             result = yield from self.runner._run_reduce_task(
                 ex.job, tracker, partition, ex.map_outputs, ex.report,
-                state, token)
+                state, token, attempt_span)
+            self.tracer.end_span(attempt_span, self.sim.now,
+                                 won=result is not None)
+            self.runner.metrics.histogram(
+                "mapreduce.task.duration", "task attempt duration",
+                {"phase": "reduce", "job": ex.job.name}).observe(
+                    self.sim.now - start)
             if result is None or partition in state["finished"]:
                 return True  # the other attempt won the race
             state["finished"].add(partition)
@@ -437,7 +481,7 @@ class JobScheduler:
                 tracker=tracker.name, start=start, end=self.sim.now,
                 input_bytes=nbytes_in, output_bytes=nbytes_out,
                 locality="-"))
-            self.tracer.emit(self.sim.now, "task.reduce.done",
+            self.tracer.emit(self.sim.now, EV.TASK_REDUCE_DONE,
                              f"r-{partition:05d}", tracker=tracker.name,
                              speculative=speculative)
             ex.reduce_remaining["n"] -= 1
@@ -556,7 +600,7 @@ class JobScheduler:
             rec.kill.succeed(beneficiary)
             self.report.pool(beneficiary).preemptions_claimed += 1
             self.tracer.emit(
-                self.sim.now, "scheduler.preempt", rec.task_id,
+                self.sim.now, EV.SCHEDULER_PREEMPT, rec.task_id,
                 victim_pool=pool, for_pool=beneficiary,
                 victim_running=_pool_running(active, pool, "map"),
                 victim_floor=floor[pool],

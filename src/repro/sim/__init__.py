@@ -26,7 +26,7 @@ from repro.sim.kernel import (
 from repro.sim.fairshare import FairShareSystem, FluidFlow, SharedResource
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.trace import Span, TraceEvent, Tracer
 
 __all__ = [
     "AllOf",
@@ -40,6 +40,7 @@ __all__ = [
     "RngRegistry",
     "SharedResource",
     "Simulator",
+    "Span",
     "Store",
     "Timeout",
     "TraceEvent",

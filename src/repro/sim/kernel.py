@@ -41,7 +41,8 @@ class Event:
     are resumed with its value.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "_cancelled")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -50,6 +51,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._cancelled = False
 
     # -- state ---------------------------------------------------------------
     @property
@@ -66,6 +68,22 @@ class Event:
     def ok(self) -> bool:
         """True if the event succeeded (valid only once triggered)."""
         return self._ok
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been withdrawn via :meth:`cancel`."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Withdraw a scheduled-but-untriggered event from the queue.
+
+        The queue entry is skipped without advancing the clock, so a
+        cancelled periodic wakeup (a monitor's sampling timeout, say) no
+        longer keeps the simulation alive or drags the clock forward.
+        """
+        if self._processed:
+            raise SimulationError(f"cannot cancel processed {self!r}")
+        self._cancelled = True
 
     @property
     def value(self) -> Any:
@@ -323,12 +341,18 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
+    def _prune_cancelled(self) -> None:
+        while self._heap and self._heap[0][2]._cancelled:
+            heapq.heappop(self._heap)
+
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` if the queue is empty."""
+        """Time of the next live event, or ``inf`` if the queue is empty."""
+        self._prune_cancelled()
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
+        self._prune_cancelled()
         if not self._heap:
             raise SimulationError("step() on an empty event queue")
         time, _seq, event = heapq.heappop(self._heap)
@@ -351,7 +375,7 @@ class Simulator:
         processes (monitors, heartbeats) keep the queue non-empty.
         """
         while not event._processed:
-            if not self._heap:
+            if self.peek() == float("inf"):
                 raise SimulationError(
                     "event queue drained before the awaited event triggered")
             self.step()
@@ -364,7 +388,7 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
-        while self._heap:
+        while self.peek() != float("inf"):
             if until is not None and self.peek() > until:
                 self.now = until
                 return

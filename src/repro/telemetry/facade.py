@@ -1,0 +1,192 @@
+"""The :class:`Telemetry` facade — one handle per cluster (or datacenter).
+
+Everything observable about a running platform hangs off this object:
+
+* ``telemetry.tracer`` — the shared event/span log;
+* ``telemetry.metrics`` — the labelled :class:`MetricsRegistry`;
+* ``telemetry.monitor`` / ``telemetry.analyser`` — the nmon sampling loop
+  and its aggregates (created lazily, owned by the facade);
+* ``telemetry.bottleneck()`` — the paper's platform diagnosis, folding in
+  the shared fair-share resources (host NICs, netback, NFS);
+* ``telemetry.job_timeline()`` / ``critical_path()`` — span analysis;
+* ``telemetry.export_chrome_trace()`` / ``prometheus_text()`` / CSV.
+
+Constructing :class:`~repro.monitor.nmon.NmonMonitor` directly, or walking
+``cluster.datacenter`` to reach resources the analyser needs, is deprecated
+in favour of this facade.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import MonitorError
+from repro.sim.trace import Span, TraceEvent, Tracer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeline import CriticalPath, JobTimeline, build_timeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitor.analyser import BottleneckReport, NmonAnalyser
+    from repro.monitor.nmon import NmonMonitor
+    from repro.virt.datacenter import Datacenter
+    from repro.virt.vm import VirtualMachine
+
+
+class Telemetry:
+    """Unified observability handle for one scope (cluster or datacenter)."""
+
+    def __init__(self, sim, tracer: Tracer,
+                 metrics: Optional[MetricsRegistry] = None,
+                 vms: Optional[Sequence["VirtualMachine"]] = None,
+                 datacenter: Optional["Datacenter"] = None,
+                 monitor_interval: float = 5.0):
+        self.sim = sim
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.datacenter = datacenter
+        self.monitor_interval = monitor_interval
+        self._vms = list(vms) if vms is not None else None
+        self._monitor: Optional["NmonMonitor"] = None
+        self._analyser: Optional["NmonAnalyser"] = None
+
+    # -- scope -----------------------------------------------------------
+    @property
+    def vms(self) -> list["VirtualMachine"]:
+        if self._vms is not None:
+            return self._vms
+        if self.datacenter is not None:
+            return list(self.datacenter.vms.values())
+        return []
+
+    # -- nmon monitor ------------------------------------------------------
+    @property
+    def monitor(self) -> "NmonMonitor":
+        """The facade's nmon monitor (created on first access)."""
+        if self._monitor is None:
+            from repro.monitor.nmon import NmonMonitor
+            vms = self.vms
+            if not vms:
+                raise MonitorError(
+                    "telemetry scope has no VMs to monitor yet")
+            self._monitor = NmonMonitor(vms, interval=self.monitor_interval,
+                                        _owner=self)
+            self._monitor.on_sample = self._record_sample
+        return self._monitor
+
+    @property
+    def analyser(self) -> "NmonAnalyser":
+        if self._analyser is None:
+            from repro.monitor.analyser import NmonAnalyser
+            self._analyser = NmonAnalyser(self.monitor)
+        return self._analyser
+
+    def adopt_analyser(self, analyser: "NmonAnalyser") -> None:
+        """Adopt an externally-built analyser (legacy migration path): the
+        facade takes over its monitor and mirrors future samples into the
+        metrics registry."""
+        self._analyser = analyser
+        self._monitor = analyser.monitor
+        if self._monitor.on_sample is None:
+            self._monitor.on_sample = self._record_sample
+
+    def start_monitor(self, interval: Optional[float] = None
+                      ) -> "NmonMonitor":
+        """Begin nmon sampling on this scope's VMs; returns the monitor."""
+        if interval is not None and self._monitor is None:
+            self.monitor_interval = interval
+        monitor = self.monitor
+        if interval is not None:
+            monitor.interval = float(interval)
+        monitor.start()
+        return monitor
+
+    def stop_monitor(self) -> None:
+        if self._monitor is not None:
+            self._monitor.stop()
+
+    def _record_sample(self, sample) -> None:
+        """Mirror each nmon sample into the metrics registry."""
+        labels = {"vm": sample.vm}
+        self.metrics.gauge("vm.cpu.utilization",
+                           "VCPU load fraction", labels).set(sample.cpu_util)
+        self.metrics.gauge("vm.memory.fraction",
+                           "resident memory fraction",
+                           labels).set(sample.memory_fraction)
+        self.metrics.gauge("vm.tasks.running", "running tasks",
+                           labels).set(sample.activity)
+        if sample.disk_bytes_delta > 0:
+            self.metrics.counter("vm.disk.bytes", "virtual-disk I/O",
+                                 labels).inc(sample.disk_bytes_delta)
+        net = sample.net_tx_delta + sample.net_rx_delta
+        if net > 0:
+            self.metrics.counter("vm.net.bytes", "VM network I/O",
+                                 labels).inc(net)
+
+    # -- platform diagnosis ------------------------------------------------
+    def shared_resources(self) -> list:
+        """The fair-share resources every cluster contends on (host CPUs,
+        NICs, netback/bridge, the NFS server vnic)."""
+        if self.datacenter is None:
+            return []
+        resources = []
+        for machine in self.datacenter.machines:
+            resources.extend([machine.cpu, machine.net.nic,
+                              machine.net.netback, machine.net.bridge])
+        resources.append(self.datacenter.image_store.node.vnic)
+        return resources
+
+    def bottleneck(self) -> "BottleneckReport":
+        """The paper's diagnosis: which shared resource is busiest."""
+        return self.analyser.bottleneck(self.shared_resources(),
+                                        now=self.sim.now)
+
+    def imbalance(self) -> float:
+        return self.analyser.imbalance()
+
+    # -- spans & timelines --------------------------------------------------
+    @property
+    def spans(self) -> list[Span]:
+        return self.tracer.spans
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return self.tracer.events
+
+    def job_timeline(self, job_name: str) -> JobTimeline:
+        """Reconstruct one job's span tree (latest run under that name)."""
+        return build_timeline(job_name, self.tracer.spans)
+
+    def critical_path(self, job_name: str) -> CriticalPath:
+        """Critical path of one job's latest run."""
+        return self.job_timeline(job_name).critical_path()
+
+    # -- exports ------------------------------------------------------------
+    def chrome_trace(self, include_events: bool = True) -> dict:
+        from repro.telemetry.export import chrome_trace
+        return chrome_trace(self.tracer.spans,
+                            self.tracer.events if include_events else ())
+
+    def export_chrome_trace(self, path: str,
+                            include_events: bool = True) -> str:
+        """Write a ``chrome://tracing`` / Perfetto JSON file."""
+        from repro.telemetry.export import write_chrome_trace
+        return write_chrome_trace(
+            path, self.tracer.spans,
+            self.tracer.events if include_events else ())
+
+    def prometheus_text(self) -> str:
+        from repro.telemetry.export import prometheus_text
+        return prometheus_text(self.metrics)
+
+    def metrics_csv(self) -> str:
+        from repro.telemetry.export import metrics_csv
+        return metrics_csv(self.metrics)
+
+    def spans_csv(self) -> str:
+        from repro.telemetry.export import spans_csv
+        return spans_csv(self.tracer.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Telemetry vms={len(self.vms)} "
+                f"spans={len(self.tracer.spans)} "
+                f"metrics={len(self.metrics.families)}>")

@@ -1,0 +1,211 @@
+"""Labelled metrics: counters, gauges, histograms, and their registry.
+
+The registry is the quantitative half of the telemetry subsystem (spans
+being the structural half).  Instrumented layers record, e.g.::
+
+    metrics.counter("hdfs.bytes.written").inc(f.size)
+    metrics.histogram("mapreduce.task.duration",
+                      labels={"phase": "map", "job": job.name}).observe(dt)
+
+Metric names are dot-namespaced like trace-event kinds; labels are plain
+``str → str`` mappings.  One *metric family* (a name plus help text and a
+type) owns one child per distinct label set.  Everything is in-memory and
+deterministic — there is no background aggregation thread, because values
+only ever change inside the single-threaded simulation.
+
+Exporters live in :mod:`repro.telemetry.export` (Prometheus text, CSV).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional
+
+from repro.errors import ConfigError
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labelset(labels: Optional[Mapping[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Value that can go up and down (utilization, queue depth, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Streaming distribution summary over fixed buckets.
+
+    Buckets are cumulative upper bounds (Prometheus style, ``+Inf``
+    implied).  Count, sum, min and max are exact; quantiles are estimated
+    from the bucket counts.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "total", "min", "max")
+
+    #: Default bounds, tuned for durations in simulated seconds.
+    DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                       100.0, 250.0, 500.0, 1000.0)
+
+    def __init__(self, buckets: Optional[tuple[float, ...]] = None):
+        bounds = tuple(buckets) if buckets else self.DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds):
+            raise ConfigError(f"histogram buckets must ascend: {bounds}")
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)   # + the +Inf bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile from the bucket counts (upper bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= rank:
+                return (self.buckets[i] if i < len(self.buckets)
+                        else self.max)
+        return self.max
+
+
+@dataclass
+class MetricFamily:
+    """One metric name: its type, help text, and per-label-set children."""
+
+    name: str
+    kind: str                    # "counter" | "gauge" | "histogram"
+    help: str = ""
+    buckets: Optional[tuple[float, ...]] = None
+    children: dict[LabelSet, object] = field(default_factory=dict)
+
+    def child(self, labels: LabelSet):
+        try:
+            return self.children[labels]
+        except KeyError:
+            made = {"counter": Counter, "gauge": Gauge,
+                    "histogram": lambda: Histogram(self.buckets)}[self.kind]()
+            self.children[labels] = made
+            return made
+
+    def items(self) -> Iterator[tuple[LabelSet, object]]:
+        return iter(sorted(self.children.items()))
+
+
+class MetricsRegistry:
+    """All metric families of one simulated platform."""
+
+    def __init__(self) -> None:
+        self.families: dict[str, MetricFamily] = {}
+
+    # -- family accessors -----------------------------------------------------
+    def _family(self, name: str, kind: str, help: str,
+                buckets: Optional[tuple[float, ...]] = None) -> MetricFamily:
+        family = self.families.get(name)
+        if family is None:
+            family = MetricFamily(name=name, kind=kind, help=help,
+                                  buckets=buckets)
+            self.families[name] = family
+        elif family.kind != kind:
+            raise ConfigError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"requested {kind}")
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Mapping[str, str]] = None) -> Counter:
+        return self._family(name, "counter", help).child(_labelset(labels))
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        return self._family(name, "gauge", help).child(_labelset(labels))
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Optional[Mapping[str, str]] = None,
+                  buckets: Optional[tuple[float, ...]] = None) -> Histogram:
+        return self._family(name, "histogram", help,
+                            buckets=buckets).child(_labelset(labels))
+
+    # -- reading --------------------------------------------------------------
+    def get(self, name: str,
+            labels: Optional[Mapping[str, str]] = None):
+        """The child instrument, or None if never recorded."""
+        family = self.families.get(name)
+        if family is None:
+            return None
+        return family.children.get(_labelset(labels))
+
+    def value(self, name: str,
+              labels: Optional[Mapping[str, str]] = None) -> float:
+        """Scalar value of a counter/gauge (0.0 when absent)."""
+        child = self.get(name, labels)
+        return child.value if child is not None else 0.0
+
+    def sum(self, name: str, label: Optional[str] = None,
+            value: Optional[str] = None) -> float:
+        """Sum a counter/gauge family across children, optionally filtered
+        to children whose ``label`` equals ``value``."""
+        family = self.families.get(name)
+        if family is None:
+            return 0.0
+        total = 0.0
+        for labelset, child in family.children.items():
+            if label is not None and (label, value) not in labelset:
+                continue
+            total += getattr(child, "value", 0.0)
+        return total
+
+    def clear(self) -> None:
+        self.families.clear()

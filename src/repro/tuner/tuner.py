@@ -7,8 +7,9 @@ of live migrations through the platform's :class:`LiveMigrator`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, TYPE_CHECKING
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Sequence, TYPE_CHECKING, Union
 
 from repro.errors import TunerError
 from repro.monitor.analyser import NmonAnalyser
@@ -16,6 +17,7 @@ from repro.tuner.rules import DEFAULT_RULES, Recommendation, TuningRule
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.platform.cluster import HadoopVirtualCluster
+    from repro.telemetry.facade import Telemetry
 
 
 @dataclass
@@ -27,37 +29,46 @@ class TuningLogEntry:
 
 
 class MapReduceTuner:
-    """Rule-driven tuner bound to one cluster and its monitor."""
+    """Rule-driven tuner bound to one cluster's :class:`Telemetry` handle.
+
+    Pass nothing for ``telemetry`` to use ``cluster.telemetry`` (the normal
+    case).  Passing a bare :class:`NmonAnalyser` is deprecated: the facade
+    adopts it, and the tuner reads every metric through the facade.
+    """
 
     def __init__(self, cluster: "HadoopVirtualCluster",
-                 analyser: NmonAnalyser,
+                 telemetry: Union["Telemetry", NmonAnalyser, None] = None,
                  rules: Sequence[TuningRule] = DEFAULT_RULES):
         if not rules:
             raise TunerError("tuner needs at least one rule")
         self.cluster = cluster
-        self.analyser = analyser
+        if telemetry is None:
+            self.telemetry = cluster.telemetry
+        elif isinstance(telemetry, NmonAnalyser):
+            warnings.warn(
+                "passing an NmonAnalyser to MapReduceTuner is deprecated; "
+                "pass a Telemetry handle (or nothing to use "
+                "cluster.telemetry)", DeprecationWarning, stacklevel=2)
+            self.telemetry = cluster.telemetry
+            self.telemetry.adopt_analyser(telemetry)
+        else:
+            self.telemetry = telemetry
         self.rules = list(rules)
         self.log: list[TuningLogEntry] = []
+
+    @property
+    def analyser(self) -> NmonAnalyser:
+        return self.telemetry.analyser
 
     # -- evaluation ----------------------------------------------------------
     def recommend(self) -> Optional[Recommendation]:
         """First matching rule's recommendation (rules are priority-ordered)."""
-        shared = self._shared_resources()
-        report = self.analyser.bottleneck(shared, now=self.cluster.sim.now)
+        report = self.telemetry.bottleneck()
         for rule in self.rules:
             rec = rule.evaluate(self.cluster, self.analyser, report)
             if rec is not None:
                 return rec
         return None
-
-    def _shared_resources(self):
-        dc = self.cluster.datacenter
-        resources = []
-        for machine in dc.machines:
-            resources.extend([machine.cpu, machine.net.nic,
-                              machine.net.netback, machine.net.bridge])
-        resources.append(dc.image_store.node.vnic)
-        return resources
 
     # -- application ------------------------------------------------------------
     def apply(self, recommendation: Recommendation) -> None:

@@ -15,6 +15,8 @@ from repro.config import PlatformConfig, VMConfig
 from repro.errors import ConfigError, PlacementError
 from repro.sim import FairShareSystem, RngRegistry, Simulator, Tracer
 from repro.net import NetworkFabric
+from repro.telemetry.facade import Telemetry
+from repro.telemetry.metrics import MetricsRegistry
 from repro.virt.hypervisor import Hypervisor
 from repro.virt.image_store import NfsImageStore
 from repro.virt.machine import PhysicalMachine
@@ -31,6 +33,7 @@ class Datacenter:
         self.config = config or PlatformConfig()
         self.sim = Simulator()
         self.tracer = Tracer(enabled=self.config.trace)
+        self.metrics = MetricsRegistry()
         self.rng = RngRegistry(seed=self.config.seed)
         self.fss = FairShareSystem(self.sim)
         self.fabric = NetworkFabric(self.sim, self.fss, tracer=self.tracer)
@@ -44,11 +47,14 @@ class Datacenter:
             self.machines.append(machine)
             self.hypervisors[machine.name] = Hypervisor(
                 machine, self.sim, image_store=self.image_store,
-                tracer=self.tracer)
+                tracer=self.tracer, metrics=self.metrics)
         self.migrator = LiveMigrator(self.sim, self.fss, self.fabric,
-                                     tracer=self.tracer)
+                                     tracer=self.tracer, metrics=self.metrics)
         self.virtlm = VirtLM(self.migrator)
         self.vms: dict[str, VirtualMachine] = {}
+        #: Datacenter-wide observability handle (all VMs, shared registry).
+        self.telemetry = Telemetry(self.sim, self.tracer,
+                                   metrics=self.metrics, datacenter=self)
 
     # -- VM management ----------------------------------------------------
     def create_vm(self, name: str, host: PhysicalMachine,

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.errors import PlacementError, VMStateError
 from repro.sim import Simulator, Tracer
 from repro.sim.kernel import Event
+from repro.telemetry import events as EV
 from repro.virt.image_store import NfsImageStore
 from repro.virt.machine import PhysicalMachine
 from repro.virt.vm import VirtualMachine, VMState
@@ -29,11 +30,12 @@ class Hypervisor:
 
     def __init__(self, host: PhysicalMachine, sim: Simulator,
                  image_store: Optional[NfsImageStore] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None, metrics=None):
         self.host = host
         self.sim = sim
         self.image_store = image_store
         self.tracer = tracer or Tracer(enabled=False)
+        self.metrics = metrics
 
     def place(self, vm: VirtualMachine) -> None:
         """Admit a defined VM onto this host (memory must fit)."""
@@ -44,7 +46,7 @@ class Hypervisor:
                 f"{vm.name} needs {vm.config.memory} B on {self.host.name}, "
                 f"free: {self.host.dram_free} B")
         vm.attach_to(self.host)
-        self.tracer.emit(self.sim.now, "vm.place", vm.name,
+        self.tracer.emit(self.sim.now, EV.VM_PLACE, vm.name,
                          host=self.host.name)
 
     def boot(self, vm: VirtualMachine, image: str = "base") -> Event:
@@ -57,8 +59,8 @@ class Hypervisor:
     def _boot_proc(self, vm: VirtualMachine, image: str):
         started = self.sim.now
         vm.state = VMState.BOOTING
-        self.tracer.emit(started, "vm.boot.start", vm.name,
-                         host=self.host.name)
+        span = self.tracer.begin_span(started, EV.VM_BOOT, vm.name,
+                                      host=self.host.name)
         if self.image_store is not None and image in self.image_store.images:
             size = self.image_store.images[image] * BOOT_FETCH_FRACTION
             yield self.image_store.read_through(
@@ -66,13 +68,16 @@ class Hypervisor:
         yield self.sim.timeout(GUEST_BOOT_S)
         vm.mark_running()
         elapsed = self.sim.now - started
-        self.tracer.emit(self.sim.now, "vm.boot.end", vm.name,
-                         host=self.host.name, elapsed=elapsed)
+        self.tracer.end_span(span, self.sim.now, elapsed=elapsed)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "vm.boot.duration", "NFS image fetch + guest boot",
+                {"host": self.host.name}).observe(elapsed)
         return elapsed
 
     def shutdown(self, vm: VirtualMachine) -> None:
         if vm.host is not self.host:
             raise VMStateError(f"{vm.name} is not on {self.host.name}")
         vm.stop()
-        self.tracer.emit(self.sim.now, "vm.shutdown", vm.name,
+        self.tracer.emit(self.sim.now, EV.VM_SHUTDOWN, vm.name,
                          host=self.host.name)

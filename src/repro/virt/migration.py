@@ -35,6 +35,7 @@ from repro.errors import MigrationError
 from repro.net import NetworkFabric
 from repro.sim import FairShareSystem, Simulator, Tracer
 from repro.sim.kernel import Event
+from repro.telemetry import events as EV
 from repro.virt.machine import PhysicalMachine
 from repro.virt.vm import VirtualMachine, VMState
 
@@ -82,6 +83,7 @@ class LiveMigrator:
 
     def __init__(self, sim: Simulator, fss: FairShareSystem,
                  fabric: NetworkFabric, tracer: Optional[Tracer] = None,
+                 metrics=None,
                  stop_threshold: int = C.MIGRATION_STOP_THRESHOLD,
                  max_rounds: int = C.MIGRATION_MAX_ROUNDS,
                  setup_s: float = C.MIGRATION_SETUP_S,
@@ -92,6 +94,7 @@ class LiveMigrator:
         self.fss = fss
         self.fabric = fabric
         self.tracer = tracer or Tracer(enabled=False)
+        self.metrics = metrics
         self.stop_threshold = stop_threshold
         self.max_rounds = max_rounds
         self.setup_s = setup_s
@@ -154,8 +157,8 @@ class LiveMigrator:
         record = MigrationRecord(
             vm=vm.name, source=source.name, destination=destination.name,
             memory_bytes=vm.config.memory, started_at=self.sim.now)
-        self.tracer.emit(self.sim.now, "migration.start", vm.name,
-                         src=source.name, dst=destination.name)
+        span = self.tracer.begin_span(self.sim.now, EV.MIGRATION, vm.name,
+                                      src=source.name, dst=destination.name)
         vm.state = VMState.MIGRATING
         try:
             yield self.sim.timeout(self.setup_s)
@@ -175,7 +178,7 @@ class LiveMigrator:
                 record.rounds.append(MigrationRound(
                     index=rounds, sent_bytes=to_send, elapsed_s=elapsed,
                     dirtied_bytes=dirtied))
-                self.tracer.emit(self.sim.now, "migration.round", vm.name,
+                self.tracer.emit(self.sim.now, EV.MIGRATION_ROUND, vm.name,
                                  index=rounds, sent=to_send, dirtied=dirtied)
                 rounds += 1
                 if dirtied <= self.stop_threshold:
@@ -222,8 +225,22 @@ class LiveMigrator:
             raise
 
         record.migration_time_s = self.sim.now - record.started_at
-        self.tracer.emit(self.sim.now, "migration.end", vm.name,
-                         migration_time=record.migration_time_s,
-                         downtime=record.downtime_s,
-                         rounds=record.n_rounds, reason=record.stop_reason)
+        self.tracer.end_span(span, self.sim.now,
+                             migration_time=record.migration_time_s,
+                             downtime=record.downtime_s,
+                             rounds=record.n_rounds,
+                             reason=record.stop_reason)
+        if self.metrics is not None:
+            labels = {"src": record.source, "dst": record.destination}
+            self.metrics.histogram(
+                "migration.duration", "total live-migration time",
+                labels).observe(record.migration_time_s)
+            self.metrics.histogram(
+                "migration.downtime", "stop-and-copy service outage",
+                labels).observe(record.downtime_s)
+            self.metrics.counter(
+                "migration.bytes.sent", "pre-copy + stop-and-copy volume",
+                labels).inc(record.total_sent_bytes)
+            self.metrics.counter(
+                "migration.count", "completed migrations", labels).inc()
         return record

@@ -21,6 +21,7 @@ from repro.errors import MigrationError
 from repro.sim import Simulator, Tracer
 from repro.sim.kernel import Event
 from repro.virt.machine import PhysicalMachine
+from repro.telemetry import events as EV
 from repro.virt.migration import LiveMigrator, MigrationRecord
 from repro.virt.vm import VirtualMachine
 
@@ -100,7 +101,7 @@ class VirtLM:
                                                  rate_cap_bps=rate_cap_bps)
             report.records.append(record)
         report.overall_migration_time_s = self.sim.now - started
-        self.tracer.emit(self.sim.now, "virtlm.cluster.end", label,
+        self.tracer.emit(self.sim.now, EV.VIRTLM_CLUSTER_END, label,
                          mode="sequential",
                          overall_time=report.overall_migration_time_s,
                          overall_downtime=report.overall_downtime_s)
@@ -117,7 +118,7 @@ class VirtLM:
         results = yield self.sim.all_of(events)
         report.records.extend(results[ev] for ev in events)
         report.overall_migration_time_s = self.sim.now - started
-        self.tracer.emit(self.sim.now, "virtlm.cluster.end", label,
+        self.tracer.emit(self.sim.now, EV.VIRTLM_CLUSTER_END, label,
                          mode="concurrent",
                          overall_time=report.overall_migration_time_s,
                          overall_downtime=report.overall_downtime_s)

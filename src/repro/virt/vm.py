@@ -26,6 +26,7 @@ from repro.errors import VMStateError
 from repro.net import NetNode, NetworkFabric
 from repro.sim import FairShareSystem, SharedResource, Simulator, Tracer
 from repro.sim.kernel import Event, Interrupt
+from repro.telemetry import events as EV
 from repro.virt.memory import DirtyMemoryModel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -130,7 +131,7 @@ class VirtualMachine:
         self.state = VMState.FAILED
         if self.host is not None:
             self.host.evict(self)
-        self.tracer.emit(self.sim.now, "vm.failed", self.name)
+        self.tracer.emit(self.sim.now, EV.VM_FAILED, self.name)
 
     def rehome(self, new_host: "PhysicalMachine") -> None:
         """Move residency to ``new_host`` (called by the migration engine at

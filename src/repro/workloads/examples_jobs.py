@@ -10,7 +10,7 @@ job with a trivial reduce.
 from __future__ import annotations
 
 import re
-from typing import Optional, Sequence, TYPE_CHECKING
+from typing import Sequence, TYPE_CHECKING
 
 import numpy as np
 

@@ -9,7 +9,7 @@ from repro.experiments import (fig2_wordcount, fig3_mrbench,
                                fig4_terasort_dfsio, fig5_migration,
                                fig6_synthetic_control,
                                fig7_display_clustering, fig8_cluster_visuals,
-                               table1_benchmarks)
+                               table1_benchmarks, telemetry_demo)
 
 pytestmark = pytest.mark.filterwarnings("ignore")
 
@@ -154,3 +154,19 @@ def test_fig8_panels_rendered():
     sample = result.artifacts["sample-data"]
     assert "." in sample
     assert "A" in result.artifacts["kmeans"]
+
+
+# --- telemetry --------------------------------------------------------------------
+
+def test_telemetry_demo_accounts_for_the_makespan():
+    import json
+
+    result = telemetry_demo.run(seed=0, quick=True)
+    categories = [row[0] for row in result.rows]
+    assert {"job", "task", "shuffle"} <= set(categories)
+    # Critical path note reports makespan == job elapsed (within format).
+    assert any("makespan" in note for note in result.notes)
+    trace = json.loads(result.artifacts["chrome_trace.json"])
+    cats = {r["cat"] for r in trace["traceEvents"] if r["ph"] == "X"}
+    assert len(cats) >= 4
+    assert "# TYPE" in result.artifacts["metrics.prom"]

@@ -1,6 +1,5 @@
 """Unit tests for the MapReduce programming API."""
 
-import pytest
 
 from repro.mapreduce.api import (Context, HashPartitioner, Mapper,
                                  RangePartitioner, Reducer, combine,

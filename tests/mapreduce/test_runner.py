@@ -8,7 +8,6 @@ from repro import constants as C
 from repro.config import HadoopConfig, PlatformConfig
 from repro.errors import JobConfigError, TaskFailure
 from repro.mapreduce import Job, LocalJobRunner, Mapper, Reducer
-from repro.mapreduce.api import Context
 from repro.platform import (VHadoopPlatform, cross_domain_placement,
                             normal_placement)
 from repro.workloads.wordcount import (WordCountMapper, WordCountReducer,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ClusteringError, MonitorError
+from repro.errors import MonitorError
 from repro.ml import CanopyKMeansPipeline, LocalExecutor, points_as_records
 from repro.monitor.export import parse_nmon, write_nmon
 from repro.monitor.nmon import NmonSample, NodeSeries

@@ -1,0 +1,60 @@
+"""stop() semantics: a stopped monitor leaves nothing parked in the sim."""
+
+from repro.config import PlatformConfig
+from repro.platform import VHadoopPlatform, normal_placement
+
+
+def make_cluster(seed=7):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
+    cluster = platform.provision_cluster("stop", normal_placement(4))
+    return platform, cluster
+
+
+def test_stopped_monitor_emits_no_further_samples():
+    platform, cluster = make_cluster()
+    monitor = cluster.telemetry.start_monitor(interval=2.0)
+    platform.sim.run(until=5.0)
+    cluster.telemetry.stop_monitor()
+    count = len(monitor.all_samples())
+    assert count == 3 * len(cluster.vms)  # t=0, 2, 4
+    platform.sim.run(until=50.0)
+    assert len(monitor.all_samples()) == count
+
+
+def test_stop_withdraws_pending_wakeup_from_the_queue():
+    # Before the fix, the cancelled sampler's timeout stayed in the event
+    # queue: a drain run() would advance the clock to the next interval
+    # boundary even though nothing observable happened.
+    platform, cluster = make_cluster()
+    cluster.telemetry.start_monitor(interval=100.0)
+    platform.sim.run(until=1.0)
+    cluster.telemetry.stop_monitor()
+    platform.sim.run()  # drain: must not jump to t=100
+    assert platform.sim.now < 100.0
+
+
+def test_stop_is_idempotent_and_restartable():
+    platform, cluster = make_cluster()
+    telemetry = cluster.telemetry
+    monitor = telemetry.start_monitor(interval=1.0)
+    platform.sim.run(until=2.5)
+    telemetry.stop_monitor()
+    telemetry.stop_monitor()  # no-op
+    before = len(monitor.all_samples())
+    telemetry.start_monitor()
+    platform.sim.run(until=4.5)
+    telemetry.stop_monitor()
+    assert len(monitor.all_samples()) > before
+
+
+def test_samples_mirror_into_metrics_gauges():
+    platform, cluster = make_cluster()
+    telemetry = cluster.telemetry
+    telemetry.start_monitor(interval=1.0)
+    platform.sim.run(until=3.0)
+    telemetry.stop_monitor()
+    name = cluster.vms[0].name
+    assert telemetry.metrics.get("vm.cpu.utilization",
+                                 {"vm": name}) is not None
+    value = telemetry.metrics.value("vm.cpu.utilization", {"vm": name})
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,78 @@
+"""Round-trip and malformed-input tests for nmon-format export/parsing."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor.export import parse_nmon, write_nmon
+from repro.monitor.nmon import NmonSample, NodeSeries
+
+
+def series(n=3, vm="vm-x"):
+    s = NodeSeries(vm)
+    for i in range(n):
+        s.samples.append(NmonSample(
+            time=2.5 * i, vm=vm, cpu_util=0.1 * i, memory_fraction=0.5,
+            disk_bytes_delta=4096.0 * i, net_tx_delta=100.0 * i,
+            net_rx_delta=200.0 * i, activity=i % 2))
+    return s
+
+
+def test_roundtrip_preserves_every_field():
+    original = series(5)
+    parsed = parse_nmon(write_nmon(original))
+    assert parsed.vm == original.vm
+    assert len(parsed.samples) == 5
+    for a, b in zip(original.samples, parsed.samples):
+        assert b.time == pytest.approx(a.time, abs=1e-3)
+        assert b.cpu_util == pytest.approx(a.cpu_util, abs=1e-4)
+        assert b.memory_fraction == pytest.approx(a.memory_fraction,
+                                                  abs=1e-4)
+        assert b.disk_bytes_delta == pytest.approx(a.disk_bytes_delta)
+        assert b.net_tx_delta == pytest.approx(a.net_tx_delta)
+        assert b.net_rx_delta == pytest.approx(a.net_rx_delta)
+        assert b.activity == a.activity
+
+
+def test_declared_sample_count_roundtrips():
+    text = write_nmon(series(4))
+    assert "AAA,samples,4" in text
+    assert len(parse_nmon(text).samples) == 4
+
+
+def test_blank_lines_and_indentation_are_tolerated():
+    text = write_nmon(series(3))
+    padded = "\n\n" + text.replace("\n", "\n\n") + "   \n"
+    assert len(parse_nmon(padded).samples) == 3
+
+
+def test_missing_proc_section_defaults_activity_to_zero():
+    # Real nmon captures don't always include the process section.
+    text = "".join(line + "\n" for line in
+                   write_nmon(series(3)).splitlines()
+                   if not line.startswith("PROC,"))
+    parsed = parse_nmon(text)
+    assert [s.activity for s in parsed.samples] == [0, 0, 0]
+
+
+def test_missing_host_header_raises():
+    text = write_nmon(series(2)).replace("AAA,host,vm-x\n", "")
+    with pytest.raises(MonitorError, match="AAA,host"):
+        parse_nmon(text)
+
+
+def test_missing_required_section_names_the_snapshot():
+    text = write_nmon(series(2)).replace("MEM,T0002,50.00\n", "")
+    with pytest.raises(MonitorError, match="T0002"):
+        parse_nmon(text)
+
+
+def test_sample_count_mismatch_raises():
+    text = write_nmon(series(3)).replace("AAA,samples,3", "AAA,samples,7")
+    with pytest.raises(MonitorError, match="declares 7"):
+        parse_nmon(text)
+
+
+def test_malformed_sample_count_raises():
+    text = write_nmon(series(2)).replace("AAA,samples,2", "AAA,samples,two")
+    with pytest.raises(MonitorError, match="malformed"):
+        parse_nmon(text)

@@ -1,6 +1,5 @@
 """Unit tests for the network topology and transfer paths."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,7 @@ import collections
 
 import pytest
 
-from repro.config import HadoopConfig, PlatformConfig
+from repro.config import PlatformConfig
 from repro.errors import SimulationError
 from repro.mapreduce import Job, LocalJobRunner, Mapper
 from repro.platform import VHadoopPlatform, balanced_placement

@@ -2,7 +2,6 @@
 
 import collections
 
-import pytest
 
 from repro.config import PlatformConfig
 from repro.mapreduce import LocalJobRunner

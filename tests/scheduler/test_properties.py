@@ -83,8 +83,11 @@ def test_fifo_preserves_submission_order(n_jobs, seed):
                                            policy=FifoScheduler())
     firsts = [r.first_task_at for r in reports]
     finishes = [r.finished_at for r in reports]
+    # FIFO guarantees dispatch order, not completion order: a later job's
+    # reduces can ride an emptier cluster and overtake an earlier job's
+    # speculative tail, so only first-task times are totally ordered.
     assert firsts == sorted(firsts)
-    assert finishes == sorted(finishes)
+    assert all(f > s for s, f in zip(firsts, finishes))
 
 
 @settings(max_examples=6, **_SLOW)

@@ -1,0 +1,42 @@
+"""Taxonomy sanity: every registered kind categorizes, spans are disjoint
+from point events, and migration/scheduler runs stay within the registry."""
+
+from repro.config import PlatformConfig
+from repro.platform import VHadoopPlatform, normal_placement
+from repro.telemetry import events as EV
+
+
+def test_span_and_point_kinds_are_disjoint():
+    assert not EV.SPAN_KINDS & EV.POINT_KINDS
+
+
+def test_registered_kinds_include_span_edges():
+    for kind in EV.SPAN_KINDS:
+        assert f"{kind}.start" in EV.REGISTERED_KINDS
+        assert f"{kind}.end" in EV.REGISTERED_KINDS
+
+
+def test_every_span_kind_has_a_category():
+    for kind in EV.SPAN_KINDS:
+        assert EV.category_of(kind) == EV.SPAN_CATEGORIES[kind]
+
+
+def test_category_fallback():
+    assert EV.category_of("job.run.start") == "job"
+    assert EV.category_of("completely.unknown") == "other"
+
+
+def test_migration_run_emits_only_registered_kinds():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=3))
+    cluster = platform.provision_cluster("ev", normal_placement(4),
+                                         boot=True)
+    dc = platform.datacenter
+    vm = cluster.workers[0]
+    destination = dc.machine(1 if vm.host is dc.machine(0) else 0)
+    event = dc.migrator.migrate(vm, destination)
+    dc.sim.run_until(event)
+    emitted = {e.kind for e in platform.tracer.events}
+    unregistered = emitted - EV.REGISTERED_KINDS
+    assert not unregistered, f"unregistered event kinds: {unregistered}"
+    assert EV.MIGRATION + ".end" in emitted
+    assert EV.VM_BOOT + ".end" in emitted

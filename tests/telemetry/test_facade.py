@@ -1,0 +1,96 @@
+"""Facade tests: ownership, deprecations, and the tuner's telemetry path."""
+
+import warnings
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.errors import MonitorError, TunerError
+from repro.monitor import NmonAnalyser, NmonMonitor
+from repro.platform import VHadoopPlatform, normal_placement
+from repro.telemetry import Telemetry
+from repro.tuner import IncreaseSlotsWhenCpuIdleRule, MapReduceTuner
+
+
+def make(seed=5, n=4):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
+    cluster = platform.provision_cluster("fac", normal_placement(n))
+    return platform, cluster
+
+
+def test_cluster_and_platform_expose_one_telemetry_handle():
+    platform, cluster = make()
+    assert isinstance(cluster.telemetry, Telemetry)
+    assert platform.telemetry is platform.datacenter.telemetry
+    # The cluster facade shares the platform's tracer and registry.
+    assert cluster.telemetry.tracer is platform.tracer
+    assert cluster.telemetry.metrics is platform.datacenter.metrics
+
+
+def test_facade_owns_monitor_and_analyser():
+    _platform, cluster = make()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        monitor = cluster.telemetry.monitor      # no deprecation warning
+        assert cluster.telemetry.monitor is monitor
+        analyser = cluster.telemetry.analyser
+        assert analyser.monitor is monitor
+
+
+def test_direct_monitor_construction_warns():
+    _platform, cluster = make()
+    with pytest.warns(DeprecationWarning, match="cluster.telemetry"):
+        NmonMonitor(cluster.vms)
+
+
+def test_empty_scope_raises_on_monitor_access():
+    platform, _cluster = make()
+    telemetry = Telemetry(platform.sim, platform.tracer)
+    with pytest.raises(MonitorError):
+        telemetry.monitor
+
+
+def test_bottleneck_through_facade_matches_analyser():
+    platform, cluster = make()
+    telemetry = cluster.telemetry
+    telemetry.monitor.sample_now(platform.sim.now)
+    report = telemetry.bottleneck()
+    assert report.busiest_resource
+    shared = telemetry.shared_resources()
+    names = {getattr(r, "name", None) for r in shared}
+    assert "nfs.vnic" in names
+
+
+def test_tuner_defaults_to_cluster_telemetry():
+    platform, cluster = make()
+    tuner = MapReduceTuner(cluster,
+                           rules=[IncreaseSlotsWhenCpuIdleRule()])
+    assert tuner.telemetry is cluster.telemetry
+    assert tuner.analyser is cluster.telemetry.analyser
+    for _ in range(3):
+        cluster.telemetry.monitor.sample_now(platform.sim.now)
+    recommendation = tuner.step()
+    assert recommendation is not None and recommendation.kind == "reconfigure"
+
+
+def test_tuner_with_legacy_analyser_warns_and_adopts():
+    platform, cluster = make()
+    with pytest.warns(DeprecationWarning):
+        monitor = NmonMonitor(cluster.vms, interval=1.0)
+    analyser = NmonAnalyser(monitor)
+    with pytest.warns(DeprecationWarning, match="Telemetry"):
+        tuner = MapReduceTuner(cluster, analyser,
+                               rules=[IncreaseSlotsWhenCpuIdleRule()])
+    # The facade adopted the legacy monitor: one sampling loop, one truth.
+    assert cluster.telemetry.monitor is monitor
+    assert tuner.analyser is analyser
+    monitor.sample_now(platform.sim.now)
+    # Adopted samples now feed the metrics registry too.
+    assert cluster.telemetry.metrics.get(
+        "vm.cpu.utilization", {"vm": cluster.vms[0].name}) is not None
+
+
+def test_tuner_still_requires_rules():
+    _platform, cluster = make()
+    with pytest.raises(TunerError):
+        MapReduceTuner(cluster, rules=[])

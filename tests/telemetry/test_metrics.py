@@ -1,0 +1,76 @@
+"""Unit tests for the labelled metrics registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("jobs.done", "completed jobs")
+    counter.inc()
+    counter.inc(4.0)
+    assert registry.value("jobs.done") == 5.0
+    with pytest.raises(ConfigError):
+        counter.inc(-1.0)
+
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge()
+    gauge.set(3.0)
+    gauge.inc(2.0)
+    gauge.dec(4.0)
+    assert gauge.value == 1.0
+
+
+def test_labels_create_independent_children():
+    registry = MetricsRegistry()
+    registry.counter("bytes", labels={"vm": "a"}).inc(10)
+    registry.counter("bytes", labels={"vm": "b"}).inc(32)
+    assert registry.value("bytes", {"vm": "a"}) == 10.0
+    assert registry.value("bytes", {"vm": "b"}) == 32.0
+    assert registry.value("bytes", {"vm": "c"}) == 0.0
+    assert registry.sum("bytes") == 42.0
+    assert registry.sum("bytes", "vm", "b") == 32.0
+
+
+def test_label_order_is_irrelevant():
+    registry = MetricsRegistry()
+    registry.counter("m", labels={"a": "1", "b": "2"}).inc()
+    assert registry.value("m", {"b": "2", "a": "1"}) == 1.0
+
+
+def test_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ConfigError):
+        registry.gauge("x")
+
+
+def test_histogram_statistics_and_buckets():
+    histogram = Histogram(buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 5.0, 50.0, 500.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.total == pytest.approx(555.5)
+    assert histogram.min == 0.5
+    assert histogram.max == 500.0
+    assert histogram.mean == pytest.approx(138.875)
+    # One observation per bucket, one in +Inf.
+    assert histogram.bucket_counts == [1, 1, 1, 1]
+    assert histogram.quantile(0.0) <= histogram.quantile(1.0)
+
+
+def test_registry_get_and_clear():
+    registry = MetricsRegistry()
+    registry.gauge("g").set(7.0)
+    assert isinstance(registry.get("g"), Gauge)
+    assert registry.get("missing") is None
+    registry.clear()
+    assert registry.get("g") is None
+
+
+def test_counter_type():
+    registry = MetricsRegistry()
+    assert isinstance(registry.counter("c"), Counter)

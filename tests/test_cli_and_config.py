@@ -13,7 +13,7 @@ from repro.errors import ConfigError
 def test_parser_knows_all_experiments():
     parser = build_parser()
     for name in ("table1", "fig2", "fig3", "fig4", "fig5", "table2",
-                 "fig6", "fig7", "fig8", "all"):
+                 "fig6", "fig7", "fig8", "schedule", "telemetry", "all"):
         args = parser.parse_args([name])
         assert args.experiment == name
 

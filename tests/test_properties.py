@@ -7,7 +7,6 @@
 """
 
 import collections
-import math
 
 import numpy as np
 import pytest

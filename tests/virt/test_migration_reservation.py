@@ -1,6 +1,5 @@
 """Tests for resource-reserved (rate-capped) live migration."""
 
-import collections
 
 import pytest
 

@@ -1,8 +1,6 @@
 """Integration tests for the four Table I benchmark workloads."""
 
-import collections
 
-import pytest
 
 from repro import constants as C
 from repro.config import PlatformConfig

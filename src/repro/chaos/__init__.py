@@ -1,0 +1,13 @@
+"""Deterministic fault injection with automatic recovery (chaos testing).
+
+Build a :class:`FaultPlan` of timed :class:`Fault` injections, hand it to
+a :class:`ChaosInjector` bound to a running cluster, and ``start()`` it
+alongside a job: the platform detects each failure through heartbeats and
+replication monitors, retries the affected tasks, and heals itself.
+"""
+
+from repro.chaos.injector import ChaosInjector, ChaosReport
+from repro.chaos.plan import FAULT_KINDS, Fault, FaultPlan
+
+__all__ = ["ChaosInjector", "ChaosReport", "FAULT_KINDS", "Fault",
+           "FaultPlan"]

@@ -17,7 +17,7 @@ import sys
 from typing import Callable, Optional, Sequence
 
 from repro.experiments import format_table
-from repro.experiments import (fig2_wordcount, fig3_mrbench,
+from repro.experiments import (chaos_faults, fig2_wordcount, fig3_mrbench,
                                fig4_terasort_dfsio, fig5_migration,
                                fig6_synthetic_control,
                                fig7_display_clustering, fig8_cluster_visuals,
@@ -85,6 +85,10 @@ def _run_telemetry(args) -> list:
     return [telemetry_demo.run(seed=args.seed, quick=args.quick)]
 
 
+def _run_chaos(args) -> list:
+    return [chaos_faults.run(seed=args.seed, quick=args.quick)]
+
+
 _EXPERIMENTS: dict[str, Callable] = {
     "table1": _run_table1,
     "fig2": _run_fig2,
@@ -97,6 +101,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "fig8": _run_fig8,
     "schedule": _run_schedule,
     "telemetry": _run_telemetry,
+    "chaos": _run_chaos,
 }
 
 

@@ -99,6 +99,26 @@ class HadoopConfig:
     #: files; a Mahout job jar is ~16 MB).  This is why tiny jobs get
     #: slower as the cluster grows — Fig. 6's scaling mechanism.
     job_localization_bytes: int = 16 * C.MiB
+    #: Heartbeat threshold for declaring a TaskTracker dead: the JobTracker
+    #: waits ``missed_heartbeats_dead * heartbeat_s`` after a worker VM
+    #: fails before it reaps the tracker and reschedules its tasks
+    #: (Hadoop's mapred.tasktracker.expiry.interval).
+    missed_heartbeats_dead: int = 3
+    #: Maximum attempts per task before the whole job is failed (Hadoop's
+    #: mapred.map.max.attempts / mapred.reduce.max.attempts).
+    max_task_retries: int = 4
+    #: Base delay before re-queueing a failed task attempt; doubles each
+    #: retry (capped exponential backoff).
+    retry_backoff_s: float = 1.0
+    #: Ceiling on the exponential retry backoff, seconds.
+    retry_backoff_cap_s: float = 30.0
+    #: A tracker that produced this many task failures is blacklisted for
+    #: the rest of the job: its slots stop pulling work (Hadoop's
+    #: mapred.max.tracker.failures).
+    tracker_blacklist_failures: int = 3
+    #: Delay between detecting a dead datanode and starting the background
+    #: re-replication sweep (coalesces correlated failures into one sweep).
+    replication_repair_delay_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.dfs_replication < 1:
@@ -113,9 +133,17 @@ class HadoopConfig:
             raise ConfigError("job_localization_bytes must be >= 0")
         if self.speculative_slowdown <= 1.0:
             raise ConfigError("speculative_slowdown must be > 1.0")
-        for name in ("task_startup_s", "job_overhead_s", "heartbeat_s"):
+        for name in ("task_startup_s", "job_overhead_s", "heartbeat_s",
+                     "retry_backoff_s", "retry_backoff_cap_s",
+                     "replication_repair_delay_s"):
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be >= 0")
+        if self.missed_heartbeats_dead < 1:
+            raise ConfigError("missed_heartbeats_dead must be >= 1")
+        if self.max_task_retries < 1:
+            raise ConfigError("max_task_retries must be >= 1")
+        if self.tracker_blacklist_failures < 1:
+            raise ConfigError("tracker_blacklist_failures must be >= 1")
 
     def replace(self, **kwargs) -> "HadoopConfig":
         """Return a copy with the given fields changed (tuner entry point)."""

@@ -82,30 +82,42 @@ class NameNode:
                 for i, b in enumerate(f.blocks)]
 
     # -- placement ----------------------------------------------------------
+    @staticmethod
+    def _is_live(dn: DataNode) -> bool:
+        """A datanode whose VM can still serve I/O.
+
+        A crashed VM may linger in ``self.datanodes`` until the recovery
+        monitor's expiry window elapses; placement must never pick it.
+        """
+        from repro.virt.vm import VMState
+        state = getattr(dn.vm, "state", None)
+        return state is None or state in (VMState.RUNNING, VMState.MIGRATING)
+
     def choose_write_targets(self, writer_vm_name: str, replication: int
                              ) -> list[DataNode]:
-        """Pick ``replication`` datanodes for a new block."""
+        """Pick ``replication`` *live* datanodes for a new block."""
         if replication < 1:
             raise ReplicationError("replication must be >= 1")
-        if not self.datanodes:
-            raise ReplicationError("no datanodes registered")
+        pool = [dn for dn in self.datanodes if self._is_live(dn)]
+        if not pool:
+            raise ReplicationError("no live datanodes registered")
         # HDFS under-replicates (with a warning) when the cluster is smaller
         # than the requested factor — a 2-node cluster stores one replica.
-        replication = min(replication, len(self.datanodes))
+        replication = min(replication, len(pool))
         targets: list[DataNode] = []
         local = self.datanode_of(writer_vm_name)
-        if local is not None:
+        if local is not None and self._is_live(local):
             targets.append(local)
         else:
-            targets.append(self._pick(self.datanodes, exclude=targets))
+            targets.append(self._pick(pool, exclude=targets))
         if len(targets) < replication:
             first_host = targets[0].vm.host
-            off_host = [dn for dn in self.datanodes
+            off_host = [dn for dn in pool
                         if dn.vm.host is not first_host and dn not in targets]
             if off_host:
                 targets.append(self._pick(off_host, exclude=targets))
         while len(targets) < replication:
-            targets.append(self._pick(self.datanodes, exclude=targets))
+            targets.append(self._pick(pool, exclude=targets))
         return targets
 
     def choose_read_replica(self, reader_vm_name: str, block: Block,
@@ -120,6 +132,11 @@ class NameNode:
         holders = self.replicas.get(block.block_id, [])
         if not holders:
             raise ReplicationError(f"no replica of {block.block_id}")
+        live = [dn for dn in holders if self._is_live(dn)]
+        if not live:
+            raise ReplicationError(
+                f"no live replica of {block.block_id}")
+        holders = live
         if prefer_local:
             reader = self.datanode_of(reader_vm_name)
             if reader is not None and reader in holders:

@@ -28,22 +28,73 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Optional, TYPE_CHECKING
 
 from repro import constants as C
-from repro.errors import JobConfigError, TaskFailure
+from repro.errors import JobConfigError, TaskFailure, VMStateError
 from repro.hdfs.datanode import DataNode
 from repro.mapreduce.api import (Context, Reducer, combine, group_by_key,
                                  run_mapper, run_reducer)
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import Job
 from repro.sim import Resource
-from repro.sim.kernel import Event
+from repro.sim.kernel import AllOf, AnyOf, Event, Interrupt, Process
 from repro.sim.trace import Span
 from repro.telemetry import events as EV
+from repro.virt.vm import VMState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.platform.cluster import HadoopVirtualCluster, TaskTracker
+
+
+def _cancel_wait(event: Event, cause: str = "aborted") -> None:
+    """Interrupt the live process(es) behind an abandoned wait."""
+    if isinstance(event, Process):
+        if event.is_alive:
+            event.interrupt(cause)
+    elif isinstance(event, (AllOf, AnyOf)):
+        for child in event.events:
+            if isinstance(child, Process) and child.is_alive:
+                child.interrupt(cause)
+
+
+def _drive_racing(sim, gen, stop: Event, abortable=None):
+    """Run task generator ``gen``, racing every wait against ``stop``.
+
+    Returns ``(result, stopped)``.  When ``stop`` fires first the generator
+    is closed and any live sub-processes it was waiting on are interrupted;
+    the virt/net layers cancel their flows and bill only the work actually
+    done.  ``abortable`` (when given) is consulted at the moment ``stop``
+    fires: returning False makes the attempt uninterruptible from then on —
+    used by reduces that already hold the output-commit token, which must
+    run to completion so the commit protocol stays single-writer.
+    """
+    def may_abort() -> bool:
+        return abortable is None or abortable()
+
+    try:
+        target = next(gen)
+    except StopIteration as stop_iter:
+        return stop_iter.value, False
+    while True:
+        if stop.triggered:
+            if may_abort():
+                gen.close()
+                _cancel_wait(target)
+                return None, True
+            yield target
+        else:
+            yield sim.any_of([target, stop])
+            if stop.triggered and not target.triggered:
+                if may_abort():
+                    gen.close()
+                    _cancel_wait(target)
+                    return None, True
+                yield target
+        try:
+            target = gen.send(target.value)
+        except StopIteration as stop_iter:
+            return stop_iter.value, False
 
 
 @dataclass
@@ -155,6 +206,10 @@ class MapReduceRunner:
         self.metrics = cluster.telemetry.metrics
         self._rng = cluster.datacenter.rng.stream(
             f"mapreduce/heartbeat/{cluster.name}")
+        #: (job name, tracker name) -> task failures charged to the tracker.
+        self._tracker_failures: dict[tuple[str, str], int] = {}
+        #: Per-job blacklist: trackers that failed too many of its tasks.
+        self._blacklist: set[tuple[str, str]] = set()
 
     # -- public ------------------------------------------------------------
     def submit(self, job: Job) -> Event:
@@ -237,6 +292,110 @@ class MapReduceRunner:
         m.counter("mapreduce.output.bytes", "bytes written by reduces",
                   labels).inc(report.output_bytes)
 
+    # -- failure handling ---------------------------------------------------
+    @staticmethod
+    def _vm_live(vm) -> bool:
+        return vm.state in (VMState.RUNNING, VMState.MIGRATING)
+
+    def _live_trackers(self) -> list:
+        return [t for t in self.cluster.trackers if self._vm_live(t.vm)]
+
+    def _is_blacklisted(self, job: Job, tracker: "TaskTracker") -> bool:
+        return (job.name, tracker.name) in self._blacklist
+
+    def _record_tracker_failure(self, job: Job,
+                                tracker: "TaskTracker") -> None:
+        key = (job.name, tracker.name)
+        n = self._tracker_failures.get(key, 0) + 1
+        self._tracker_failures[key] = n
+        limit = self.cluster.config.tracker_blacklist_failures
+        if n >= limit and key not in self._blacklist:
+            self._blacklist.add(key)
+            self.tracer.emit(self.sim.now, EV.RECOVERY_TRACKER_BLACKLISTED,
+                             tracker.name, job=job.name, failures=n)
+            self.metrics.counter(
+                "recovery.trackers.blacklisted",
+                "trackers blacklisted after repeated task failures",
+                {"job": job.name}).inc()
+
+    def _retry_backoff(self, attempts: int) -> float:
+        """Capped exponential backoff before re-queueing attempt ``n``."""
+        config = self.cluster.config
+        return min(config.retry_backoff_s * (2 ** max(0, attempts - 1)),
+                   config.retry_backoff_cap_s)
+
+    def _handle_task_failure(self, job: Job, kind: str, state: dict, item,
+                             task_id: str, speculative: bool,
+                             tracker: "TaskTracker", report: "JobReport",
+                             remaining: dict, all_done: Event, cause,
+                             on_requeue=None) -> None:
+        """Account one failed/aborted task attempt and requeue it.
+
+        The task re-enters the pending queue after a capped exponential
+        backoff; ``state["retrying"]`` holds the phase open meanwhile so
+        idle workers don't conclude the job is drained.  When the attempt
+        budget (``max_task_retries``) is exhausted — or no live tracker
+        remains — the phase's ``all_done`` event *fails*, failing the job.
+        """
+        self._record_tracker_failure(job, tracker)
+        index = item.index if kind == "map" else item
+        if speculative:
+            # The original attempt is still running; just allow a fresh
+            # backup to launch later.
+            state["duplicated"].discard(index)
+            return
+        if index in state["finished"]:
+            return
+        state["running"].pop(index, None)
+        attempts = state["attempts"].get(index, 0) + 1
+        state["attempts"][index] = attempts
+        config = self.cluster.config
+        if attempts > config.max_task_retries:
+            if not all_done.triggered:
+                all_done.fail(TaskFailure(task_id, cause))
+            return
+        delay = self._retry_backoff(attempts)
+        self.tracer.emit(self.sim.now, EV.RECOVERY_TASK_RETRY, task_id,
+                         job=job.name, attempt=attempts,
+                         tracker=tracker.name, backoff_s=delay,
+                         cause=str(cause))
+        self.metrics.counter("recovery.task.retries",
+                             "task attempts requeued after a failure",
+                             {"phase": kind, "job": job.name}).inc()
+        state["retrying"]["n"] += 1
+        self.sim.process(
+            self._requeue_proc(job, kind, state, item, delay, all_done,
+                               on_requeue),
+            name=f"{job.name}:retry:{task_id}")
+
+    def _requeue_proc(self, job: Job, kind: str, state: dict, item,
+                      delay: float, all_done: Event, on_requeue):
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        state["retrying"]["n"] -= 1
+        if all_done.triggered:
+            return
+        live = self._live_trackers()
+        usable = [t for t in live
+                  if not self._is_blacklisted(job, t)] or live
+        if not usable:
+            task_id = item.task_id if kind == "map" else f"r-{item:05d}"
+            all_done.fail(TaskFailure(task_id, "no live trackers left"))
+            return
+        if kind == "map":
+            # Refresh the replica holders: a retried attempt must not try
+            # to read its split from a datanode that died meanwhile.
+            live_holders = tuple(
+                dn for dn in item.holders
+                if dn in self.cluster.namenode.datanodes
+                and self._vm_live(dn.vm))
+            state["pending"].insert(0, _MapSpec(item.index, item.records,
+                                                item.nbytes, live_holders))
+        else:
+            state["pending"].insert(0, item)
+        if on_requeue is not None:
+            on_requeue()
+
     def _localize(self, job: Job):
         """Job localization: every TaskTracker pulls job.jar + config from
         the JobTracker/HDFS before it can run a task of this job.  The
@@ -249,7 +408,7 @@ class MapReduceRunner:
         fabric = self.cluster.datacenter.fabric
         master = self.cluster.master
         pulls = []
-        for tracker in self.cluster.trackers:
+        for tracker in self._live_trackers():
             pulls.append(fabric.transfer(
                 master.node, tracker.vm.node,
                 config.job_localization_bytes,
@@ -328,6 +487,8 @@ class MapReduceRunner:
             "duplicated": set(),  # spec.index with a backup launched
             "durations": [],      # completed map durations
             "span": phase_span,   # parent for task-attempt spans
+            "retrying": {"n": 0},  # failed attempts awaiting their backoff
+            "attempts": {},       # spec.index -> failed attempt count
         }
         outputs: list[_MapOutput] = []
         # The phase ends when every *task* has finished — idle trackers
@@ -336,12 +497,23 @@ class MapReduceRunner:
         remaining = {"n": len(specs)}
         if remaining["n"] == 0:
             all_done.succeed(None)
-        for tracker in self.cluster.trackers:
-            for slot in range(tracker.map_slots.capacity):
-                self.sim.process(
-                    self._map_worker(job, tracker, state, outputs, report,
-                                     remaining, all_done),
-                    name=f"{job.name}:mapworker:{tracker.name}:{slot}")
+
+        def spawn(trackers):
+            for tracker in trackers:
+                for slot in range(tracker.map_slots.capacity):
+                    self.sim.process(
+                        self._map_worker(job, tracker, state, outputs,
+                                         report, remaining, all_done,
+                                         on_requeue=respawn),
+                        name=f"{job.name}:mapworker:{tracker.name}:{slot}")
+
+        def respawn():
+            # A requeued task may find every original worker exited (they
+            # leave when the queue drains); restaff the live trackers.
+            spawn(t for t in self._live_trackers()
+                  if not self._is_blacklisted(job, t))
+
+        spawn(self.cluster.trackers)
         yield all_done
         outputs.sort(key=lambda o: o.spec.index)
         return outputs
@@ -415,15 +587,17 @@ class MapReduceRunner:
 
     def _map_worker(self, job: Job, tracker: "TaskTracker", state: dict,
                     outputs: list[_MapOutput], report: JobReport,
-                    remaining: dict, all_done: Event):
-        from repro.virt.vm import VMState
+                    remaining: dict, all_done: Event, on_requeue=None):
         config = self.cluster.config
         pending = state["pending"]
-        while pending or (config.speculative_execution
-                          and remaining["n"] > 0):
+        retrying = state["retrying"]
+        while (pending or retrying["n"] > 0
+               or (config.speculative_execution and remaining["n"] > 0)):
             if tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
                 break  # dead trackers take no more tasks (migration is
                        # transparent: MIGRATING VMs keep working)
+            if self._is_blacklisted(job, tracker):
+                break  # too many failures: this tracker sits the job out
             # Tasks are handed out on tracker heartbeats: whichever tracker
             # heartbeats next gets the work, so assignment order is random
             # across trackers (and the queue may drain while we wait).
@@ -434,8 +608,10 @@ class MapReduceRunner:
             if spec is None:
                 spec = self._pick_speculative(state, report, "map")
                 if spec is None:
-                    if remaining["n"] > 0 and config.speculative_execution:
-                        continue  # keep heartbeating; stragglers may appear
+                    if remaining["n"] > 0 and (config.speculative_execution
+                                               or retrying["n"] > 0):
+                        continue  # keep heartbeating; stragglers or
+                                  # requeued retries may appear
                     break
                 speculative = True
                 locality = self._locality_of(tracker, spec)
@@ -456,8 +632,25 @@ class MapReduceRunner:
                     start, EV.TASK_MAP, spec.task_id, parent=state["span"],
                     tracker=tracker.name, locality=locality,
                     speculative=speculative)
-                output = yield from self._run_map_task(job, tracker, spec,
-                                                       locality, report)
+                gen = self._run_map_task(job, tracker, spec, locality,
+                                         report)
+                failure = None
+                try:
+                    output, died = yield from _drive_racing(
+                        self.sim, gen, tracker.vm.failure_event())
+                    if died:
+                        failure = VMStateError(
+                            f"{tracker.name}: tracker died mid-attempt")
+                except (VMStateError, TaskFailure) as exc:
+                    output, failure = None, exc
+                if failure is not None:
+                    self.tracer.end_span(attempt_span, self.sim.now,
+                                         failed=True)
+                    self._handle_task_failure(
+                        job, "map", state, spec, spec.task_id, speculative,
+                        tracker, report, remaining, all_done, failure,
+                        on_requeue=on_requeue)
+                    continue
                 self.tracer.end_span(attempt_span, self.sim.now,
                                      won=spec.index not in state["finished"])
                 self.metrics.histogram(
@@ -488,15 +681,18 @@ class MapReduceRunner:
         return None
 
     def _run_map_task(self, job: Job, tracker: "TaskTracker", spec: _MapSpec,
-                      locality: str, report: JobReport):
+                      locality: str, report: JobReport, count: bool = True):
         vm = tracker.vm
-        # 1. read the split.
-        if locality == "node":
-            local = next(dn for dn in spec.holders if dn.vm is vm)
+        # 1. read the split (from a still-live replica holder: a datanode
+        # may have died since the specs were built).
+        live_holders = tuple(dn for dn in spec.holders
+                             if self._vm_live(dn.vm))
+        if locality == "node" and any(dn.vm is vm for dn in live_holders):
+            local = next(dn for dn in live_holders if dn.vm is vm)
             yield local.vm.disk_io(spec.nbytes, name=f"split:{spec.task_id}")
-        elif spec.holders:
-            source = next((dn for dn in spec.holders
-                           if dn.vm.host is vm.host), spec.holders[0])
+        elif live_holders:
+            source = next((dn for dn in live_holders
+                           if dn.vm.host is vm.host), live_holders[0])
             pending = [source.vm.disk_io(spec.nbytes,
                                          name=f"split:{spec.task_id}")]
             pending.append(self.cluster.datacenter.fabric.transfer(
@@ -531,9 +727,13 @@ class MapReduceRunner:
             yield vm.disk_io(spill, name=f"spill:{spec.task_id}")
         # Counters land only when the attempt completes: a preempted or
         # superseded attempt must contribute nothing to the job totals.
-        report.counters.merge(ctx.counters)
-        report.counters.incr("job", "map_input_records", len(spec.records))
-        report.counters.incr("job", "map_output_records", n_mapped)
+        # ``count=False`` is the shuffle-recovery re-run, whose original
+        # attempt already counted — it must not double-count either.
+        if count:
+            report.counters.merge(ctx.counters)
+            report.counters.incr("job", "map_input_records",
+                                 len(spec.records))
+            report.counters.incr("job", "map_output_records", n_mapped)
         return _MapOutput(spec, tracker, partitions, partition_bytes,
                           job=job, report=report)
 
@@ -547,12 +747,22 @@ class MapReduceRunner:
         remaining = {"n": job.n_reduces}
         if remaining["n"] == 0:
             all_done.succeed(None)
-        for tracker in self.cluster.trackers:
-            for slot in range(tracker.reduce_slots.capacity):
-                self.sim.process(
-                    self._reduce_worker(job, tracker, state, map_outputs,
-                                        report, remaining, all_done),
-                    name=f"{job.name}:reduceworker:{tracker.name}:{slot}")
+
+        def spawn(trackers):
+            for tracker in trackers:
+                for slot in range(tracker.reduce_slots.capacity):
+                    self.sim.process(
+                        self._reduce_worker(job, tracker, state, map_outputs,
+                                            report, remaining, all_done,
+                                            on_requeue=respawn),
+                        name=f"{job.name}:reduceworker:"
+                             f"{tracker.name}:{slot}")
+
+        def respawn():
+            spawn(t for t in self._live_trackers()
+                  if not self._is_blacklisted(job, t))
+
+        spawn(self.cluster.trackers)
         yield all_done
         return None
 
@@ -568,18 +778,22 @@ class MapReduceRunner:
             "duplicated": set(),  # partition with a backup launched
             "durations": [],      # completed reduce durations
             "committing": {},     # partition -> attempt token
+            "retrying": {"n": 0},  # failed attempts awaiting their backoff
+            "attempts": {},       # partition -> failed attempt count
         }
 
     def _reduce_worker(self, job: Job, tracker: "TaskTracker", state: dict,
                        map_outputs: list[_MapOutput], report: JobReport,
-                       remaining: dict, all_done: Event):
-        from repro.virt.vm import VMState
+                       remaining: dict, all_done: Event, on_requeue=None):
         config = self.cluster.config
         pending = state["pending"]
-        while pending or (config.speculative_execution
-                          and remaining["n"] > 0):
+        retrying = state["retrying"]
+        while (pending or retrying["n"] > 0
+               or (config.speculative_execution and remaining["n"] > 0)):
             if tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
                 break
+            if self._is_blacklisted(job, tracker):
+                break  # too many failures: this tracker sits the job out
             yield self.sim.timeout(
                 float(self._rng.uniform(0.0, config.heartbeat_s)))
             speculative = False
@@ -588,8 +802,10 @@ class MapReduceRunner:
             else:
                 partition = self._pick_speculative(state, report, "reduce")
                 if partition is None:
-                    if remaining["n"] > 0 and config.speculative_execution:
-                        continue  # keep heartbeating; stragglers may appear
+                    if remaining["n"] > 0 and (config.speculative_execution
+                                               or retrying["n"] > 0):
+                        continue  # keep heartbeating; stragglers or
+                                  # requeued retries may appear
                     break
                 speculative = True
             yield tracker.reduce_slots.acquire()
@@ -607,9 +823,33 @@ class MapReduceRunner:
                     start, EV.TASK_REDUCE, f"r-{partition:05d}",
                     parent=state["span"], tracker=tracker.name,
                     speculative=speculative)
-                result = yield from self._run_reduce_task(
+                gen = self._run_reduce_task(
                     job, tracker, partition, map_outputs, report, state,
                     token, attempt_span)
+                failure = None
+                try:
+                    # An attempt that already holds the commit token has
+                    # (partially) written the output file; it must finish
+                    # even if its tracker dies — single-writer commit.
+                    result, died = yield from _drive_racing(
+                        self.sim, gen, tracker.vm.failure_event(),
+                        abortable=lambda:
+                            state["committing"].get(partition) is not token)
+                    if died:
+                        failure = VMStateError(
+                            f"{tracker.name}: tracker died mid-attempt")
+                except (VMStateError, TaskFailure) as exc:
+                    result, failure = None, exc
+                if failure is not None:
+                    if state["committing"].get(partition) is token:
+                        del state["committing"][partition]
+                    self.tracer.end_span(attempt_span, self.sim.now,
+                                         failed=True)
+                    self._handle_task_failure(
+                        job, "reduce", state, partition,
+                        f"r-{partition:05d}", speculative, tracker, report,
+                        remaining, all_done, failure, on_requeue=on_requeue)
+                    continue
                 self.tracer.end_span(attempt_span, self.sim.now,
                                      won=result is not None)
                 self.metrics.histogram(
@@ -700,30 +940,59 @@ class MapReduceRunner:
 
         If the map's VM died since the map ran, its intermediate output is
         gone; Hadoop re-executes the map, which we do on the fetching VM
-        (charging the split read and map CPU again) before copying.
+        (charging startup, the split read and map CPU again) before
+        copying.  The source can also die *between* the liveness check and
+        the read — or between a recovery re-run and the fetch that needed
+        it — so the whole sequence retries until the attempt budget runs
+        out rather than crashing the fetch process.
         """
-        from repro.virt.vm import VMState
-        yield sem.acquire()
+        config = self.cluster.config
+        acquired = False
+        pending: list[Event] = []
         try:
-            if output.tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
-                yield from self._recover_map_output(output, to_vm)
-            nbytes = output.partition_bytes[partition]
-            span = self.tracer.begin_span(
-                self.sim.now, EV.SHUFFLE_FETCH,
-                f"{output.spec.task_id}:r{partition}", parent=parent_span,
-                tracker=to_vm.name, src=output.tracker.vm.name,
-                nbytes=nbytes)
-            yield self.sim.timeout(C.SHUFFLE_FETCH_OVERHEAD_S)
-            pending = [output.tracker.vm.disk_io(
-                nbytes, name=f"shufread:{output.spec.task_id}")]
-            if output.tracker.vm.node is not to_vm.node:
-                pending.append(self.cluster.datacenter.fabric.transfer(
-                    output.tracker.vm.node, to_vm.node, nbytes,
-                    name=f"shuffle:{output.spec.task_id}:r{partition}"))
-            yield self.sim.all_of(pending)
-            self.tracer.end_span(span, self.sim.now)
+            yield sem.acquire()
+            acquired = True
+            for _ in range(config.max_task_retries + 1):
+                if not self._vm_live(output.tracker.vm):
+                    yield from self._recover_map_output(output, to_vm)
+                nbytes = output.partition_bytes[partition]
+                span = self.tracer.begin_span(
+                    self.sim.now, EV.SHUFFLE_FETCH,
+                    f"{output.spec.task_id}:r{partition}",
+                    parent=parent_span, tracker=to_vm.name,
+                    src=output.tracker.vm.name, nbytes=nbytes)
+                try:
+                    yield self.sim.timeout(C.SHUFFLE_FETCH_OVERHEAD_S)
+                    pending = [output.tracker.vm.disk_io(
+                        nbytes, name=f"shufread:{output.spec.task_id}")]
+                    if output.tracker.vm.node is not to_vm.node:
+                        pending.append(
+                            self.cluster.datacenter.fabric.transfer(
+                                output.tracker.vm.node, to_vm.node, nbytes,
+                                name=f"shuffle:{output.spec.task_id}"
+                                     f":r{partition}"))
+                    yield self.sim.all_of(pending)
+                except VMStateError:
+                    # The source died under us; loop back, recover the map
+                    # output on a live VM and try again.
+                    self.tracer.end_span(span, self.sim.now, failed=True)
+                    continue
+                self.tracer.end_span(span, self.sim.now)
+                return None
+            raise TaskFailure(f"{output.spec.task_id}:r{partition}",
+                              "shuffle source kept failing")
+        except Interrupt:
+            # The owning reduce attempt was aborted: cancel any in-flight
+            # sub-work so the virt/net layers bill only what moved.
+            for ev in pending:
+                if isinstance(ev, Process) and ev.is_alive:
+                    ev.interrupt("fetch aborted")
+            return None
         finally:
-            sem.release()
+            # Only release what we actually acquired: an Interrupt landing
+            # in the pending ``acquire()`` above must not mint a permit.
+            if acquired:
+                sem.release()
         return None
 
     def _recover_map_output(self, output: _MapOutput, to_vm):
@@ -731,23 +1000,35 @@ class MapReduceRunner:
 
         The functional output is recomputed deterministically from the
         (replicated) input split; the re-executed task's costs — startup,
-        split read and map CPU — are charged to the recovering VM.
+        split read and map CPU — are charged to the recovering VM.  Its
+        counters are *not* merged again (``count=False``): the original
+        attempt already counted.
+
+        Raises :class:`VMStateError` when ``to_vm`` itself is dead or no
+        longer a tracker (a double failure): the caller's reduce attempt
+        is doomed and must be retried on a live tracker.
         """
         spec = output.spec
+        tracker = next((t for t in self.cluster.trackers if t.vm is to_vm),
+                       None)
+        if tracker is None or not self._vm_live(to_vm):
+            raise VMStateError(
+                f"{to_vm.name}: cannot recover {spec.task_id}: "
+                "recovering tracker is dead")
         self.tracer.emit(self.sim.now, EV.TASK_MAP_RECOVER, spec.task_id,
                          on=to_vm.name, lost_with=output.tracker.vm.name)
-        tracker = next(t for t in self.cluster.trackers if t.vm is to_vm)
         yield self.sim.timeout(self.cluster.config.task_startup_s)
         live_holders = tuple(
             dn for dn in spec.holders
-            if dn in self.cluster.namenode.datanodes)
+            if dn in self.cluster.namenode.datanodes
+            and self._vm_live(dn.vm))
         fresh_spec = _MapSpec(spec.index, spec.records, spec.nbytes,
                               live_holders)
         locality = self._locality_of(tracker, fresh_spec)
         job = output.job
         recovered = yield from self._run_map_task(job, tracker, fresh_spec,
-                                                  locality,
-                                                  output.report)
+                                                  locality, output.report,
+                                                  count=False)
         output.tracker = tracker
         output.partitions = recovered.partitions
         output.partition_bytes = recovered.partition_bytes

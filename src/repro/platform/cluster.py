@@ -17,11 +17,12 @@ from typing import Optional, Sequence
 from repro.config import HadoopConfig
 from repro.errors import ConfigError
 from repro.hdfs import DataNode, DfsClient, NameNode
+from repro.hdfs.replication import ReplicationMonitor
 from repro.sim import Resource
 from repro.telemetry import events as EV
 from repro.telemetry.facade import Telemetry
 from repro.virt.datacenter import Datacenter
-from repro.virt.vm import VirtualMachine
+from repro.virt.vm import VirtualMachine, VMState
 
 
 class TaskTracker:
@@ -70,6 +71,11 @@ class HadoopVirtualCluster:
         self.dfs = DfsClient(self.sim, datacenter.fabric, self.namenode,
                              self.config, tracer=self.tracer,
                              metrics=datacenter.metrics)
+        #: Background failure detection + repair; armed by
+        #: :meth:`arm_recovery` (the chaos injector and the job scheduler
+        #: both arm it; standalone runner tests stay untouched).
+        self.recovery: Optional[ReplicationMonitor] = None
+        self._watched_trackers: set[str] = set()
 
     # -- convenience -----------------------------------------------------
     @property
@@ -93,6 +99,55 @@ class HadoopVirtualCluster:
     @property
     def cross_domain(self) -> bool:
         return len(self.hosts_used()) > 1
+
+    # -- failure detection & recovery -------------------------------------
+    def arm_recovery(self) -> ReplicationMonitor:
+        """Arm heartbeat-based failure detection and background repair.
+
+        Idempotent.  A :class:`~repro.hdfs.replication.ReplicationMonitor`
+        watches every datanode VM and re-replicates lost blocks when one
+        dies; a reaper per TaskTracker declares it dead after
+        ``missed_heartbeats_dead`` silent heartbeats and removes it from
+        the scheduling pool.  All watchers wait on pending failure events
+        (no heap slots), so a bare ``sim.run()`` still drains.
+        """
+        if self.recovery is None:
+            self.recovery = ReplicationMonitor(
+                self.sim, self.datacenter.fabric, self.namenode,
+                self.config, tracer=self.tracer,
+                metrics=self.telemetry.metrics)
+        for dn in self.datanodes:
+            self.recovery.watch(dn)
+        for tracker in self.trackers:
+            self.watch_tracker(tracker)
+        return self.recovery
+
+    def watch_tracker(self, tracker: TaskTracker) -> None:
+        """Arm (or re-arm, after a rejoin) one tracker's dead-reaper."""
+        if tracker.name in self._watched_trackers:
+            return
+        self._watched_trackers.add(tracker.name)
+        self.sim.process(self._tracker_reaper(tracker),
+                         name=f"{self.name}:reaper:{tracker.name}")
+
+    def _tracker_reaper(self, tracker: TaskTracker):
+        vm = tracker.vm
+        yield vm.failure_event()
+        self._watched_trackers.discard(tracker.name)
+        # The JobTracker only notices after several silent heartbeats.
+        grace = self.config.missed_heartbeats_dead * self.config.heartbeat_s
+        if grace > 0:
+            yield self.sim.timeout(grace)
+        if vm.state is not VMState.FAILED:
+            return  # rejoined within the grace window
+        if tracker not in self.trackers:
+            return  # already detached (manual fail_worker path)
+        self.trackers = [t for t in self.trackers if t is not tracker]
+        self.tracer.emit(self.sim.now, EV.RECOVERY_TRACKER_DEAD, vm.name,
+                         cluster=self.name)
+        self.telemetry.metrics.counter(
+            "recovery.trackers.dead",
+            "trackers declared dead after missed heartbeats").inc()
 
     def reconfigure(self, config: HadoopConfig) -> None:
         """Apply a new Hadoop configuration (the MapReduce Tuner's hook).

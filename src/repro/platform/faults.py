@@ -43,6 +43,61 @@ def fail_worker(cluster: "HadoopVirtualCluster", vm: VirtualMachine) -> None:
                         cluster.name, vm=vm.name)
 
 
+def crash_worker(cluster: "HadoopVirtualCluster", vm: VirtualMachine) -> None:
+    """Crash a worker VM *without* declaring its services dead.
+
+    Unlike :func:`fail_worker` (the oracle's view: services are detached
+    the same instant), this models what the platform can actually observe:
+    the VM just stops answering.  Detection is left to the armed recovery
+    monitors — heartbeat expiry reaps the TaskTracker, the replication
+    monitor reaps the DataNode and re-replicates its blocks — so in-flight
+    tasks fail, retry elsewhere, and the cluster heals itself.  Arm them
+    with :meth:`~repro.platform.cluster.HadoopVirtualCluster.arm_recovery`.
+    """
+    if vm not in cluster.workers:
+        raise VMStateError(f"{vm.name} is not a worker of {cluster.name}")
+    vm.fail()
+    cluster.tracer.emit(cluster.sim.now, EV.CLUSTER_WORKER_FAILED,
+                        cluster.name, vm=vm.name)
+
+
+def rejoin_worker(cluster: "HadoopVirtualCluster", vm: VirtualMachine,
+                  host=None) -> None:
+    """Bring a crashed worker back into the cluster (delayed recovery).
+
+    The VM reboots with a cold, empty disk: its old replicas are scrubbed
+    from the namespace (they died with the guest), a fresh DataNode
+    re-registers, and a new TaskTracker joins the scheduling pool.  When
+    recovery is armed the rejoined services are re-watched and a repair
+    sweep is kicked so any block that lost its last copy to the scrub is
+    restored (or reported) promptly.
+    """
+    if vm not in cluster.workers:
+        raise VMStateError(f"{vm.name} is not a worker of {cluster.name}")
+    vm.recover(host)
+    old = cluster.namenode.datanode_of(vm.name)
+    if old is not None:
+        # Never reaped (rejoin beat the expiry window): scrub its stale
+        # replica entries — the data did not survive the crash.
+        mark_datanode_dead(cluster.namenode, old)
+    cluster.datanodes = [dn for dn in cluster.datanodes if dn.vm is not vm]
+    from repro.hdfs import DataNode
+    fresh = DataNode(vm)
+    cluster.namenode.register_datanode(fresh)
+    cluster.datanodes.append(fresh)
+    tracker = cluster.tracker_of(vm.name)
+    if tracker is None:
+        from repro.platform.cluster import TaskTracker
+        tracker = TaskTracker(vm, cluster.config)
+        cluster.trackers.append(tracker)
+    if cluster.recovery is not None:
+        cluster.recovery.watch(fresh)
+        cluster.watch_tracker(tracker)
+        cluster.recovery.sweep()
+    cluster.tracer.emit(cluster.sim.now, EV.RECOVERY_WORKER_REJOINED,
+                        cluster.name, vm=vm.name)
+
+
 def alive_workers(cluster: "HadoopVirtualCluster") -> list[VirtualMachine]:
     return [vm for vm in cluster.workers if vm.state is VMState.RUNNING]
 

@@ -28,14 +28,15 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, TaskFailure, VMStateError
 from repro.mapreduce.job import Job
 from repro.mapreduce.runner import (JobReport, MapReduceRunner, TaskAttempt,
-                                    _MapOutput, _MapSpec)
+                                    _MapOutput, _MapSpec, _cancel_wait,
+                                    _drive_racing)
 from repro.scheduler.policies import (FifoScheduler, SchedulingPolicy,
                                       _pool_demand, _pool_running)
 from repro.scheduler.report import JobStats, SchedulerReport
-from repro.sim.kernel import AllOf, AnyOf, Event, Process
+from repro.sim.kernel import Event
 from repro.sim.trace import Span
 from repro.telemetry import events as EV
 
@@ -201,6 +202,8 @@ class JobScheduler:
             "duplicated": set(),
             "durations": [],
             "span": ex.map_span,
+            "retrying": {"n": 0},
+            "attempts": {},
         }
         ex.map_remaining = {"n": len(specs)}
         ex.maps_done = self.sim.event()
@@ -268,6 +271,11 @@ class JobScheduler:
         if self._workers_started:
             return
         self._workers_started = True
+        # Heartbeat-based failure detection: dead trackers are reaped and
+        # their datanodes' blocks re-replicated in the background.
+        arm = getattr(self.cluster, "arm_recovery", None)
+        if arm is not None:
+            arm()
         for tracker in self.cluster.trackers:
             for slot in range(tracker.map_slots.capacity):
                 self.sim.process(
@@ -344,6 +352,8 @@ class JobScheduler:
         config = self.cluster.config
         state = ex.map_state
         self._accrue()
+        if self.runner._is_blacklisted(ex.job, tracker):
+            return False  # too many failures: sit this job out
         spec, locality = self.runner._pick_map_task(tracker, state["pending"])
         speculative = False
         if spec is None:
@@ -374,14 +384,32 @@ class JobScheduler:
                 speculative=speculative)
             gen = self.runner._run_map_task(ex.job, tracker, spec, locality,
                                             ex.report)
-            output, preempted = yield from self._drive(gen, kill)
+            # The attempt stops early on a preemption kill *or* its own
+            # tracker dying; which one fired decides revert vs retry.
+            stop = self.sim.any_of([kill, tracker.vm.failure_event()])
+            failure = None
+            try:
+                output, stopped = yield from self._drive(gen, stop)
+                if stopped and not kill.triggered:
+                    failure = VMStateError(
+                        f"{tracker.name}: tracker died mid-attempt")
+            except (VMStateError, TaskFailure) as exc:
+                output, stopped, failure = None, False, exc
+            if failure is not None:
+                self.tracer.end_span(attempt_span, self.sim.now,
+                                     failed=True)
+                self.runner._handle_task_failure(
+                    ex.job, "map", state, spec, spec.task_id, speculative,
+                    tracker, ex.report, ex.map_remaining, ex.maps_done,
+                    failure, on_requeue=lambda: self._signal("map"))
+                return True
             self.tracer.end_span(attempt_span, self.sim.now,
-                                 preempted=preempted)
+                                 preempted=stopped)
             self.runner.metrics.histogram(
                 "mapreduce.task.duration", "task attempt duration",
                 {"phase": "map", "job": ex.job.name}).observe(
                     self.sim.now - start)
-            if preempted:
+            if stopped:
                 self._revert_map(ex, spec, speculative)
                 return True
             if spec.index in state["finished"]:
@@ -435,6 +463,8 @@ class JobScheduler:
         config = self.cluster.config
         state = ex.reduce_state
         self._accrue()
+        if self.runner._is_blacklisted(ex.job, tracker):
+            return False  # too many failures: sit this job out
         speculative = False
         if state["pending"]:
             partition = state["pending"].pop(0)
@@ -461,9 +491,34 @@ class JobScheduler:
                 start, EV.TASK_REDUCE, f"r-{partition:05d}",
                 parent=ex.reduce_span, tracker=tracker.name,
                 speculative=speculative)
-            result = yield from self.runner._run_reduce_task(
+            gen = self.runner._run_reduce_task(
                 ex.job, tracker, partition, ex.map_outputs, ex.report,
                 state, token, attempt_span)
+            failure = None
+            try:
+                # An attempt holding the commit token has (partially)
+                # written its output file; it must run to completion even
+                # if its tracker dies — single-writer commit.
+                result, died = yield from _drive_racing(
+                    self.sim, gen, tracker.vm.failure_event(),
+                    abortable=lambda:
+                        state["committing"].get(partition) is not token)
+                if died:
+                    failure = VMStateError(
+                        f"{tracker.name}: tracker died mid-attempt")
+            except (VMStateError, TaskFailure) as exc:
+                result, failure = None, exc
+            if failure is not None:
+                if state["committing"].get(partition) is token:
+                    del state["committing"][partition]
+                self.tracer.end_span(attempt_span, self.sim.now,
+                                     failed=True)
+                self.runner._handle_task_failure(
+                    ex.job, "reduce", state, partition,
+                    f"r-{partition:05d}", speculative, tracker, ex.report,
+                    ex.reduce_remaining, ex.reduces_done, failure,
+                    on_requeue=lambda: self._signal("reduce"))
+                return True
             self.tracer.end_span(attempt_span, self.sim.now,
                                  won=result is not None)
             self.runner.metrics.histogram(
@@ -500,35 +555,17 @@ class JobScheduler:
     def _drive(self, gen, kill: Event):
         """Run task generator ``gen``, racing every wait against ``kill``.
 
-        Returns ``(result, preempted)``.  On a kill the generator is closed
-        and any live sub-processes it was waiting on are interrupted; the
-        virt/net layers cancel their flows and bill only the work done.
+        Returns ``(result, stopped)``.  Thin wrapper over the runner's
+        :func:`~repro.mapreduce.runner._drive_racing`, kept as the
+        scheduler's historical entry point.
         """
-        try:
-            target = next(gen)
-        except StopIteration as stop:
-            return stop.value, False
-        while True:
-            yield self.sim.any_of([target, kill])
-            if kill.triggered and not target.triggered:
-                gen.close()
-                self._cancel(target)
-                return None, True
-            try:
-                target = gen.send(target.value)
-            except StopIteration as stop:
-                return stop.value, False
+        result, stopped = yield from _drive_racing(self.sim, gen, kill)
+        return result, stopped
 
     @staticmethod
     def _cancel(event: Event) -> None:
         """Interrupt the live process(es) behind an abandoned wait."""
-        if isinstance(event, Process):
-            if event.is_alive:
-                event.interrupt("preempted")
-        elif isinstance(event, (AllOf, AnyOf)):
-            for child in event.events:
-                if isinstance(child, Process) and child.is_alive:
-                    child.interrupt("preempted")
+        _cancel_wait(event, "preempted")
 
     # -- preemption monitor ------------------------------------------------
     def _ensure_monitor(self) -> None:

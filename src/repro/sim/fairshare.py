@@ -168,6 +168,21 @@ class FairShareSystem:
         self._rebalance()
         return flow.transferred
 
+    def set_capacity(self, resource: SharedResource, capacity: float) -> None:
+        """Change a resource's capacity mid-simulation (fault injection).
+
+        All in-flight progress is advanced to *now* at the old rates first,
+        then rates are recomputed under the new capacity — so a network
+        degradation only affects bytes still to be moved.
+        """
+        if capacity <= 0:
+            raise ResourceError(
+                f"resource {resource.name!r} needs capacity > 0, "
+                f"got {capacity}")
+        self._advance()
+        resource.capacity = float(capacity)
+        self._rebalance()
+
     @property
     def active_flows(self) -> frozenset[FluidFlow]:
         return frozenset(self._flows)

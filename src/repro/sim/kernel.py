@@ -24,6 +24,7 @@ Example
 from __future__ import annotations
 
 import heapq
+import inspect
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -166,10 +167,10 @@ class Process(Event):
             raise SimulationError(f"process body must be a generator, got "
                                   f"{type(generator).__name__}")
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Bootstrap: resume the process at the current time.
         boot = Event(sim)
+        self._waiting_on: Optional[Event] = boot
         boot.callbacks.append(self._resume)
         boot.succeed(None)
 
@@ -191,12 +192,30 @@ class Process(Event):
             target.callbacks.remove(self._resume)
         self._waiting_on = None
         hit = Event(self.sim)
-        hit.callbacks.append(
-            lambda _ev: self._step(Interrupt(cause), throw=True))
+        hit.callbacks.append(lambda _ev: self._throw_interrupt(cause))
         hit.succeed(None)
 
     # -- internal ------------------------------------------------------------
+    def _throw_interrupt(self, cause: Any) -> None:
+        if self._triggered:
+            return  # body finished before the interrupt could land
+        if inspect.getgeneratorstate(self._generator) == inspect.GEN_CREATED:
+            # The body never started, so it has nothing to unwind and no
+            # way to catch the Interrupt: treat it as a cancellation.
+            self._generator.close()
+            self.succeed(None)
+            return
+        self._step(Interrupt(cause), throw=True)
+
     def _resume(self, event: Event) -> None:
+        if self._triggered or self._waiting_on is not event:
+            # Stale wake-up: the process was interrupted (or already
+            # re-resumed) after this callback was scheduled.  An interrupt
+            # can only detach ``_resume`` from an event's callback list;
+            # it cannot reach the immediate re-resume scheduled for an
+            # already-processed target, nor a callback list that step()
+            # has begun draining — so validate here instead.
+            return
         self._waiting_on = None
         if event._ok:
             self._step(event._value, throw=False)

@@ -70,10 +70,30 @@ HDFS_REPAIR_DONE = "hdfs.repair.done"
 
 CLOUD_REQUEST_DONE = "cloud.request.done"
 
+VM_RECOVERED = "vm.recovered"
+
+CHAOS_PLAN_START = "chaos.plan.start"
+CHAOS_PLAN_DONE = "chaos.plan.done"
+CHAOS_VM_CRASH = "chaos.vm.crash"
+CHAOS_HOST_CRASH = "chaos.host.crash"
+CHAOS_NET_DEGRADE = "chaos.net.degrade"
+CHAOS_NET_HEAL = "chaos.net.heal"
+CHAOS_DISK_SLOW = "chaos.disk.slow"
+CHAOS_DISK_HEAL = "chaos.disk.heal"
+CHAOS_REJOIN = "chaos.rejoin"
+
+RECOVERY_TRACKER_DEAD = "recovery.tracker.dead"
+RECOVERY_DATANODE_DEAD = "recovery.datanode.dead"
+RECOVERY_TASK_RETRY = "recovery.task.retry"
+RECOVERY_TRACKER_BLACKLISTED = "recovery.tracker.blacklisted"
+RECOVERY_REPLICATION_START = "recovery.replication.start"
+RECOVERY_REPLICATION_DONE = "recovery.replication.done"
+RECOVERY_WORKER_REJOINED = "recovery.worker.rejoined"
+
 POINT_KINDS: frozenset[str] = frozenset({
     NET_TRANSFER_START, NET_TRANSFER_END,
     CLUSTER_PROVISIONED, CLUSTER_RECONFIGURE, CLUSTER_WORKER_FAILED,
-    VM_PLACE, VM_SHUTDOWN, VM_FAILED,
+    VM_PLACE, VM_SHUTDOWN, VM_FAILED, VM_RECOVERED,
     MIGRATION_ROUND, VIRTLM_CLUSTER_END,
     JOB_SUBMIT, JOB_MAPS_DONE, JOB_DONE,
     TASK_MAP_DONE, TASK_REDUCE_DONE,
@@ -82,6 +102,14 @@ POINT_KINDS: frozenset[str] = frozenset({
     SCHEDULER_SUBMIT, SCHEDULER_PREEMPT,
     DFS_FILE_WRITTEN, HDFS_REPAIR_LOST, HDFS_REPAIR_DONE,
     CLOUD_REQUEST_DONE,
+    CHAOS_PLAN_START, CHAOS_PLAN_DONE,
+    CHAOS_VM_CRASH, CHAOS_HOST_CRASH,
+    CHAOS_NET_DEGRADE, CHAOS_NET_HEAL,
+    CHAOS_DISK_SLOW, CHAOS_DISK_HEAL, CHAOS_REJOIN,
+    RECOVERY_TRACKER_DEAD, RECOVERY_DATANODE_DEAD,
+    RECOVERY_TASK_RETRY, RECOVERY_TRACKER_BLACKLISTED,
+    RECOVERY_REPLICATION_START, RECOVERY_REPLICATION_DONE,
+    RECOVERY_WORKER_REJOINED,
 })
 
 #: Every event kind the tracer may legitimately carry.
@@ -116,6 +144,8 @@ _PREFIX_CATEGORIES: tuple[tuple[str, str], ...] = (
     ("net.", "net"),
     ("cluster.", "cluster"),
     ("cloud.", "cloud"),
+    ("chaos.", "chaos"),
+    ("recovery.", "recovery"),
 )
 
 

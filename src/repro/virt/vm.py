@@ -70,6 +70,10 @@ class VirtualMachine:
         self.cpu_seconds = 0.0
         #: Cumulative bytes of disk I/O (for the monitor).
         self.disk_bytes = 0.0
+        #: Disk I/O slowdown factor (chaos slow-disk fault): 1.0 = healthy,
+        #: k > 1 divides the effective disk/NFS rate by k.
+        self.disk_slowdown = 1.0
+        self._failure_event: Optional[Event] = None
 
     # -- activity accounting ---------------------------------------------
     @property
@@ -132,6 +136,41 @@ class VirtualMachine:
         if self.host is not None:
             self.host.evict(self)
         self.tracer.emit(self.sim.now, EV.VM_FAILED, self.name)
+        if self._failure_event is not None and not self._failure_event.triggered:
+            self._failure_event.succeed(self)
+
+    def failure_event(self) -> Event:
+        """An event that fires when (or is already set if) this VM fails.
+
+        Recovery monitors wait on this instead of polling the state, so a
+        bare ``sim.run()`` still drains the heap: a pending event occupies
+        no heap slot.  The event is reset by :meth:`recover`.
+        """
+        if self._failure_event is None:
+            self._failure_event = Event(self.sim)
+            if self.state is VMState.FAILED:
+                self._failure_event.succeed(self)
+        return self._failure_event
+
+    def recover(self, host: Optional["PhysicalMachine"] = None) -> None:
+        """Bring a FAILED VM back to RUNNING (chaos rejoin).
+
+        The guest is re-admitted to ``host`` (default: its previous host)
+        with cold caches — dirty-memory state is reset.  Services that ran
+        on the VM must be re-registered by the layers above — see
+        :func:`repro.platform.faults.rejoin_worker`.
+        """
+        self._require(VMState.FAILED)
+        target = host or self.host
+        assert target is not None and self.node is not None
+        target.admit(self)
+        self.host = target
+        self.fabric.move(self.node, target.net)
+        self.state = VMState.RUNNING
+        self.disk_slowdown = 1.0
+        self._failure_event = None
+        self.tracer.emit(self.sim.now, EV.VM_RECOVERED, self.name,
+                         host=target.name)
 
     def rehome(self, new_host: "PhysicalMachine") -> None:
         """Move residency to ``new_host`` (called by the migration engine at
@@ -199,22 +238,29 @@ class VirtualMachine:
         done = nbytes
         try:
             if nbytes > 0:
+                # A slow-disk fault (chaos) divides the effective device
+                # rate by ``disk_slowdown`` via a per-flow rate cap.
+                slow = max(1.0, self.disk_slowdown)
                 if self.nfs_backend is not None:
                     # Guest page cache / write-back absorbs most of the I/O
                     # at memory speed; only the miss fraction reaches the
                     # NFS server, crossing the host's physical NIC.
                     cached = nbytes * C.DISK_CACHE_HIT_RATIO
                     missed = nbytes - cached
-                    yield self.sim.timeout(cached / C.PAGE_CACHE_BPS)
+                    yield self.sim.timeout(cached * slow / C.PAGE_CACHE_BPS)
                     if missed > 0:
-                        flow = self.fss.open(
-                            [self.host.net.nic, self.nfs_backend],
-                            size=float(missed),
-                            name=f"{self.name}:{name}")
+                        path = [self.host.net.nic, self.nfs_backend]
+                        cap = (None if slow == 1.0 else
+                               min(r.capacity for r in path) / slow)
+                        flow = self.fss.open(path, size=float(missed),
+                                             cap=cap,
+                                             name=f"{self.name}:{name}")
                         yield flow.done
                 else:
+                    cap = (None if slow == 1.0 else
+                           self.host.disk.capacity / slow)
                     flow = self.fss.open([self.host.disk],
-                                         size=float(nbytes),
+                                         size=float(nbytes), cap=cap,
                                          name=f"{self.name}:{name}")
                     yield flow.done
         except Interrupt:

@@ -1,0 +1,147 @@
+"""ChaosInjector unit tests: every fault kind, heals, and determinism."""
+
+import pytest
+
+from repro.chaos import ChaosInjector, Fault, FaultPlan
+from repro.config import PlatformConfig
+from repro.errors import ConfigError
+from repro.platform import VHadoopPlatform, cross_domain_placement
+from repro.virt import VMState
+
+
+def make(seed=7, n=8):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed,
+                                              trace=True))
+    cluster = platform.provision_cluster("chaos",
+                                         cross_domain_placement(n))
+    return platform, cluster
+
+
+def inject(platform, cluster, plan, until):
+    injector = ChaosInjector(cluster, plan)
+    injector.start()
+    platform.sim.run(until=until)
+    return injector
+
+
+def test_start_arms_recovery():
+    platform, cluster = make()
+    assert cluster.recovery is None
+    injector = ChaosInjector(cluster, FaultPlan())
+    injector.start()
+    assert cluster.recovery is not None
+
+
+def test_vm_crash_then_automatic_rejoin():
+    platform, cluster = make()
+    victim = cluster.workers[0]
+    plan = FaultPlan().add(Fault(at=1.0, kind="vm.crash",
+                                 target=victim.name, duration=8.0))
+    injector = inject(platform, cluster, plan, until=2.0)
+    assert victim.state is VMState.FAILED
+    platform.sim.run(until=40.0)
+    assert victim.state is VMState.RUNNING
+    assert any(t.vm is victim for t in cluster.trackers)
+    assert any(dn.vm is victim for dn in cluster.datanodes)
+    actions = [(action, target) for _t, action, target
+               in injector.report.timeline]
+    assert actions == [("vm.crash", victim.name), ("rejoin", victim.name)]
+
+
+def test_host_crash_kills_every_resident_worker():
+    platform, cluster = make()
+    doomed = cluster.datacenter.machines[-1].name
+    residents = [vm for vm in cluster.workers if vm.host.name == doomed]
+    assert residents  # cross-domain placement spans both hosts
+    plan = FaultPlan().add(Fault(at=1.0, kind="host.crash", target=doomed))
+    injector = inject(platform, cluster, plan, until=2.0)
+    assert all(vm.state is VMState.FAILED for vm in residents)
+    assert injector.report.timeline == [(1.0, "host.crash", doomed)]
+
+
+def test_host_crash_without_residents_rejected():
+    platform, cluster = make()
+    doomed = cluster.datacenter.machines[-1].name
+    for vm in list(cluster.workers):
+        if vm.host.name == doomed:
+            vm.fail()
+    done = ChaosInjector(cluster, FaultPlan().add(
+        Fault(at=1.0, kind="host.crash", target=doomed))).start()
+    with pytest.raises(ConfigError):
+        platform.sim.run_until(done)
+
+
+def test_unknown_worker_target_rejected():
+    platform, cluster = make()
+    done = ChaosInjector(cluster, FaultPlan().add(
+        Fault(at=1.0, kind="vm.crash", target="no-such-vm"))).start()
+    with pytest.raises(ConfigError):
+        platform.sim.run_until(done)
+
+
+def test_net_degrade_divides_bandwidth_then_heals():
+    platform, cluster = make()
+    host = cluster.datacenter.fabric.hosts["pm1"]
+    before = host.nic.capacity
+    plan = FaultPlan().add(Fault(at=1.0, kind="net.degrade", target="pm1",
+                                 factor=4.0, duration=5.0))
+    injector = inject(platform, cluster, plan, until=2.0)
+    assert host.nic.capacity == pytest.approx(before / 4.0)
+    platform.sim.run(until=10.0)
+    assert host.nic.capacity == pytest.approx(before)
+    actions = [action for _t, action, _tgt in injector.report.timeline]
+    assert actions == ["net.degrade", "net.heal"]
+
+
+def test_net_partition_stalls_but_keeps_flows_defined():
+    platform, cluster = make()
+    host = cluster.datacenter.fabric.hosts["pm0"]
+    before = host.nic.capacity
+    plan = FaultPlan().add(Fault(at=1.0, kind="net.partition",
+                                 target="pm0", duration=3.0))
+    inject(platform, cluster, plan, until=2.0)
+    assert 0 < host.nic.capacity < before / 1e8
+    platform.sim.run(until=10.0)
+    assert host.nic.capacity == pytest.approx(before)
+
+
+def test_net_fault_requires_host_target():
+    platform, cluster = make()
+    done = ChaosInjector(cluster, FaultPlan().add(
+        Fault(at=1.0, kind="net.degrade", target=cluster.workers[0].name,
+              factor=2.0))).start()
+    with pytest.raises(ConfigError):
+        platform.sim.run_until(done)
+
+
+def test_disk_slow_sets_and_clears_slowdown():
+    platform, cluster = make()
+    victim = cluster.workers[1]
+    plan = FaultPlan().add(Fault(at=1.0, kind="disk.slow",
+                                 target=victim.name, factor=3.0,
+                                 duration=4.0))
+    inject(platform, cluster, plan, until=2.0)
+    assert victim.disk_slowdown == 3.0
+    platform.sim.run(until=10.0)
+    assert victim.disk_slowdown == 1.0
+
+
+def test_report_digest_deterministic_across_runs():
+    def run_once():
+        platform, cluster = make(seed=3)
+        victim = cluster.workers[0].name
+        plan = (FaultPlan(name="det")
+                .add(Fault(at=1.0, kind="vm.crash", target=victim,
+                           duration=6.0))
+                .add(Fault(at=2.0, kind="disk.slow",
+                           target=cluster.workers[1].name, factor=2.0,
+                           duration=2.0)))
+        injector = ChaosInjector(cluster, plan)
+        injector.start()
+        platform.sim.run(until=30.0)
+        return injector.report
+
+    one, two = run_once(), run_once()
+    assert one.timeline == two.timeline
+    assert one.digest() == two.digest()
+    assert one.plan_digest == two.plan_digest

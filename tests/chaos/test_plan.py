@@ -1,0 +1,80 @@
+"""Unit tests for Fault / FaultPlan: validation, ordering, digests."""
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, Fault, FaultPlan
+from repro.errors import ConfigError
+
+
+def test_fault_kinds_are_a_closed_set():
+    assert set(FAULT_KINDS) == {"vm.crash", "host.crash", "net.degrade",
+                                "net.partition", "disk.slow", "rejoin"}
+
+
+def test_fault_rejects_unknown_kind():
+    with pytest.raises(ConfigError):
+        Fault(at=1.0, kind="cpu.melt", target="vm0").validate()
+
+
+def test_fault_rejects_negative_times():
+    with pytest.raises(ConfigError):
+        Fault(at=-1.0, kind="vm.crash", target="vm0").validate()
+    with pytest.raises(ConfigError):
+        Fault(at=1.0, kind="vm.crash", target="vm0",
+              duration=-2.0).validate()
+
+
+def test_fault_requires_target():
+    with pytest.raises(ConfigError):
+        Fault(at=0.0, kind="vm.crash", target="").validate()
+
+
+def test_factor_kinds_require_factor_above_one():
+    with pytest.raises(ConfigError):
+        Fault(at=0.0, kind="disk.slow", target="vm0",
+              factor=1.0).validate()
+    with pytest.raises(ConfigError):
+        Fault(at=0.0, kind="net.degrade", target="pm0",
+              factor=0.5).validate()
+    # The factor is meaningless (hence unchecked) for crash kinds.
+    Fault(at=0.0, kind="vm.crash", target="vm0", factor=0.5).validate()
+
+
+def test_plan_add_validates_and_chains():
+    plan = (FaultPlan(name="p")
+            .add(Fault(at=2.0, kind="vm.crash", target="a"))
+            .add(Fault(at=1.0, kind="disk.slow", target="b", factor=2.0)))
+    assert len(plan) == 2
+    with pytest.raises(ConfigError):
+        plan.add(Fault(at=0.0, kind="nope", target="x"))
+    assert len(plan) == 2  # the invalid fault was not appended
+
+
+def test_plan_ordered_sorts_by_time_then_declaration():
+    early_a = Fault(at=1.0, kind="vm.crash", target="a")
+    early_b = Fault(at=1.0, kind="vm.crash", target="b")
+    late = Fault(at=5.0, kind="vm.crash", target="c")
+    plan = FaultPlan().add(late).add(early_a).add(early_b)
+    assert plan.ordered() == [early_a, early_b, late]
+
+
+def test_plan_horizon_includes_heal_times():
+    plan = (FaultPlan()
+            .add(Fault(at=3.0, kind="vm.crash", target="a", duration=10.0))
+            .add(Fault(at=8.0, kind="vm.crash", target="b")))
+    assert plan.horizon == 13.0
+    assert FaultPlan().horizon == 0.0
+
+
+def _reference_plan() -> FaultPlan:
+    return (FaultPlan(name="d")
+            .add(Fault(at=1.0, kind="vm.crash", target="a"))
+            .add(Fault(at=2.0, kind="host.crash", target="pm1")))
+
+
+def test_plan_digest_is_content_addressed():
+    assert _reference_plan().digest() == _reference_plan().digest()
+    grown = _reference_plan().add(Fault(at=3.0, kind="rejoin", target="a"))
+    assert grown.digest() != _reference_plan().digest()
+    renamed = FaultPlan(name="e", faults=list(_reference_plan().faults))
+    assert renamed.digest() != _reference_plan().digest()

@@ -1,0 +1,198 @@
+"""End-to-end automatic recovery: jobs survive injected failures.
+
+These are the acceptance tests for the chaos harness: a worker (or a
+whole host) dies *while a Wordcount runs* and the job must still finish
+with byte-identical output — recovery is heartbeat reaping + task retry +
+background re-replication, with no manual ``repair_cluster`` anywhere.
+"""
+
+import collections
+
+import pytest
+
+from repro.chaos import ChaosInjector, Fault, FaultPlan
+from repro.config import HadoopConfig, PlatformConfig
+from repro.errors import VMStateError
+from repro.hdfs.replication import under_replicated
+from repro.platform import VHadoopPlatform, cross_domain_placement
+from repro.platform.faults import crash_worker, rejoin_worker
+from repro.virt import VMState
+from repro.workloads.wordcount import (line_record_sizeof, lines_as_records,
+                                       wordcount_job)
+
+LINES = ["kappa lambda mu nu xi omicron pi rho",
+         "lambda mu nu xi", "kappa kappa rho sigma tau"] * 60
+RECORDS = lines_as_records(LINES)
+EXPECTED = dict(collections.Counter(" ".join(LINES).split()))
+
+
+def make(n=8, seed=11, replication=2):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed,
+                                              trace=True))
+    cluster = platform.provision_cluster(
+        "rec", cross_domain_placement(n),
+        hadoop_config=HadoopConfig(dfs_replication=replication))
+    platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,
+                    timed=False)
+    return platform, cluster
+
+
+def run_clean(seed=11):
+    platform, cluster = make(seed=seed)
+    report = platform.run_job(cluster,
+                              wordcount_job("/in", "/out", n_reduces=2))
+    runner = platform.runners[cluster.name]
+    return report.elapsed, sorted(runner.read_output(report))
+
+
+def run_with_plan(plan_builder, seed=11):
+    platform, cluster = make(seed=seed)
+    runner = platform.runner(cluster)
+    injector = ChaosInjector(cluster, plan_builder(cluster))
+    done = runner.submit(wordcount_job("/in", "/out", n_reduces=2))
+    injector.start()
+    platform.sim.run_until(done)
+    return platform, cluster, sorted(runner.read_output(done.value))
+
+
+# --- satellite: kill a worker at several points of the job ----------------
+
+@pytest.mark.parametrize("fraction", [0.15, 0.45, 0.75])
+def test_worker_crash_mid_job_output_identical(fraction):
+    elapsed, clean = run_clean()
+
+    def plan(cluster):
+        victim = cluster.workers[1]
+        return FaultPlan(name=f"kill-{fraction}").add(
+            Fault(at=fraction * elapsed, kind="vm.crash",
+                  target=victim.name))
+
+    platform, _cluster, chaos = run_with_plan(plan)
+    assert chaos == clean
+    assert dict(chaos) == EXPECTED
+
+
+def test_whole_host_crash_mid_job_output_identical():
+    elapsed, clean = run_clean()
+
+    def plan(cluster):
+        doomed = cluster.datacenter.machines[-1].name
+        return FaultPlan(name="host-loss").add(
+            Fault(at=0.4 * elapsed, kind="host.crash", target=doomed))
+
+    platform, cluster, chaos = run_with_plan(plan)
+    assert chaos == clean
+    # Correlated failure across a whole host: the reaper and the
+    # replication monitor both fire (possibly only after the job already
+    # finished — detection has a grace period), and no manual repair ran.
+    platform.sim.run(until=platform.sim.now + 120.0)
+    assert platform.tracer.count("recovery.tracker.dead") >= 1
+    assert platform.tracer.count("recovery.replication.start") >= 1
+
+
+def test_crash_with_rejoin_mid_job_output_identical():
+    elapsed, clean = run_clean()
+
+    def plan(cluster):
+        victim = cluster.workers[2]
+        return FaultPlan(name="bounce").add(
+            Fault(at=0.3 * elapsed, kind="vm.crash", target=victim.name,
+                  duration=0.3 * elapsed))
+
+    _platform, _cluster, chaos = run_with_plan(plan)
+    assert chaos == clean
+
+
+# --- satellite regression: double failure during shuffle recovery --------
+
+def test_shuffle_recovery_survives_second_failure():
+    """A mapper VM dies after the map phase (its intermediate output is
+    lost) and another worker dies during the reduce phase.  The shuffle
+    re-runs the lost map; if the re-run lands on the second victim the
+    attempt fails cleanly and is retried elsewhere — the job must still
+    produce correct output either way."""
+    platform, cluster = make()
+    cluster.arm_recovery()
+    runner = platform.runner(cluster)
+    done = runner.submit(wordcount_job("/in", "/out", n_reduces=2))
+
+    sim = platform.sim
+    while not platform.tracer.count("job.maps.done"):
+        sim.step()
+    mapper_name = next(platform.tracer.select("task.map.done"))["tracker"]
+    first = next(tr.vm for tr in cluster.trackers
+                 if tr.name == mapper_name)
+    crash_worker(cluster, first)
+    second = next(vm for vm in cluster.workers
+                  if vm is not first and vm.state is VMState.RUNNING)
+    crash_worker(cluster, second)
+
+    platform.sim.run_until(done)
+    assert dict(runner.read_output(done.value)) == EXPECTED
+    assert platform.tracer.count("task.map.recover") >= 1
+
+
+# --- crash/rejoin primitives ----------------------------------------------
+
+def test_crash_worker_rejects_non_worker():
+    platform, cluster = make()
+    outsider = platform.datacenter.create_vm(
+        "outsider", platform.datacenter.machine(0))
+    with pytest.raises(VMStateError):
+        crash_worker(cluster, outsider)
+
+
+def test_crash_worker_defers_detection_to_monitors():
+    platform, cluster = make()
+    cluster.arm_recovery()
+    victim = cluster.workers[0]
+    n_trackers = len(cluster.trackers)
+    crash_worker(cluster, victim)
+    # Unlike fail_worker, services are not detached synchronously …
+    assert victim.state is VMState.FAILED
+    assert len(cluster.trackers) == n_trackers
+    # … the heartbeat reaper removes the tracker after the grace period.
+    grace = (cluster.config.missed_heartbeats_dead
+             * cluster.config.heartbeat_s)
+    platform.sim.run(until=platform.sim.now + grace + 1.0)
+    assert len(cluster.trackers) == n_trackers - 1
+    assert platform.tracer.count("recovery.tracker.dead") == 1
+
+
+def test_replication_monitor_repairs_without_manual_call():
+    platform, cluster = make()
+    cluster.arm_recovery()
+    victim_dn = next(dn for dn in cluster.datanodes if dn.blocks)
+    crash_worker(cluster, victim_dn.vm)
+    assert under_replicated(cluster.namenode,
+                            cluster.config.dfs_replication) == []
+    platform.sim.run(until=platform.sim.now + 120.0)
+    assert platform.tracer.count("recovery.datanode.dead") == 1
+    assert platform.tracer.count("recovery.replication.done") >= 1
+    assert victim_dn not in cluster.namenode.datanodes
+    assert not under_replicated(cluster.namenode,
+                                cluster.config.dfs_replication)
+
+
+def test_rejoin_worker_restores_services_and_rearms_watchers():
+    platform, cluster = make()
+    cluster.arm_recovery()
+    victim = cluster.workers[3]
+    crash_worker(cluster, victim)
+    platform.sim.run(until=platform.sim.now + 120.0)  # reap + re-replicate
+    rejoin_worker(cluster, victim)
+    assert victim.state is VMState.RUNNING
+    assert any(t.vm is victim for t in cluster.trackers)
+    fresh = [dn for dn in cluster.datanodes if dn.vm is victim]
+    assert len(fresh) == 1 and not fresh[0].blocks  # cold disk
+    assert fresh[0] in cluster.namenode.datanodes
+    assert platform.tracer.count("recovery.worker.rejoined") == 1
+    # The rejoined node is watched again: crash it a second time.
+    platform.sim.run(until=platform.sim.now + 1.0)
+    crash_worker(cluster, victim)
+    platform.sim.run(until=platform.sim.now + 120.0)
+    assert platform.tracer.count("recovery.tracker.dead") == 2
+
+    report = platform.run_job(cluster,
+                              wordcount_job("/in", "/out2", n_reduces=2))
+    assert dict(platform.collect(cluster, report)) == EXPECTED

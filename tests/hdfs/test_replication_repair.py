@@ -1,0 +1,105 @@
+"""Repair-sweep edge cases: dead holders mid-sweep and clamped targets.
+
+Regression tests for two failure-path bugs: ``_copy_replica`` used to
+read from whatever holder came first — including one whose VM had died
+but had not been reaped yet — and a sweep on a shrunken cluster reported
+"fully repaired" while silently clamping the replication target to the
+surviving datanode count.
+"""
+
+from repro.config import HadoopConfig, PlatformConfig
+from repro.hdfs.replication import (ReplicationRepairer, mark_datanode_dead,
+                                    under_replicated)
+from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform.faults import fail_worker, repair_cluster
+from repro.workloads.wordcount import line_record_sizeof, lines_as_records
+
+LINES = ["upsilon phi chi psi omega"] * 40
+RECORDS = lines_as_records(LINES)
+
+
+def make(n=8, seed=17, replication=2):
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
+    cluster = platform.provision_cluster(
+        "rep", normal_placement(n),
+        hadoop_config=HadoopConfig(dfs_replication=replication))
+    platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,
+                    timed=False)
+    return platform, cluster
+
+
+def _repairer(platform, cluster):
+    return ReplicationRepairer(platform.sim, platform.datacenter.fabric,
+                               cluster.namenode)
+
+
+def test_copy_replica_skips_unreaped_dead_holder():
+    """A holder whose VM died but is still listed must not be picked as
+    the copy source; the surviving live holder is."""
+    platform, cluster = make()
+    namenode = cluster.namenode
+    block_id, holders = next(
+        (bid, h) for bid, h in namenode.replicas.items() if len(h) == 2)
+    live, stale = holders
+    stale.vm.fail()  # dead, but *not* reaped from the namespace
+
+    # Ask for one more replica than configured so the block needs a copy.
+    report_ev = _repairer(platform, cluster).repair(3)
+    platform.sim.run_until(report_ev)
+    report = report_ev.value
+
+    assert block_id in report.repaired
+    new_holders = namenode.replicas[block_id]
+    added = [dn for dn in new_holders if dn not in (live, stale)]
+    assert len(added) == 1
+    # The copy could only have come from the live holder; the new replica
+    # is on a live VM.
+    assert added[0].blocks.get(block_id) is not None
+    assert added[0].vm.state.name == "RUNNING"
+
+
+def test_block_degrades_to_unrecoverable_without_live_holder():
+    platform, cluster = make()
+    namenode = cluster.namenode
+    block_id, holders = next(
+        (bid, h) for bid, h in namenode.replicas.items() if len(h) == 2)
+    reaped, stale = holders
+    stale.vm.fail()                       # dead but still listed
+    mark_datanode_dead(namenode, reaped)  # properly reaped
+
+    report_ev = _repairer(platform, cluster).repair(2)
+    platform.sim.run_until(report_ev)
+    report = report_ev.value
+
+    assert block_id in report.unrecoverable
+    assert not report.fully_replicated
+
+
+def test_shortfall_reported_when_cluster_smaller_than_replication():
+    """Repairing on a cluster with fewer datanodes than the configured
+    replication must report the shortfall, not claim full repair."""
+    platform, cluster = make(n=5, replication=3)
+    # Shrink to 2 datanodes: every block's target clamps to 2 < 3.
+    for victim in list(cluster.workers)[:2]:
+        fail_worker(cluster, victim)
+    assert len(cluster.namenode.datanodes) == 2
+
+    report = repair_cluster(cluster)
+    assert report.configured_replication == 3
+    assert report.shortfall
+    assert all(short == 1 for short in report.shortfall.values())
+    assert not report.fully_replicated
+    # The clamped target itself is met: nothing is under-replicated
+    # relative to the surviving cluster size.
+    assert not under_replicated(cluster.namenode, 3)
+
+
+def test_healthy_repair_is_fully_replicated():
+    platform, cluster = make()
+    victim_dn = next(dn for dn in cluster.datanodes if dn.blocks)
+    fail_worker(cluster, victim_dn.vm)
+    report = repair_cluster(cluster)
+    assert report.repaired
+    assert not report.shortfall
+    assert not report.unrecoverable
+    assert report.fully_replicated

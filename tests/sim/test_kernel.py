@@ -309,3 +309,107 @@ def test_clock_is_monotone_across_many_events():
     sim.run()
     assert stamps == sorted(stamps)
     assert sim.now == 3.0
+
+
+# --- stale wake-ups around interrupt() -------------------------------------
+
+def test_interrupt_beats_stale_immediate_resume():
+    """An interrupt must suppress the re-resume scheduled for a process
+    that yielded an already-processed event (the wake-up is stale)."""
+    sim = Simulator()
+    log = []
+    ready = sim.event()
+    ready.succeed("early")
+    sim.run()  # ready is now processed
+
+    def body():
+        try:
+            yield ready  # already processed: immediate re-resume pending
+            log.append("resumed")
+        except Interrupt:
+            log.append("interrupted")
+
+    proc = sim.process(body())
+
+    def killer():
+        # Runs in the same timestep, after ``proc`` booted and parked
+        # behind the immediate re-resume.
+        proc.interrupt("stop")
+        return
+        yield  # pragma: no cover
+
+    sim.process(killer())
+    sim.run()
+    assert log == ["interrupted"]
+    assert not proc.is_alive
+
+
+def test_interrupt_from_sibling_callback_suppresses_resume():
+    """Interrupting from another callback of the *same* event must win,
+    even though step() already detached the event's callback list."""
+    sim = Simulator()
+    log = []
+    gate = sim.event()
+    holder = {}
+
+    def sibling(_ev):
+        holder["proc"].interrupt("beaten to it")
+
+    gate.callbacks.append(sibling)
+
+    def body():
+        try:
+            yield gate
+            log.append("resumed")
+        except Interrupt:
+            log.append("interrupted")
+
+    holder["proc"] = sim.process(body())
+    sim.run()  # boot: proc is now waiting on gate, behind ``sibling``
+    gate.succeed(None)
+    sim.run()
+    assert log == ["interrupted"]
+
+
+def test_interrupt_before_first_resume_cancels_quietly():
+    """A process interrupted before its body ever ran cannot catch the
+    Interrupt — the kernel treats it as a cancellation instead."""
+    sim = Simulator()
+    started = []
+
+    def body():
+        started.append(True)
+        yield sim.timeout(1.0)
+
+    proc = sim.process(body())
+    proc.interrupt("never mind")  # before the bootstrap event fires
+    sim.run()
+    assert not started
+    assert not proc.is_alive
+    assert proc.value is None
+
+
+def test_second_interrupt_after_body_finished_is_dropped():
+    """Two interrupts in one timestep: the first may finish the body, so
+    the second lands on a finished process and must be dropped, not
+    refail it."""
+    sim = Simulator()
+    log = []
+
+    def body():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            log.append("interrupted")
+
+    proc = sim.process(body())
+
+    def killer():
+        yield sim.timeout(1.0)
+        proc.interrupt("one")
+        proc.interrupt("two")  # body returns before this one lands
+
+    sim.process(killer())
+    sim.run()
+    assert log == ["interrupted"]
+    assert not proc.is_alive

@@ -11,6 +11,7 @@ the factories a :class:`~repro.mapreduce.job.Job` carries, so mapper state
 from __future__ import annotations
 
 import zlib
+from bisect import bisect_right
 from typing import Any, Callable, Iterable, Optional
 
 from repro.mapreduce.counters import Counters
@@ -99,27 +100,55 @@ class Partitioner:
 
 
 class HashPartitioner(Partitioner):
-    """Hadoop's default: ``stable_hash(key) % n``."""
+    """Hadoop's default: ``stable_hash(key) % n``.
+
+    Real workloads hash the same hot keys millions of times (every word of
+    a corpus, every sample id), so results are memoised per instance.  A
+    partitioner instance belongs to one :class:`~repro.mapreduce.job.Job`,
+    which fixes ``n_partitions`` for its lifetime; the cache is dropped if
+    a caller ever varies it.
+    """
+
+    _CACHE_LIMIT = 1 << 20
+
+    def __init__(self) -> None:
+        self._cache: dict[Any, int] = {}
+        self._cache_n: Optional[int] = None
 
     def partition(self, key: Any, n_partitions: int) -> int:
-        return stable_hash(key) % n_partitions
+        cache = self._cache
+        if n_partitions != self._cache_n:
+            if cache:
+                cache.clear()
+            self._cache_n = n_partitions
+        try:
+            index = cache.get(key)
+        except TypeError:  # unhashable key: compute without memoisation
+            return stable_hash(key) % n_partitions
+        if index is None:
+            index = stable_hash(key) % n_partitions
+            if len(cache) < self._CACHE_LIMIT:
+                cache[key] = index
+        return index
 
 
 class RangePartitioner(Partitioner):
-    """Splits an ordered key space by precomputed boundaries (TeraSort)."""
+    """Splits an ordered key space by precomputed boundaries (TeraSort).
+
+    ``boundaries`` must ascend (as :func:`sample_boundaries` produces);
+    partitioning is then a binary search instead of a linear boundary walk.
+    """
 
     def __init__(self, boundaries: list):
         #: ``boundaries[i]`` is the smallest key of partition ``i+1``.
         self.boundaries = list(boundaries)
 
     def partition(self, key: Any, n_partitions: int) -> int:
-        index = 0
-        for boundary in self.boundaries[:n_partitions - 1]:
-            if key >= boundary:
-                index += 1
-            else:
-                break
-        return index
+        # A key equal to a boundary belongs to the partition on the right,
+        # which is exactly bisect_right's tie rule.
+        boundaries = self.boundaries
+        return bisect_right(boundaries, key, 0,
+                            min(n_partitions - 1, len(boundaries)))
 
 
 def run_mapper(mapper: Mapper, records: Iterable[tuple[Any, Any]],
@@ -139,8 +168,13 @@ def group_by_key(pairs: Iterable[tuple[Any, Any]]) -> list[tuple[Any, list]]:
     raise ``TypeError`` and the order is deterministic.
     """
     groups: dict[Any, list] = {}
+    get = groups.get
     for key, value in pairs:
-        groups.setdefault(key, []).append(value)
+        bucket = get(key)
+        if bucket is None:
+            groups[key] = [value]
+        else:
+            bucket.append(value)
     def order(item):
         key = item[0]
         return (type(key).__name__, repr(key)) if not isinstance(

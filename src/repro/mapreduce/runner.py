@@ -715,12 +715,14 @@ class MapReduceRunner:
             pairs = combine(job.combiner, pairs, ctx)
         # 4. partition + spill.
         n_parts = max(1, job.n_reduces)
-        partitions: dict[int, list] = {p: [] for p in range(n_parts)}
-        for key, value in pairs:
-            partitions[job.partitioner.partition(key, n_parts)].append(
-                (key, value))
+        part = job.partitioner.partition
+        buckets: list[list] = [[] for _ in range(n_parts)]
+        for kv in pairs:
+            buckets[part(kv[0], n_parts)].append(kv)
+        partitions: dict[int, list] = dict(enumerate(buckets))
+        sizeof = job.intermediate_sizeof
         partition_bytes = {
-            p: float(sum(job.intermediate_sizeof(kv) for kv in rows))
+            p: float(sum(map(sizeof, rows)))
             for p, rows in partitions.items()}
         spill = sum(partition_bytes.values())
         if spill > 0 and not job.map_only:

@@ -79,6 +79,11 @@ class NetworkFabric:
         self.tracer = tracer or Tracer(enabled=False)
         self.hosts: dict[str, HostNet] = {}
         self.nodes: dict[str, NetNode] = {}
+        #: Route cache: (src, dst) -> (resource tuple, latency).  Routes
+        #: only depend on endpoint placement, so the cache is dropped when
+        #: a migration re-homes an endpoint.
+        self._path_cache: dict[tuple[NetNode, NetNode],
+                               tuple[tuple[SharedResource, ...], float]] = {}
 
     # -- topology construction -------------------------------------------
     def add_host(self, name: str,
@@ -106,24 +111,32 @@ class NetworkFabric:
     def move(self, node: NetNode, new_host: HostNet) -> None:
         """Re-home an endpoint after live migration."""
         node.host = new_host
+        self._path_cache.clear()
 
     # -- paths --------------------------------------------------------------
     def path(self, src: NetNode, dst: NetNode
-             ) -> tuple[list[SharedResource], float]:
+             ) -> tuple[tuple[SharedResource, ...], float]:
         """Resource path and one-way latency between two endpoints."""
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
         if src is dst:
-            return [], 0.0
-        if src.host is dst.host:
-            return ([src.vnic, src.host.bridge, dst.vnic], C.BRIDGE_LATENCY_S)
-        path = [src.vnic]
-        if not src.privileged:
-            path.append(src.host.netback)
-        path.append(src.host.nic)
-        path.append(dst.host.nic)
-        if not dst.privileged:
-            path.append(dst.host.netback)
-        path.append(dst.vnic)
-        return path, C.LAN_LATENCY_S
+            route = (), 0.0
+        elif src.host is dst.host:
+            route = ((src.vnic, src.host.bridge, dst.vnic),
+                     C.BRIDGE_LATENCY_S)
+        else:
+            path = [src.vnic]
+            if not src.privileged:
+                path.append(src.host.netback)
+            path.append(src.host.nic)
+            path.append(dst.host.nic)
+            if not dst.privileged:
+                path.append(dst.host.netback)
+            path.append(dst.vnic)
+            route = tuple(path), C.LAN_LATENCY_S
+        self._path_cache[(src, dst)] = route
+        return route
 
     def crosses_physical_nic(self, src: NetNode, dst: NetNode) -> bool:
         """True when traffic between the endpoints leaves a physical host."""

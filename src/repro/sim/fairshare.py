@@ -22,11 +22,41 @@ Whenever the flow set changes, all flows' progress is advanced to *now*,
 rates are recomputed, and the next completion is scheduled.  The result is
 an event-driven fluid simulation whose cost is independent of transfer sizes.
 
-Resources keep a time-integrated load so monitors can report utilization.
+Incremental engine
+------------------
+Max-min fairness decomposes over the *connected components* of the
+resource/flow graph (two resources are connected when a live flow crosses
+both): the fair rates inside one component are a function of that component
+alone.  A flow-set change therefore only recomputes the component it
+touches.  Components are maintained incrementally as a union-find-style
+partition (:class:`_Component`): a new flow eagerly unions the components
+its path bridges (small-to-large), while splits are detected lazily — a
+union that lost half its flows since its peak is re-derived from the live
+adjacency on first touch.  A union may transiently cover several true
+components; the fill over a union decomposes exactly into per-component
+fills, so scoping never changes a computed rate.  Disjoint components keep
+their rates — recomputing them would reproduce the same values bit for
+bit, which is the engine's determinism invariant (see ``tests/sim/
+test_fairshare_incremental.py`` and DESIGN.md §Performance).
+
+Two things deliberately stay global so that simulated timestamps are
+*bit-identical* to a full recomputation:
+
+* progress advancement (``_advance``) walks every active flow whenever
+  simulated time has passed — partial advancement would change the
+  floating-point stepping of ``remaining`` and with it completion
+  timestamps.  Same-timestamp cascades (the common case) cost O(1).
+* the completion horizon of an *untouched* flow is a pure function of its
+  unchanged ``remaining``/``rate``, so cached horizons in a lazy-deletion
+  heap are exact; the heap replaces the old all-flows min scan.
+
+Resources keep a time-integrated load *fraction* so monitors can report
+utilization; capacity changes do not rescale already-integrated history.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Any, Iterable, Optional, Sequence
 
@@ -42,7 +72,7 @@ class SharedResource:
     """A capacity shared max-min fairly among the flows crossing it."""
 
     __slots__ = ("name", "capacity", "_flows", "current_load",
-                 "_busy_integral", "_last_change")
+                 "_busy_integral", "_last_change", "_comp")
 
     def __init__(self, name: str, capacity: float):
         if capacity <= 0:
@@ -51,6 +81,10 @@ class SharedResource:
         self.name = name
         self.capacity = float(capacity)
         self._flows: set["FluidFlow"] = set()
+        #: Union-find component this resource currently belongs to (None
+        #: while no live flow has ever crossed it, or after a lazy split
+        #: found it isolated).
+        self._comp: Optional["_Component"] = None
         self.current_load = 0.0
         self._busy_integral = 0.0
         self._last_change = 0.0
@@ -64,15 +98,32 @@ class SharedResource:
     def n_flows(self) -> int:
         return len(self._flows)
 
-    def _set_load(self, load: float, now: float) -> None:
-        self._busy_integral += self.current_load * (now - self._last_change)
+    def _accrue(self, now: float) -> None:
+        """Fold the elapsed load *fraction* into the busy integral.
+
+        Integrating the fraction (not the absolute load) makes history
+        immune to later capacity changes: a chaos ``disk.slow`` fault must
+        not retroactively rescale utilization that was accumulated at the
+        old capacity.
+        """
+        self._busy_integral += (self.current_load / self.capacity
+                                * (now - self._last_change))
         self._last_change = now
-        self.current_load = load
+
+    def _set_load(self, load: float, now: float) -> None:
+        # Accrue only when the value actually changes: busy_time then
+        # depends solely on the load *trajectory*, not on how often the
+        # engine happened to re-assert an unchanged load (which differs
+        # between incremental and whole-graph rebalancing).
+        if load != self.current_load:
+            self._accrue(now)
+            self.current_load = load
 
     def busy_time(self, now: float) -> float:
         """Integral of the load fraction up to ``now`` (resource-seconds)."""
         return (self._busy_integral
-                + self.current_load * (now - self._last_change)) / self.capacity
+                + self.current_load / self.capacity
+                * (now - self._last_change))
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<SharedResource {self.name} cap={self.capacity:g} "
@@ -83,7 +134,8 @@ class FluidFlow:
     """A demand of ``size`` units crossing a path of shared resources."""
 
     __slots__ = ("name", "path", "size", "remaining", "rate", "cap",
-                 "done", "start_time", "end_time", "meta", "_moved")
+                 "done", "start_time", "end_time", "meta", "_moved",
+                 "_seq", "_horizon", "_upath", "_comp")
 
     def __init__(self, name: str, path: Sequence[SharedResource], size: float,
                  cap: Optional[float], done: Event, start_time: float,
@@ -99,6 +151,23 @@ class FluidFlow:
         self.end_time: Optional[float] = None
         self.meta = meta
         self._moved = 0.0
+        #: Monotone id: deterministic tie-break in the horizon heap.
+        self._seq = 0
+        #: Cached completion horizon (remaining / rate) as of the flow's
+        #: last rate change or the last global advance; ``inf`` when the
+        #: flow cannot complete on its own.
+        self._horizon = math.inf
+        #: Union-find component while the flow is live.
+        self._comp: Optional["_Component"] = None
+        #: Path with duplicates removed (unfrozen-counter bookkeeping);
+        #: load accumulation still charges duplicated path entries twice.
+        path = self.path
+        if len(path) < 2:
+            self._upath = path
+        elif len(path) == 2:  # the hot compute/disk case
+            self._upath = path if path[0] is not path[1] else path[:1]
+        else:
+            self._upath = tuple(dict.fromkeys(path))
 
     @property
     def transferred(self) -> float:
@@ -114,15 +183,87 @@ class FluidFlow:
                 f"rate={self.rate:g}>")
 
 
-class FairShareSystem:
-    """Manages all fluid flows of one simulation and their fair rates."""
+class _Component:
+    """A never-split union of live connected components.
 
-    def __init__(self, sim: Simulator):
+    Unions happen eagerly when a new flow bridges components; splits are
+    detected lazily — when a rebalance touches a component whose live flow
+    count has halved since its peak, the partition is re-derived from the
+    live adjacency (amortized O(1) per flow removal).  A component may
+    therefore transiently cover *several* true connected components; the
+    progressive fill over such a union decomposes exactly into the
+    per-component fills (``global_rebalance`` is the degenerate case of
+    one all-covering union), so the lazy split cannot change any computed
+    rate, only how much work a rebalance does.
+    """
+
+    __slots__ = ("flows", "resources", "peak")
+
+    def __init__(self) -> None:
+        self.flows: set[FluidFlow] = set()
+        self.resources: set[SharedResource] = set()
+        #: Largest live flow count seen since the last (re)derivation;
+        #: the lazy-split trigger compares against it.
+        self.peak = 0
+
+
+class FairShareSystem:
+    """Manages all fluid flows of one simulation and their fair rates.
+
+    ``metrics`` (optional) is a :class:`~repro.telemetry.metrics
+    .MetricsRegistry`; when given, engine cost counters (rebalances, flow
+    visits, timer cancellations, component sizes) are mirrored into it so
+    the tuner and traces can see what the fair-share engine is doing.
+
+    ``global_rebalance=True`` forces every rebalance to recompute the whole
+    flow graph (the pre-incremental behaviour).  It exists as a reference
+    mode for the determinism tests: simulated results must be bit-identical
+    with it on or off.
+    """
+
+    def __init__(self, sim: Simulator, metrics=None,
+                 global_rebalance: bool = False):
         self.sim = sim
         self._flows: set[FluidFlow] = set()
         self._last_update = 0.0
         self._timer_version = 0
+        self._timer = None
         self.completed_count = 0
+        self.global_rebalance = global_rebalance
+        #: Lazy-deletion heap of (horizon, flow seq, flow); an entry is
+        #: valid while the flow is active and its cached horizon matches.
+        self._horizon_heap: list = []
+        self._flow_seq = 0
+        # -- engine statistics (perf harness + telemetry) ----------------
+        self.rebalance_count = 0
+        #: Flow inspections performed by the scoped progressive fills.
+        self.flow_visits = 0
+        #: Conservative model of the flow inspections the pre-incremental
+        #: engine would have performed: that engine re-counted every
+        #: resource's unfrozen flows and re-scanned all flow caps in every
+        #: filling round, i.e. at least ``rounds * (incidence + flows)``
+        #: visits per rebalance.  Scoped rounds lower-bound global rounds,
+        #: so the ratio ``flow_visits_global / flow_visits`` understates
+        #: the true saving.
+        self.flow_visits_global = 0
+        #: Sum of ``len(flow._upath)`` over active flows, maintained O(1).
+        self._incidence = 0
+        self.timer_cancellations = 0
+        self.max_component_flows = 0
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_rebalances = metrics.counter(
+                "fairshare.rebalances", "component-scoped rate recomputations")
+            self._m_visits = metrics.counter(
+                "fairshare.flow.visits", "flow visits in progressive fills")
+            self._m_cancel = metrics.counter(
+                "fairshare.timer.cancellations",
+                "superseded completion timers withdrawn from the kernel heap")
+            self._m_component = metrics.histogram(
+                "fairshare.component.flows",
+                "flows per rebalanced connected component",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                         256.0, 512.0, 1024.0))
 
     # -- public API ------------------------------------------------------
     def open(self, path: Sequence[SharedResource], size: float,
@@ -141,17 +282,28 @@ class FairShareSystem:
             raise ResourceError(f"flow cap must be > 0, got {cap}")
         flow = FluidFlow(name, path, size, cap, self.sim.event(),
                          self.sim.now, meta=meta)
-        self._advance()
+        self._flow_seq += 1
+        flow._seq = self._flow_seq
+        completed = self._advance()
         if size <= _EPS and math.isfinite(size):
+            # Zero-size fast path: the flow set is unchanged, so no rates
+            # move — succeed the event and skip the rebalance entirely
+            # (unless the advance itself completed flows).
             flow.remaining = 0.0
             flow.end_time = self.sim.now
             flow.done.succeed(flow)
-            self._rebalance()
+            if completed:
+                self._rebalance([r for f in completed for r in f.path])
             return flow
         self._flows.add(flow)
         for res in flow.path:
             res._flows.add(flow)
-        self._rebalance()
+        self._incidence += len(flow._upath)
+        self._attach_component(flow)
+        seeds = list(flow.path)
+        for f in completed:
+            seeds.extend(f.path)
+        self._rebalance(seeds)
         return flow
 
     def close(self, flow: FluidFlow) -> float:
@@ -162,10 +314,13 @@ class FairShareSystem:
         """
         if flow not in self._flows:
             raise ResourceError(f"flow {flow.name!r} is not active")
-        self._advance()
+        completed = self._advance()
         self._detach(flow)
         flow.done.succeed(flow)
-        self._rebalance()
+        seeds = list(flow.path)
+        for f in completed:
+            seeds.extend(f.path)
+        self._rebalance(seeds)
         return flow.transferred
 
     def set_capacity(self, resource: SharedResource, capacity: float) -> None:
@@ -173,15 +328,21 @@ class FairShareSystem:
 
         All in-flight progress is advanced to *now* at the old rates first,
         then rates are recomputed under the new capacity — so a network
-        degradation only affects bytes still to be moved.
+        degradation only affects bytes still to be moved.  The busy-time
+        integral is flushed at the old capacity first, so utilization
+        history is not rescaled.
         """
         if capacity <= 0:
             raise ResourceError(
                 f"resource {resource.name!r} needs capacity > 0, "
                 f"got {capacity}")
-        self._advance()
+        completed = self._advance()
+        resource._accrue(self.sim.now)
         resource.capacity = float(capacity)
-        self._rebalance()
+        seeds = [resource]
+        for f in completed:
+            seeds.extend(f.path)
+        self._rebalance(seeds)
 
     @property
     def active_flows(self) -> frozenset[FluidFlow]:
@@ -190,8 +351,29 @@ class FairShareSystem:
     def flows_through(self, resource: SharedResource) -> frozenset[FluidFlow]:
         return frozenset(resource._flows)
 
+    def component_of(self, *seeds) -> tuple[frozenset, frozenset]:
+        """The live connected component reachable from resources/flows.
+
+        Returns ``(flows, resources)``; diagnostic/teaching helper used by
+        the tests and the perf harness.
+        """
+        resources: list[SharedResource] = []
+        for seed in seeds:
+            if isinstance(seed, SharedResource):
+                resources.append(seed)
+            else:
+                resources.extend(seed.path)
+        flows, res_seen = self._component(resources)
+        return frozenset(flows), frozenset(res_seen)
+
     # -- internals ---------------------------------------------------------
     def _detach(self, flow: FluidFlow) -> None:
+        if flow in self._flows:
+            self._incidence -= len(flow._upath)
+        comp = flow._comp
+        if comp is not None:
+            comp.flows.discard(flow)
+            flow._comp = None
         self._flows.discard(flow)
         now = self.sim.now
         for res in flow.path:
@@ -201,68 +383,275 @@ class FairShareSystem:
         flow.rate = 0.0
         flow.end_time = now
 
-    def _advance(self) -> None:
-        """Progress every active flow from the last update time to now."""
+    def _advance(self) -> list[FluidFlow]:
+        """Progress every active flow from the last update time to now.
+
+        Returns the flows that completed (already detached, ``done``
+        triggered) so the caller can fold their components into the
+        rebalance scope.  Advancement is deliberately global: partial
+        (per-component) advancement would change the floating-point
+        stepping of ``remaining`` and therefore completion timestamps.
+        When no simulated time has passed — the overwhelmingly common
+        cascade case — this is O(1).
+        """
         now = self.sim.now
         dt = now - self._last_update
         if dt < 0:  # pragma: no cover - defensive
             raise SimulationError("fair-share clock went backwards")
+        finished: list[FluidFlow] = []
         if dt > 0:
-            finished: list[FluidFlow] = []
+            # Time moved, so every surviving horizon shifted; the fresh
+            # horizons are computed in the same pass that steps progress
+            # (what the old code spent on its every-event min scan, paid
+            # here only when time advances).  Heap layout depends on entry
+            # order, but pops follow the (horizon, seq) total order, so the
+            # layout is not observable.
+            entries: list = []
+            push = entries.append
+            inf = math.inf
             for flow in self._flows:
-                if flow.rate > 0:
-                    flow._moved += flow.rate * dt
+                rate = flow.rate
+                if rate > 0:
+                    flow._moved += rate * dt
                     if math.isfinite(flow.remaining):
-                        flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+                        flow.remaining = max(0.0, flow.remaining - rate * dt)
                         # A flow is done when the residue is negligible
                         # relative to its size *or* would take less than a
                         # nanosecond to drain — the latter absorbs float
                         # subtraction residues that are above the size
                         # epsilon but below the clock's resolution.
                         if (flow.remaining <= _EPS * max(1.0, flow.size)
-                                or flow.remaining <= flow.rate * _MIN_DT):
+                                or flow.remaining <= rate * _MIN_DT):
                             flow.remaining = 0.0
                             flow._moved = flow.size
                             finished.append(flow)
+                        elif rate > _EPS:
+                            horizon = flow.remaining / rate
+                            flow._horizon = horizon
+                            push((horizon, flow._seq, flow))
+                        else:
+                            flow._horizon = inf
+                    else:
+                        flow._horizon = inf
+                else:
+                    flow._horizon = inf
             for flow in finished:
                 self._detach(flow)
                 self.completed_count += 1
                 flow.done.succeed(flow)
+            heapq.heapify(entries)
+            self._horizon_heap = entries
         self._last_update = now
+        return finished
 
-    def _rebalance(self) -> None:
-        """Recompute max-min fair rates and schedule the next completion."""
+    def _attach_component(self, flow: FluidFlow) -> None:
+        """Union the components the new flow's path bridges (small-to-large).
+
+        Merging the smaller union into the larger bounds the total merge
+        work at O(n log n) over a run; the split side of the partition is
+        amortized by :meth:`_split_component`'s halving trigger.
+        """
+        comp: Optional[_Component] = None
+        for res in flow._upath:
+            other = res._comp
+            if other is None or other is comp:
+                continue
+            if comp is None:
+                comp = other
+                continue
+            if len(other.flows) > len(comp.flows):
+                comp, other = other, comp
+            for r in other.resources:
+                r._comp = comp
+            comp.resources.update(other.resources)
+            for f in other.flows:
+                f._comp = comp
+            comp.flows.update(other.flows)
+        if comp is None:
+            comp = _Component()
+        comp.flows.add(flow)
+        flow._comp = comp
+        for res in flow._upath:
+            if res._comp is not comp:
+                res._comp = comp
+                comp.resources.add(res)
+        n = len(comp.flows)
+        if n > comp.peak:
+            comp.peak = n
+
+    def _split_component(self, comp: _Component) -> None:
+        """Re-derive true components from a shrunken union (lazy split).
+
+        One breadth-first walk over the union's live adjacency, the same
+        walk the pre-partition engine paid on *every* rebalance.  Isolated
+        resources (no live flows left) drop out of the partition entirely.
+        """
+        for res in comp.resources:
+            if res._comp is comp:
+                res._comp = None
+        pending = comp.flows
+        for flow in pending:
+            flow._comp = None
+        while pending:
+            part = _Component()
+            first = pending.pop()
+            first._comp = part
+            part.flows.add(first)
+            stack = [first]
+            while stack:
+                flow = stack.pop()
+                for res in flow._upath:
+                    if res._comp is part:
+                        continue
+                    res._comp = part
+                    part.resources.add(res)
+                    for nxt in res._flows:
+                        if nxt._comp is not part:
+                            nxt._comp = part
+                            part.flows.add(nxt)
+                            pending.discard(nxt)
+                            stack.append(nxt)
+            part.peak = len(part.flows)
+
+    def _scope(self, seed_resources: Iterable[SharedResource]
+               ) -> tuple[set[FluidFlow], set[SharedResource]]:
+        """Resolve a rebalance scope from the component partition.
+
+        Touched unions that lost half their flows since their peak are
+        split first, then the scope is the union of the surviving
+        components' flows and resources (plus any seed resources outside
+        the partition, which carry no live flows).  The single-component
+        case — the overwhelmingly common one — aliases the component's own
+        sets instead of copying; callers only read them.
+        """
+        seeds = list(seed_resources)
+        comps: list[_Component] = []
+        for _attempt in (0, 1):
+            comps = []
+            seen: set[int] = set()
+            bare: list[SharedResource] = []
+            for res in seeds:
+                comp = res._comp
+                if comp is None:
+                    bare.append(res)
+                elif id(comp) not in seen:
+                    seen.add(id(comp))
+                    comps.append(comp)
+            stale = [c for c in comps if 2 * len(c.flows) < c.peak]
+            if not stale:
+                break
+            for comp in stale:
+                self._split_component(comp)
+        if len(comps) == 1 and not bare:
+            comp = comps[0]
+            return comp.flows, comp.resources
+        flows: set[FluidFlow] = set()
+        resources: set[SharedResource] = set(bare)
+        for comp in comps:
+            flows |= comp.flows
+            resources |= comp.resources
+        return flows, resources
+
+    def _component(self, seed_resources: Iterable[SharedResource]
+                   ) -> tuple[set[FluidFlow], set[SharedResource]]:
+        """Breadth-first walk of the live flow/resource adjacency."""
+        res_seen: set[SharedResource] = set()
+        flows: set[FluidFlow] = set()
+        stack = list(seed_resources)
+        while stack:
+            res = stack.pop()
+            if res in res_seen:
+                continue
+            res_seen.add(res)
+            for flow in res._flows:
+                if flow not in flows:
+                    flows.add(flow)
+                    for r in flow.path:
+                        if r not in res_seen:
+                            stack.append(r)
+        return flows, res_seen
+
+    def _rebalance(self, seed_resources: Iterable[SharedResource]) -> None:
+        """Recompute fair rates for the touched component(s) and reschedule.
+
+        ``seed_resources`` are the resources whose flow set (or capacity)
+        just changed; the rebalance covers their full connected components.
+        Rates outside the scope are untouched — recomputing them would
+        yield the same values, which the reference mode and the tests
+        assert.
+        """
         now = self.sim.now
-        rates = _maxmin_rates(self._flows)
-        resources: set[SharedResource] = set()
-        for flow in self._flows:
-            flow.rate = rates[flow]
-            resources.update(flow.path)
-        for res in resources:
-            res._set_load(sum(f.rate for f in res._flows), now)
+        self.rebalance_count += 1
+        if self.global_rebalance:
+            flows, resources = self._component(
+                {res for f in self._flows for res in f.path}
+                | set(seed_resources))
+        else:
+            flows, resources = self._scope(seed_resources)
+        if flows:
+            n_flows = len(flows)
+            if n_flows > self.max_component_flows:
+                self.max_component_flows = n_flows
+            rates, visits, rounds = _maxmin_rates_scoped(flows)
+            self.flow_visits += visits
+            self.flow_visits_global += rounds * (self._incidence
+                                                 + len(self._flows))
+            heap = self._horizon_heap
+            for flow in flows:
+                rate = rates[flow]
+                flow.rate = rate
+                if rate > _EPS and math.isfinite(flow.remaining):
+                    horizon = flow.remaining / rate
+                    flow._horizon = horizon
+                    heapq.heappush(heap, (horizon, flow._seq, flow))
+                else:
+                    flow._horizon = math.inf
+            for res in resources:
+                res._set_load(sum(f.rate for f in res._flows), now)
+            if self._metrics is not None:
+                self._m_component.observe(float(n_flows))
+                self._m_visits.inc(visits)
+        if self._metrics is not None:
+            self._m_rebalances.inc()
         self._schedule_next()
 
     def _schedule_next(self) -> None:
         self._timer_version += 1
         version = self._timer_version
-        horizon = math.inf
-        for flow in self._flows:
-            if flow.rate > _EPS and math.isfinite(flow.remaining):
-                horizon = min(horizon, flow.remaining / flow.rate)
-        if not math.isfinite(horizon):
+        timer = self._timer
+        if timer is not None:
+            self._timer = None
+            if not timer._processed and not timer._cancelled:
+                timer.cancel()
+                self.timer_cancellations += 1
+                if self._metrics is not None:
+                    self._m_cancel.inc()
+        heap = self._horizon_heap
+        while heap:
+            horizon, _seq, flow = heap[0]
+            if flow.end_time is None and flow._horizon == horizon:
+                break
+            heapq.heappop(heap)
+        if not heap:
             return
-        timer = self.sim.timeout(max(horizon, _MIN_DT))
+        timer = self.sim.timeout(max(heap[0][0], _MIN_DT))
         timer.callbacks.append(lambda _ev: self._on_timer(version))
+        self._timer = timer
 
     def _on_timer(self, version: int) -> None:
         if version != self._timer_version:
             return  # superseded by a later rebalance
-        self._advance()
-        self._rebalance()
+        completed = self._advance()
+        self._rebalance([r for f in completed for r in f.path])
 
 
 def _maxmin_rates(flows: Iterable[FluidFlow]) -> dict[FluidFlow, float]:
-    """Progressive-filling max-min fair allocation with per-flow caps."""
+    """Progressive-filling max-min fair allocation with per-flow caps.
+
+    Reference implementation kept as the oracle for the incremental
+    engine's property tests: :func:`_maxmin_rates_scoped` must agree with
+    it exactly on every connected component.
+    """
     unfrozen = set(flows)
     rates: dict[FluidFlow, float] = {f: 0.0 for f in unfrozen}
     if not unfrozen:
@@ -299,3 +688,99 @@ def _maxmin_rates(flows: Iterable[FluidFlow]) -> dict[FluidFlow, float]:
             for res in flow.path:
                 frozen_load[res] += rates[flow]
     return rates
+
+
+def _maxmin_rates_scoped(flows: set[FluidFlow]
+                         ) -> tuple[dict[FluidFlow, float], int, int]:
+    """Progressive filling over one (set of) connected component(s).
+
+    Identical arithmetic to :func:`_maxmin_rates` — every saturation level
+    is ``(capacity - frozen) / unfrozen`` over the same operands in the
+    same accumulation order, and the binding level of each round is the
+    same minimum — but the per-round work is indexed instead of scanned:
+
+    * per-resource unfrozen-flow *counters* replace the oracle's per-round
+      rescan of every ``res._flows`` set;
+    * saturation levels are recomputed only for resources a freeze just
+      touched (unchanged operands reproduce the cached value bit for bit);
+    * the minimum flow cap comes from a lazy-deletion heap rather than a
+      scan of all unfrozen flows.
+
+    Each round therefore costs O(resources in scope + flows frozen this
+    round) instead of O(all flows x their paths).
+
+    Returns ``(rates, flow_visits, rounds)`` where ``flow_visits`` counts
+    flow inspections (the engine's cost metric) and ``rounds`` the number
+    of filling iterations.
+    """
+    unfrozen = set(flows)
+    rates: dict[FluidFlow, float] = {f: 0.0 for f in unfrozen}
+    visits = 0
+    rounds = 0
+    if not unfrozen:
+        return rates, visits, rounds
+    frozen_load: dict[SharedResource, float] = {}
+    n_unfrozen: dict[SharedResource, int] = {}
+    cap_heap: list[tuple[float, int, FluidFlow]] = []
+    n_get = n_unfrozen.get
+    for flow in unfrozen:
+        for res in flow._upath:
+            n = n_get(res)
+            if n is None:
+                n_unfrozen[res] = 1
+                frozen_load[res] = 0.0
+            else:
+                n_unfrozen[res] = n + 1
+        if math.isfinite(flow.cap):
+            cap_heap.append((flow.cap, flow._seq, flow))
+    heapq.heapify(cap_heap)
+    visits += len(unfrozen)
+    sat_levels: dict[SharedResource, float] = {
+        res: (res.capacity - frozen_load[res]) / n
+        for res, n in n_unfrozen.items()}
+    level = 0.0
+    while unfrozen:
+        rounds += 1
+        while cap_heap and cap_heap[0][2] not in unfrozen:
+            heapq.heappop(cap_heap)
+        res_level = min(sat_levels.values(), default=math.inf)
+        min_cap = cap_heap[0][0] if cap_heap else math.inf
+        next_level = min(res_level, min_cap)
+        if not math.isfinite(next_level):  # pragma: no cover - defensive
+            raise ResourceError("unbounded fair-share level")
+        level = max(level, next_level)
+        newly_frozen: set[FluidFlow] = set()
+        if min_cap <= next_level + _EPS:
+            # Everything with cap <= level + _EPS, exactly the oracle's
+            # freeze set: the heap orders finite caps, so pop until above
+            # the bound (stale frozen entries are skipped).
+            cap_bound = level + _EPS
+            while cap_heap and cap_heap[0][0] <= cap_bound:
+                _cap, _seq, capped = heapq.heappop(cap_heap)
+                if capped in unfrozen:
+                    newly_frozen.add(capped)
+                    visits += 1
+        sat_bound = next_level + _EPS
+        for res, sat in sat_levels.items():
+            if sat <= sat_bound:  # this resource saturates here
+                visits += len(res._flows)
+                newly_frozen.update(f for f in res._flows if f in unfrozen)
+        if not newly_frozen:  # pragma: no cover - numerical safety net
+            newly_frozen = set(unfrozen)
+        dirty: set[SharedResource] = set()
+        for flow in newly_frozen:
+            rate = min(level, flow.cap)
+            rates[flow] = rate
+            unfrozen.discard(flow)
+            for res in flow.path:
+                frozen_load[res] += rate
+            for res in flow._upath:
+                n_unfrozen[res] -= 1
+                dirty.add(res)
+        for res in dirty:
+            n = n_unfrozen[res]
+            if n:
+                sat_levels[res] = (res.capacity - frozen_load[res]) / n
+            else:
+                del sat_levels[res]
+    return rates, visits, rounds

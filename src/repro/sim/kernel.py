@@ -332,6 +332,12 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        #: Events processed by :meth:`step` (perf-harness counter).
+        self.events_processed = 0
+        #: High-water mark of the pending-event heap.
+        self.max_heap_size = 0
+        #: Cancelled entries dropped without processing.
+        self.cancelled_pruned = 0
 
     # -- factories -----------------------------------------------------------
     def event(self) -> Event:
@@ -358,11 +364,16 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} s in the past")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        heap = self._heap
+        heapq.heappush(heap, (self.now + delay, self._seq, event))
+        if len(heap) > self.max_heap_size:
+            self.max_heap_size = len(heap)
 
     def _prune_cancelled(self) -> None:
-        while self._heap and self._heap[0][2]._cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+            self.cancelled_pruned += 1
 
     def peek(self) -> float:
         """Time of the next live event, or ``inf`` if the queue is empty."""
@@ -378,6 +389,7 @@ class Simulator:
         if time < self.now:  # pragma: no cover - defensive
             raise SimulationError("event queue went backwards")
         self.now = time
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, []
         event._triggered = True  # Timeouts trigger when they fire.
         event._processed = True

@@ -19,6 +19,8 @@ from repro.sim.kernel import Event, Simulator
 class Resource:
     """Counting semaphore with FIFO granting order."""
 
+    __slots__ = ("sim", "capacity", "name", "in_use", "_waiters")
+
     def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
         if capacity < 1:
             raise ResourceError(f"capacity must be >= 1, got {capacity}")
@@ -63,6 +65,8 @@ class Resource:
 
 class Store:
     """Unbounded FIFO store of items with blocking ``get``."""
+
+    __slots__ = ("sim", "name", "_items", "_getters")
 
     def __init__(self, sim: Simulator, name: str = "store"):
         self.sim = sim

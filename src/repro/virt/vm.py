@@ -74,6 +74,11 @@ class VirtualMachine:
         #: k > 1 divides the effective disk/NFS rate by k.
         self.disk_slowdown = 1.0
         self._failure_event: Optional[Event] = None
+        # Flow-path tuples are cached because compute/disk flows are the
+        # hottest allocation sites of a run; the guards on the current
+        # host/backend keep them valid across migration and recovery.
+        self._compute_path: Optional[tuple[SharedResource, ...]] = None
+        self._nfs_path: Optional[tuple[SharedResource, ...]] = None
 
     # -- activity accounting ---------------------------------------------
     @property
@@ -202,7 +207,10 @@ class VirtualMachine:
         done = work
         try:
             if work > 0:
-                flow = self.fss.open([self.vcpu, self.host.cpu], size=work,
+                path = self._compute_path
+                if path is None or path[1] is not self.host.cpu:
+                    path = self._compute_path = (self.vcpu, self.host.cpu)
+                flow = self.fss.open(path, size=work,
                                      cap=1.0, name=f"{self.name}:{name}")
                 yield flow.done
         except Interrupt:
@@ -249,7 +257,12 @@ class VirtualMachine:
                     missed = nbytes - cached
                     yield self.sim.timeout(cached * slow / C.PAGE_CACHE_BPS)
                     if missed > 0:
-                        path = [self.host.net.nic, self.nfs_backend]
+                        path = self._nfs_path
+                        if (path is None
+                                or path[0] is not self.host.net.nic
+                                or path[1] is not self.nfs_backend):
+                            path = self._nfs_path = (self.host.net.nic,
+                                                     self.nfs_backend)
                         cap = (None if slow == 1.0 else
                                min(r.capacity for r in path) / slow)
                         flow = self.fss.open(path, size=float(missed),

@@ -22,8 +22,9 @@ class WordCountMapper(Mapper):
     """line -> (word, 1) for every whitespace-separated word."""
 
     def map(self, key, value, context: Context) -> None:
+        emit = context.emit
         for word in str(value).split():
-            context.emit(word, 1)
+            emit(word, 1)
 
 
 class WordCountReducer(Reducer):
@@ -34,8 +35,7 @@ class WordCountReducer(Reducer):
 
 
 def _pair_sizeof(pair) -> int:
-    word, _count = pair
-    return len(word) + 6  # word bytes + separator + varint count
+    return len(pair[0]) + 6  # word bytes + separator + varint count
 
 
 def line_record_sizeof(record) -> int:
@@ -63,7 +63,7 @@ def wordcount_job(input_path: str, output_path: str, n_reduces: int = 1,
         reducer=WordCountReducer,
         combiner=WordCountReducer if use_combiner else None,
         n_reduces=n_reduces,
-        intermediate_sizeof=lambda pair: _pair_sizeof(pair) * volume_scale,
+        intermediate_sizeof=lambda pair: (len(pair[0]) + 6) * volume_scale,
         output_sizeof=_pair_sizeof,
         # Tokenizing text is cheap per byte; calibrated to ~13 MB/s/core,
         # hadoop-0.20-era Wordcount throughput.

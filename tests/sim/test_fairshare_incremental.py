@@ -1,0 +1,206 @@
+"""Properties of the incremental connected-component fair-share engine.
+
+Two invariants protect the optimization:
+
+* **allocation exactness** — after any open/close/set_capacity/advance
+  sequence, every active flow's rate equals what the reference global
+  progressive fill (:func:`repro.sim.fairshare._maxmin_rates`, the
+  pre-incremental oracle) computes over the whole flow graph;
+* **determinism** — a full run produces bit-identical completion
+  timestamps, ``transferred`` amounts, and ``busy_time`` integrals whether
+  rebalances are component-scoped (the default) or whole-graph
+  (``global_rebalance=True``, the reference mode).
+
+Capacities, sizes, and caps are drawn from discrete pools on purpose: the
+exactness claim excludes adversarial *sub-epsilon* cross-component ties
+(saturation levels unequal but within 1e-12 of each other), which cannot
+arise from exact discrete inputs.
+"""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.sim import FairShareSystem, SharedResource, Simulator
+from repro.sim.fairshare import _maxmin_rates
+from repro.telemetry.metrics import MetricsRegistry
+
+_SLOW = dict(deadline=None,
+             suppress_health_check=[HealthCheck.too_slow])
+
+_CAPACITIES = (50.0, 100.0, 200.0, 400.0)
+_SIZES = (10.0, 100.0, 1000.0, math.inf)
+_CAPS = (None, 25.0, 60.0)
+_DTS = (0.25, 0.5, 1.0, 2.0)
+
+#: (op, selector a, selector b) — interpreted against the live state, so
+#: every generated sequence is valid by construction.
+_ops = st.lists(
+    st.tuples(st.sampled_from(["open", "close", "setcap", "advance"]),
+              st.integers(0, 2 ** 30), st.integers(0, 2 ** 30)),
+    min_size=1, max_size=30)
+
+
+def _build(n_res, cap_picks, global_rebalance=False, metrics=None):
+    sim = Simulator()
+    fss = FairShareSystem(sim, metrics=metrics,
+                          global_rebalance=global_rebalance)
+    resources = [
+        SharedResource(f"r{i}", _CAPACITIES[cap_picks[i % len(cap_picks)]
+                                            % len(_CAPACITIES)])
+        for i in range(n_res)]
+    return sim, fss, resources
+
+
+def _apply(sim, fss, resources, ops):
+    """Interpret an op sequence; returns every flow ever opened."""
+    flows = []
+    n_res = len(resources)
+    for op, a, b in ops:
+        if op == "open":
+            first = a % n_res
+            path = [resources[first]]
+            if b % 3:  # 1-3 distinct resources
+                path.append(resources[(first + 1 + a % (n_res - 1)) % n_res])
+            if b % 3 == 2 and n_res > 2:
+                extra = resources[(first + 2) % n_res]
+                if extra not in path:
+                    path.append(extra)
+            flows.append(fss.open(path, size=_SIZES[a % len(_SIZES)],
+                                  cap=_CAPS[b % len(_CAPS)],
+                                  name=f"f{len(flows)}"))
+        elif op == "close":
+            if flows:
+                flow = flows[a % len(flows)]
+                if flow.active:
+                    fss.close(flow)
+        elif op == "setcap":
+            fss.set_capacity(resources[a % n_res],
+                             _CAPACITIES[b % len(_CAPACITIES)])
+        else:  # advance simulated time, letting completions fire
+            sim.run(until=sim.now + _DTS[a % len(_DTS)])
+        yield flows
+
+
+@given(n_res=st.integers(2, 6),
+       cap_picks=st.lists(st.integers(0, 3), min_size=6, max_size=6),
+       ops=_ops)
+@settings(max_examples=60, **_SLOW)
+def test_incremental_rates_match_global_oracle(n_res, cap_picks, ops):
+    """After every mutation, scoped rates == whole-graph oracle rates."""
+    sim, fss, resources = _build(n_res, cap_picks)
+    for _flows in _apply(sim, fss, resources, ops):
+        oracle = _maxmin_rates(fss._flows)
+        for flow in fss._flows:
+            assert flow.rate == oracle[flow], (
+                f"{flow.name}: engine {flow.rate!r} != oracle "
+                f"{oracle[flow]!r} at t={sim.now}")
+
+
+@given(n_res=st.integers(2, 6),
+       cap_picks=st.lists(st.integers(0, 3), min_size=6, max_size=6),
+       ops=_ops)
+@settings(max_examples=60, **_SLOW)
+def test_incremental_run_is_bit_identical_to_global(n_res, cap_picks, ops):
+    """Timestamps, transferred, and busy_time are independent of scoping."""
+    results = []
+    for global_rebalance in (False, True):
+        sim, fss, resources = _build(n_res, cap_picks,
+                                     global_rebalance=global_rebalance)
+        flows = []
+        for flows in _apply(sim, fss, resources, ops):
+            pass
+        sim.run(until=sim.now + 120.0)  # drain finite flows
+        results.append((
+            [(f.name, f.end_time, f.transferred, f.remaining)
+             for f in flows],
+            [res.busy_time(sim.now) for res in resources],
+            fss.completed_count,
+            sim.now,
+        ))
+    assert results[0] == results[1]
+
+
+def test_busy_time_history_survives_capacity_change():
+    """Regression: set_capacity must not rescale already-integrated load.
+
+    50 u/s on a 100 u/s resource for 10 s is 5.0 fraction-seconds; halving
+    the capacity afterwards must leave those 5.0 untouched (the old code
+    divided the whole absolute integral by the *current* capacity,
+    retroactively doubling history to 10.0).
+    """
+    sim = Simulator()
+    fss = FairShareSystem(sim)
+    link = SharedResource("link", 100.0)
+    fss.open([link], size=math.inf, cap=50.0)
+    sim.run(until=10.0)
+    fss.set_capacity(link, 50.0)
+    assert link.busy_time(sim.now) == pytest.approx(5.0)
+    # From here on the same 50 u/s saturates the halved capacity.
+    sim.run(until=15.0)
+    assert link.busy_time(sim.now) == pytest.approx(5.0 + 5.0)
+
+
+def test_zero_size_open_completes_without_rebalance():
+    sim = Simulator()
+    fss = FairShareSystem(sim)
+    link = SharedResource("link", 100.0)
+    background = fss.open([link], size=math.inf)
+    rebalances = fss.rebalance_count
+    rate = background.rate
+    flow = fss.open([link], size=0.0)
+    assert flow.done.triggered and flow.end_time == sim.now
+    assert flow.remaining == 0.0
+    assert fss.rebalance_count == rebalances  # flow set never changed
+    assert background.rate == rate
+    sim.run(until=1.0)
+    assert flow.done.processed and flow.done.value is flow
+
+
+def test_superseded_timers_are_cancelled_not_leaked():
+    """Every rebalance re-derives the completion timer; the superseded one
+    must leave the kernel heap via cancel(), not linger until its time."""
+    sim = Simulator()
+    fss = FairShareSystem(sim)
+    link = SharedResource("link", 100.0)
+    for i in range(20):
+        fss.open([link], size=1000.0, name=f"f{i}")
+    assert fss.timer_cancellations >= 19
+    sim.run()
+    assert fss.completed_count == 20
+    # The kernel actually dropped the dead entries instead of firing them.
+    assert sim.cancelled_pruned >= 19
+
+
+def test_engine_metrics_flow_into_registry():
+    metrics = MetricsRegistry()
+    sim = Simulator()
+    fss = FairShareSystem(sim, metrics=metrics)
+    link = SharedResource("link", 100.0)
+    for i in range(3):
+        fss.open([link], size=100.0, name=f"f{i}")
+    sim.run()
+    assert metrics.get("fairshare.rebalances").value == fss.rebalance_count
+    assert metrics.get("fairshare.flow.visits").value == fss.flow_visits
+    assert (metrics.get("fairshare.timer.cancellations").value
+            == fss.timer_cancellations)
+    hist = metrics.get("fairshare.component.flows")
+    assert hist.count >= 3 and hist.max <= fss.max_component_flows
+
+
+def test_component_of_partitions_disjoint_graphs():
+    sim = Simulator()
+    fss = FairShareSystem(sim)
+    a, b, c = (SharedResource(n, 100.0) for n in "abc")
+    f_ab = fss.open([a, b], size=math.inf)
+    f_c = fss.open([c], size=math.inf)
+    flows, resources = fss.component_of(a)
+    assert flows == {f_ab} and resources == {a, b}
+    flows, resources = fss.component_of(c)
+    assert flows == {f_c} and resources == {c}
+    # A bridging flow merges the components.
+    f_bc = fss.open([b, c], size=math.inf)
+    flows, resources = fss.component_of(a)
+    assert flows == {f_ab, f_bc, f_c} and resources == {a, b, c}

@@ -21,8 +21,8 @@ from repro.experiments import (chaos_faults, fig2_wordcount, fig3_mrbench,
                                fig4_terasort_dfsio, fig5_migration,
                                fig6_synthetic_control,
                                fig7_display_clustering, fig8_cluster_visuals,
-                               sched_policies, table1_benchmarks,
-                               telemetry_demo)
+                               observatory, sched_policies,
+                               table1_benchmarks, telemetry_demo)
 
 
 def _run_fig2(args) -> list:
@@ -89,6 +89,10 @@ def _run_chaos(args) -> list:
     return [chaos_faults.run(seed=args.seed, quick=args.quick)]
 
 
+def _run_observatory(args) -> list:
+    return [observatory.run(seed=args.seed, quick=args.quick)]
+
+
 _EXPERIMENTS: dict[str, Callable] = {
     "table1": _run_table1,
     "fig2": _run_fig2,
@@ -102,6 +106,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "schedule": _run_schedule,
     "telemetry": _run_telemetry,
     "chaos": _run_chaos,
+    "observatory": _run_observatory,
 }
 
 

@@ -551,7 +551,22 @@ class MapReduceRunner:
             report.speculated_reduces += 1
             speculate_kind = EV.TASK_REDUCE_SPECULATE
         self.tracer.emit(now, speculate_kind, task_id)
+        self.metrics.counter(
+            "mapreduce.tasks.speculated",
+            "backup attempts launched for straggler tasks",
+            {"phase": kind, "job": report.job_name}).inc()
         return item
+
+    def _count_speculation_win(self, job: Job, kind: str,
+                               speculative: bool) -> None:
+        """Count a backup attempt that beat the original to the finish —
+        the payoff side of the straggler counters."""
+        if not speculative:
+            return
+        self.metrics.counter(
+            "mapreduce.speculation.wins",
+            "speculative attempts that finished before the original",
+            {"phase": kind, "job": job.name}).inc()
 
     def _pick_map_task(self, tracker: "TaskTracker",
                        pending: list[_MapSpec]) -> tuple[Optional[_MapSpec], str]:
@@ -659,6 +674,7 @@ class MapReduceRunner:
                         self.sim.now - start)
                 if spec.index in state["finished"]:
                     continue  # the other attempt won the race
+                self._count_speculation_win(job, "map", speculative)
                 state["finished"].add(spec.index)
                 state["running"].pop(spec.index, None)
                 state["durations"].append(self.sim.now - start)
@@ -860,6 +876,7 @@ class MapReduceRunner:
                         self.sim.now - start)
                 if result is None or partition in state["finished"]:
                     continue  # the other attempt won the race
+                self._count_speculation_win(job, "reduce", speculative)
                 state["finished"].add(partition)
                 state["running"].pop(partition, None)
                 state["durations"].append(self.sim.now - start)
@@ -903,6 +920,10 @@ class MapReduceRunner:
         nbytes_in = sum(output.partition_bytes.get(partition, 0.0)
                         for output in map_outputs)
         report.shuffle_bytes += nbytes_in
+        self.metrics.histogram(
+            "mapreduce.shuffle.partition_bytes",
+            "shuffle bytes fetched per reduce partition",
+            {"job": job.name}).observe(nbytes_in)
         # 2. merge-sort + reduce CPU.
         n = len(rows)
         work = (job.reduce_cpu_per_byte * nbytes_in

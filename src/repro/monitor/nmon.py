@@ -84,8 +84,10 @@ class NmonMonitor:
         self.interval = float(interval)
         self.series: dict[str, NodeSeries] = {
             vm.name: NodeSeries(vm.name) for vm in self.vms}
-        #: Called with each new :class:`NmonSample` (telemetry metrics hook).
-        self.on_sample: Optional[Callable[[NmonSample], None]] = None
+        self._on_sample: Optional[Callable[[NmonSample], None]] = None
+        #: Additional per-sample listeners (rolling windows, detectors);
+        #: these chain *after* the primary ``on_sample`` hook.
+        self._listeners: list[Callable[[NmonSample], None]] = []
         self._last_disk: dict[str, float] = {}
         self._last_tx: dict[str, float] = {}
         self._last_rx: dict[str, float] = {}
@@ -93,7 +95,38 @@ class NmonMonitor:
         self._proc: Optional[Process] = None
         self._pending: Optional[Event] = None
 
+    # -- sample hooks --------------------------------------------------------
+    @property
+    def on_sample(self) -> Optional[Callable[[NmonSample], None]]:
+        """Primary per-sample hook (the telemetry facade's metrics mirror).
+
+        Assigning replaces the previous primary hook; use
+        :meth:`add_listener` to *chain* additional consumers instead of
+        stealing this slot.
+        """
+        return self._on_sample
+
+    @on_sample.setter
+    def on_sample(self, callback: Optional[Callable[[NmonSample], None]]
+                  ) -> None:
+        self._on_sample = callback
+
+    def add_listener(self, callback: Callable[[NmonSample], None]) -> None:
+        """Chain an additional per-sample listener (kept in add order)."""
+        self._listeners.append(callback)
+
+    def remove_listener(self, callback: Callable[[NmonSample], None]) -> None:
+        """Remove a previously added listener (no-op when absent)."""
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
     # -- control -------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
     def start(self) -> None:
         """Begin sampling (idempotent)."""
         if self._running:
@@ -155,8 +188,10 @@ class NmonMonitor:
             self._last_disk[vm.name] = vm.disk_bytes
             self._last_tx[vm.name] = tx
             self._last_rx[vm.name] = rx
-            if self.on_sample is not None:
-                self.on_sample(sample)
+            if self._on_sample is not None:
+                self._on_sample(sample)
+            for listener in self._listeners:
+                listener(sample)
 
     # -- access -----------------------------------------------------------------
     def node(self, vm_name: str) -> NodeSeries:

@@ -1,0 +1,149 @@
+"""Incremental rolling-window view over the nmon sample stream.
+
+The streaming detectors (:mod:`repro.observatory`) need bounded recent
+aggregates — "CPU over the last 30 s", "disk bytes over the last 30 s" —
+every tick.  Re-aggregating a node's *full* sample history each tick (what
+:meth:`NmonAnalyser.summarize` does, by design: it reproduces the paper's
+whole-run nmon workbook) is O(run length) per query and grows without
+bound, so the facade instead exposes this incremental view
+(:meth:`Telemetry.rolling_window`).
+
+A :class:`RollingWindow` registers itself as a monitor listener: each new
+sample is folded into per-VM running sums in O(1), and samples older than
+``seconds`` are evicted (their contribution subtracted) as the window
+slides.  Every aggregate query is O(evicted) amortized — each sample is
+added once and removed once, regardless of how often detectors poll.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.monitor.nmon import NmonMonitor, NmonSample
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """Aggregates of one VM over the current window."""
+
+    vm: str
+    n_samples: int
+    span_s: float            # window span actually covered by samples
+    cpu_mean: float
+    disk_bytes: float
+    net_bytes: float
+    activity_mean: float
+
+    @property
+    def disk_rate(self) -> float:
+        """Bytes/s of virtual-disk I/O over the window."""
+        return self.disk_bytes / self.span_s if self.span_s > 0 else 0.0
+
+    @property
+    def net_rate(self) -> float:
+        return self.net_bytes / self.span_s if self.span_s > 0 else 0.0
+
+
+class _VmWindow:
+    """Running sums of one VM's in-window samples."""
+
+    __slots__ = ("samples", "cpu_sum", "disk_sum", "net_sum",
+                 "activity_sum")
+
+    def __init__(self) -> None:
+        self.samples: deque[NmonSample] = deque()
+        self.cpu_sum = 0.0
+        self.disk_sum = 0.0
+        self.net_sum = 0.0
+        self.activity_sum = 0.0
+
+    def push(self, sample: NmonSample) -> None:
+        self.samples.append(sample)
+        self.cpu_sum += sample.cpu_util
+        self.disk_sum += sample.disk_bytes_delta
+        self.net_sum += sample.net_tx_delta + sample.net_rx_delta
+        self.activity_sum += sample.activity
+
+    def evict_before(self, cutoff: float) -> None:
+        samples = self.samples
+        while samples and samples[0].time < cutoff:
+            old = samples.popleft()
+            self.cpu_sum -= old.cpu_util
+            self.disk_sum -= old.disk_bytes_delta
+            self.net_sum -= old.net_tx_delta + old.net_rx_delta
+            self.activity_sum -= old.activity
+
+
+class RollingWindow:
+    """A bounded, incrementally maintained view of recent nmon samples.
+
+    Obtain one from the telemetry facade
+    (``cluster.telemetry.rolling_window(seconds)``) rather than
+    constructing it directly — the facade owns the monitor and reuses one
+    window per requested span.
+    """
+
+    def __init__(self, monitor: NmonMonitor, seconds: float):
+        if seconds <= 0:
+            raise ValueError(f"window must be > 0 seconds, got {seconds}")
+        self.monitor = monitor
+        self.seconds = float(seconds)
+        self._vms: dict[str, _VmWindow] = {}
+        self._now = 0.0
+        monitor.add_listener(self._push)
+
+    def detach(self) -> None:
+        """Stop receiving samples (keeps current window contents)."""
+        self.monitor.remove_listener(self._push)
+
+    # -- maintenance -------------------------------------------------------
+    def _push(self, sample: NmonSample) -> None:
+        window = self._vms.get(sample.vm)
+        if window is None:
+            window = self._vms[sample.vm] = _VmWindow()
+        window.push(sample)
+        self.advance(sample.time)
+
+    def advance(self, now: float) -> None:
+        """Slide the window forward to ``now`` (evicts aged samples)."""
+        if now < self._now:
+            return
+        self._now = now
+        cutoff = now - self.seconds
+        for window in self._vms.values():
+            window.evict_before(cutoff)
+
+    # -- queries -----------------------------------------------------------
+    def vms(self) -> list[str]:
+        return sorted(self._vms)
+
+    def n_samples(self, vm: str) -> int:
+        window = self._vms.get(vm)
+        return len(window.samples) if window is not None else 0
+
+    def summary(self, vm: str) -> WindowSummary:
+        window = self._vms.get(vm)
+        if window is None or not window.samples:
+            return WindowSummary(vm=vm, n_samples=0, span_s=0.0,
+                                 cpu_mean=0.0, disk_bytes=0.0,
+                                 net_bytes=0.0, activity_mean=0.0)
+        n = len(window.samples)
+        # Span covered by the samples: from just before the oldest kept
+        # sample (its delta covers the preceding interval) to "now".
+        span = min(self.seconds,
+                   max(self._now - window.samples[0].time,
+                       self.monitor.interval))
+        return WindowSummary(
+            vm=vm, n_samples=n, span_s=span,
+            cpu_mean=window.cpu_sum / n,
+            disk_bytes=window.disk_sum,
+            net_bytes=window.net_sum,
+            activity_mean=window.activity_sum / n)
+
+    def summaries(self) -> list[WindowSummary]:
+        return [self.summary(vm) for vm in self.vms()]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<RollingWindow {self.seconds:g}s vms={len(self._vms)} "
+                f"now={self._now:g}>")

@@ -1,0 +1,33 @@
+"""Cluster observatory: online anomaly detection, per-job bottleneck
+attribution and SLO alerting on top of :mod:`repro.telemetry`.
+
+Typical use::
+
+    obs = cluster.observatory()          # or cluster.telemetry.observatory()
+    obs.start()
+    cluster.run_job(job)
+    obs.stop()
+    print(obs.report(job="wordcount").describe())
+
+See :mod:`repro.observatory.core` for the lifecycle,
+:mod:`repro.observatory.detectors` for the detector catalogue,
+:mod:`repro.observatory.slo` for the SLO schema and alert book, and
+:mod:`repro.observatory.attribution` for critical-path blame.
+"""
+
+from repro.observatory.attribution import (FlowLog, FlowRecord,
+                                           JobBottleneckReport,
+                                           SegmentAttribution, attribute,
+                                           classify)
+from repro.observatory.core import Observatory
+from repro.observatory.detectors import DEFAULT_DETECTORS, Detector
+from repro.observatory.report import ObservatoryReport, build_report
+from repro.observatory.slo import (DEFAULT_SLOS, SEVERITIES, Alert,
+                                   AlertBook, SloSpec)
+
+__all__ = [
+    "Alert", "AlertBook", "DEFAULT_DETECTORS", "DEFAULT_SLOS", "Detector",
+    "FlowLog", "FlowRecord", "JobBottleneckReport", "Observatory",
+    "ObservatoryReport", "SEVERITIES", "SegmentAttribution", "SloSpec",
+    "attribute", "build_report", "classify",
+]

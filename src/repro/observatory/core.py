@@ -1,0 +1,155 @@
+"""The :class:`Observatory` — online detection wired onto one cluster.
+
+An observatory attaches to a telemetry facade (and optionally its
+cluster, for namenode access), registers the SLO catalogue, subscribes
+its detectors to the tracer, and runs a periodic sim process that gives
+every detector a ``tick``.  While running it:
+
+* fires/resolves :class:`~repro.observatory.slo.Alert`\\ s through one
+  :class:`~repro.observatory.slo.AlertBook` (also emitted as
+  ``observatory.alert.*`` trace events);
+* keeps the flow log enabled so per-job bottleneck attribution
+  (:func:`~repro.observatory.attribution.attribute`) has data;
+* maintains the incremental nmon rolling window the report renders.
+
+The observatory is strictly read-only with respect to the simulation: it
+opens no flows, consumes no randomness, and only adds its own timeout
+events — so a detectors-on run leaves simulated outputs and the engine's
+deterministic counters bit-identical (checked by
+``benchmarks/perf/perf_bench.py --observatory``).
+
+Stop it (:meth:`Observatory.stop`) once the workload is done: like the
+nmon monitor, its parked tick timeout is withdrawn so it neither keeps
+the simulation alive nor drags the clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import MonitorError
+from repro.observatory.detectors import DEFAULT_DETECTORS, Detector
+from repro.observatory.slo import DEFAULT_SLOS, Alert, AlertBook, SloSpec
+from repro.sim.kernel import Event, Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitor.window import RollingWindow
+    from repro.observatory.attribution import JobBottleneckReport
+    from repro.observatory.report import ObservatoryReport
+    from repro.telemetry.facade import Telemetry
+
+
+class Observatory:
+    """Online anomaly detection + SLO alerting for one cluster scope."""
+
+    def __init__(self, telemetry: "Telemetry", cluster=None,
+                 slos: Sequence[SloSpec] = DEFAULT_SLOS,
+                 interval: float = 5.0, window: float = 30.0,
+                 detectors: Sequence[type] = DEFAULT_DETECTORS):
+        if interval <= 0:
+            raise MonitorError(f"interval must be > 0, got {interval}")
+        self.telemetry = telemetry
+        self.cluster = cluster
+        self.sim = telemetry.sim
+        self.interval = float(interval)
+        self.window_s = float(window)
+        self.book = AlertBook(self.sim, telemetry.tracer)
+        for spec in slos:
+            self.book.register(spec)
+        #: Shared fair-share resources the load/link detectors watch.
+        self.resources = telemetry.shared_resources()
+        self.detectors: list[Detector] = [cls(self) for cls in detectors]
+        self.nmon_window: Optional["RollingWindow"] = None
+        self.ticks = 0
+        self._running = False
+        self._proc: Optional[Process] = None
+        self._pending: Optional[Event] = None
+        self._started_monitor = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "Observatory":
+        """Begin watching (idempotent); returns self for chaining."""
+        if self._running:
+            return self
+        self._running = True
+        self.telemetry.enable_flow_log()
+        if self.telemetry.vms:
+            monitor = self.telemetry.monitor
+            if not monitor.running:
+                self.telemetry.start_monitor()
+                self._started_monitor = True
+            self.nmon_window = self.telemetry.rolling_window(self.window_s)
+        for detector in self.detectors:
+            for prefix in detector.prefixes:
+                self.telemetry.tracer.subscribe(detector.on_event, prefix)
+        self._proc = self.sim.process(self._ticker(), name="observatory")
+        return self
+
+    def stop(self) -> None:
+        """Stop ticking and withdraw the parked wakeup (idempotent)."""
+        if not self._running:
+            return
+        self._running = False
+        for detector in self.detectors:
+            if detector.prefixes:
+                self.telemetry.tracer.unsubscribe(detector.on_event)
+        if self._pending is not None and not self._pending.processed:
+            self._pending.cancel()
+        self._pending = None
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("observatory stopped")
+        self._proc = None
+        if self._started_monitor:
+            self.telemetry.stop_monitor()
+            self._started_monitor = False
+
+    def _ticker(self):
+        while self._running:
+            self.tick_now()
+            self._pending = self.sim.timeout(self.interval)
+            try:
+                yield self._pending
+            except Interrupt:
+                return None
+            finally:
+                self._pending = None
+        return None
+
+    def tick_now(self) -> None:
+        """Run one detector evaluation pass at the current sim time."""
+        now = self.sim.now
+        self.ticks += 1
+        if self.nmon_window is not None:
+            self.nmon_window.advance(now)
+        for detector in self.detectors:
+            detector.tick(now)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def alerts(self, slo: Optional[str] = None) -> list[Alert]:
+        """Full alert history (optionally one SLO's)."""
+        return self.book.history(slo)
+
+    def active_alerts(self, slo: Optional[str] = None) -> list[Alert]:
+        return self.book.active(slo)
+
+    def digest(self) -> str:
+        """Deterministic content digest of the alert history."""
+        return self.book.digest()
+
+    def attribution(self, job_name: str) -> "JobBottleneckReport":
+        """Per-job critical-path bottleneck attribution."""
+        return self.telemetry.attribution(job_name)
+
+    def report(self, job: Optional[str] = None) -> "ObservatoryReport":
+        """Assemble the renderable report (terminal and HTML)."""
+        from repro.observatory.report import build_report
+        return build_report(self, job=job)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "running" if self._running else "stopped"
+        return (f"<Observatory {state} detectors={len(self.detectors)} "
+                f"alerts={len(self.book.alerts)}>")

@@ -1,0 +1,220 @@
+"""Rendering the observatory's findings: terminal text and HTML.
+
+The HTML report is fully self-contained — inline CSS, no scripts, no
+external assets — so it can be attached to a CI run or opened from a
+results directory offline.  It shows three sections:
+
+* **phase timeline** — the job's phase and critical-path spans as bars;
+* **alert timeline** — every fired alert as a bar from fire to resolve
+  (or to the end of the run while active), coloured by severity;
+* **attribution table** — per-segment blame with per-class seconds, plus
+  the per-phase and whole-job rollups.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.observatory.attribution import (CLASSES, JobBottleneckReport)
+from repro.observatory.slo import Alert
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitor.window import WindowSummary
+    from repro.observatory.core import Observatory
+    from repro.telemetry.timeline import CriticalPath, JobTimeline
+
+_SEVERITY_COLOURS = {"info": "#4c78a8", "warning": "#e8a838",
+                     "critical": "#d62f2f"}
+_CLASS_COLOURS = {"cpu": "#4c78a8", "network": "#59a14f",
+                  "disk": "#e8a838", "nfs": "#b07aa1", "wait": "#bab0ac"}
+
+
+@dataclass
+class ObservatoryReport:
+    """Everything one report render needs, already extracted."""
+
+    generated_at: float
+    digest: str
+    alerts: list[Alert]
+    window: list["WindowSummary"] = field(default_factory=list)
+    job: Optional[str] = None
+    timeline: Optional["JobTimeline"] = None
+    path: Optional["CriticalPath"] = None
+    attribution: Optional[JobBottleneckReport] = None
+
+    # -- terminal ----------------------------------------------------------
+    def describe(self) -> str:
+        lines = [f"observatory report @ {self.generated_at:.2f} s — "
+                 f"{len(self.alerts)} alerts, digest {self.digest}"]
+        active = [a for a in self.alerts if a.active]
+        if active:
+            lines.append(f"  active: {len(active)}")
+        for alert in self.alerts:
+            lines.append("  " + alert.describe())
+        if self.attribution is not None:
+            lines.append("")
+            lines.append(self.attribution.describe())
+        return "\n".join(lines)
+
+    # -- HTML --------------------------------------------------------------
+    def html(self) -> str:
+        end = max([self.generated_at]
+                  + [a.resolved_at or self.generated_at
+                     for a in self.alerts])
+        start = 0.0
+        if self.timeline is not None:
+            start = min(start, self.timeline.job_span.start)
+            end = max(end, self.timeline.job_span.end)
+        total = max(end - start, 1e-9)
+
+        def pct(t: float) -> float:
+            return 100.0 * (t - start) / total
+
+        def bar(t0: float, t1: float, colour: str, label: str) -> str:
+            left = pct(t0)
+            width = max(pct(t1) - left, 0.15)
+            return (f'<div class="row"><span class="lbl">'
+                    f'{_html.escape(label)}</span>'
+                    f'<span class="lane"><span class="bar" style="left:'
+                    f'{left:.2f}%;width:{width:.2f}%;background:'
+                    f'{colour}"></span></span></div>')
+
+        parts = [
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+            "<title>observatory report</title><style>",
+            "body{font:13px/1.5 -apple-system,Segoe UI,sans-serif;"
+            "margin:2em;color:#222;max-width:70em}",
+            "h1{font-size:1.3em}h2{font-size:1.05em;margin-top:1.6em}",
+            ".row{display:flex;align-items:center;margin:2px 0}",
+            ".lbl{flex:0 0 22em;overflow:hidden;text-overflow:ellipsis;"
+            "white-space:nowrap;font-family:ui-monospace,monospace;"
+            "font-size:11px;padding-right:.6em}",
+            ".lane{position:relative;flex:1;height:14px;"
+            "background:#f4f4f4;border-radius:3px}",
+            ".bar{position:absolute;top:1px;bottom:1px;border-radius:2px;"
+            "min-width:2px}",
+            "table{border-collapse:collapse;margin-top:.5em}",
+            "td,th{border:1px solid #ddd;padding:3px 8px;"
+            "text-align:right;font-size:12px}",
+            "td:first-child,th:first-child,td:nth-child(2),"
+            "th:nth-child(2){text-align:left;"
+            "font-family:ui-monospace,monospace}",
+            ".meta{color:#666}",
+            "</style></head><body>",
+            f"<h1>Cluster observatory</h1><p class='meta'>generated at "
+            f"t={self.generated_at:.2f}&thinsp;s &middot; "
+            f"{len(self.alerts)} alerts &middot; digest "
+            f"<code>{self.digest}</code></p>",
+        ]
+
+        if self.timeline is not None:
+            parts.append(f"<h2>Phase timeline — {_html.escape(self.job)}"
+                         f"</h2>")
+            shown = [self.timeline.job_span]
+            shown += [s for s in self.timeline.spans
+                      if s.kind.startswith("job.phase.")]
+            for span in shown:
+                parts.append(bar(span.start, span.end, "#9ecae1",
+                                 f"{span.kind}:{span.name}"))
+            if self.path is not None:
+                for seg in self.path.segments:
+                    colour = (_CLASS_COLOURS["wait"] if seg.span is None
+                              else "#6baed6")
+                    parts.append(bar(seg.start, seg.end, colour,
+                                     f"  path {seg.label}"))
+
+        parts.append("<h2>Alert timeline</h2>")
+        if not self.alerts:
+            parts.append("<p class='meta'>no alerts fired</p>")
+        for alert in self.alerts:
+            colour = _SEVERITY_COLOURS.get(alert.severity, "#888")
+            until = (alert.resolved_at if alert.resolved_at is not None
+                     else end)
+            state = "" if alert.resolved_at is not None else " (active)"
+            parts.append(bar(alert.fired_at, until, colour,
+                             f"{alert.slo} {alert.target}{state}"))
+
+        if self.attribution is not None:
+            rep = self.attribution
+            parts.append("<h2>Bottleneck attribution</h2>")
+            parts.append(f"<p class='meta'>makespan {rep.makespan:.2f}"
+                         f"&thinsp;s &middot; {rep.coverage:.0%} "
+                         f"attributed &middot; dominant class "
+                         f"<b>{rep.dominant}</b></p>")
+            head = "".join(f"<th>{c}</th>" for c in (*CLASSES, "wait"))
+            parts.append(f"<table><tr><th>scope</th><th>blame</th>{head}"
+                         f"<th>seconds</th></tr>")
+
+            def cells(seconds: dict) -> str:
+                return "".join(
+                    f"<td>{seconds.get(c, 0.0):.2f}</td>"
+                    for c in (*CLASSES, "wait"))
+
+            for scope in ("map", "reduce", "other"):
+                totals = rep.phase_seconds(scope)
+                if not totals:
+                    continue
+                top = max(sorted(totals), key=lambda k: totals[k])
+                parts.append(f"<tr><td>phase:{scope}</td><td>{top}</td>"
+                             f"{cells(totals)}<td>"
+                             f"{sum(totals.values()):.2f}</td></tr>")
+            totals = rep.class_seconds
+            parts.append(f"<tr><td><b>job</b></td><td>{rep.dominant}</td>"
+                         f"{cells(totals)}<td>"
+                         f"{sum(totals.values()):.2f}</td></tr>")
+            parts.append("</table>")
+            parts.append("<h2>Critical-path segments</h2>")
+            parts.append("<table><tr><th>start</th><th>label</th>"
+                         "<th>phase</th><th>blame</th><th>dur&thinsp;s"
+                         "</th><th>covered&thinsp;s</th><th>flows</th>"
+                         "</tr>")
+            for seg in rep.segments:
+                parts.append(
+                    f"<tr><td>{seg.start:.2f}</td>"
+                    f"<td>{_html.escape(seg.label)}</td>"
+                    f"<td>{seg.phase}</td><td>{seg.blame}</td>"
+                    f"<td>{seg.duration:.2f}</td>"
+                    f"<td>{seg.covered_s:.2f}</td>"
+                    f"<td>{seg.n_flows}</td></tr>")
+            parts.append("</table>")
+
+        if self.window:
+            parts.append("<h2>Rolling nmon window</h2>")
+            parts.append("<table><tr><th>vm</th><th></th><th>cpu</th>"
+                         "<th>disk&thinsp;B/s</th><th>net&thinsp;B/s</th>"
+                         "<th>tasks</th></tr>")
+            for w in self.window:
+                parts.append(
+                    f"<tr><td>{_html.escape(w.vm)}</td><td></td>"
+                    f"<td>{w.cpu_mean:.0%}</td>"
+                    f"<td>{w.disk_rate:,.0f}</td>"
+                    f"<td>{w.net_rate:,.0f}</td>"
+                    f"<td>{w.activity_mean:.1f}</td></tr>")
+            parts.append("</table>")
+
+        parts.append("</body></html>")
+        return "".join(parts)
+
+    def write_html(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.html())
+        return path
+
+
+def build_report(obs: "Observatory", job: Optional[str] = None
+                 ) -> ObservatoryReport:
+    """Extract a report from a (running or stopped) observatory."""
+    timeline = path = attribution = None
+    if job is not None:
+        timeline = obs.telemetry.job_timeline(job)
+        path = timeline.critical_path()
+        if obs.telemetry.flow_log is not None:
+            attribution = obs.telemetry.attribution(job)
+    window = (obs.nmon_window.summaries()
+              if obs.nmon_window is not None else [])
+    return ObservatoryReport(
+        generated_at=obs.sim.now, digest=obs.digest(),
+        alerts=obs.alerts(), window=window, job=job,
+        timeline=timeline, path=path, attribution=attribution)

@@ -100,6 +100,14 @@ class HadoopVirtualCluster:
     def cross_domain(self) -> bool:
         return len(self.hosts_used()) > 1
 
+    # -- observability -----------------------------------------------------
+    def observatory(self, **kwargs):
+        """Build a :class:`~repro.observatory.core.Observatory` on this
+        cluster (detectors, SLO alerting, per-job attribution).  The
+        caller owns its lifecycle: ``start()`` it before the workload and
+        ``stop()`` it after."""
+        return self.telemetry.observatory(cluster=self, **kwargs)
+
     # -- failure detection & recovery -------------------------------------
     def arm_recovery(self) -> ReplicationMonitor:
         """Arm heartbeat-based failure detection and background repair.

@@ -414,6 +414,7 @@ class JobScheduler:
                 return True
             if spec.index in state["finished"]:
                 return True  # the other attempt won the race
+            self.runner._count_speculation_win(ex.job, "map", speculative)
             state["finished"].add(spec.index)
             state["running"].pop(spec.index, None)
             state["durations"].append(self.sim.now - start)
@@ -527,6 +528,7 @@ class JobScheduler:
                     self.sim.now - start)
             if result is None or partition in state["finished"]:
                 return True  # the other attempt won the race
+            self.runner._count_speculation_win(ex.job, "reduce", speculative)
             state["finished"].add(partition)
             state["running"].pop(partition, None)
             state["durations"].append(self.sim.now - start)

@@ -72,7 +72,8 @@ class SharedResource:
     """A capacity shared max-min fairly among the flows crossing it."""
 
     __slots__ = ("name", "capacity", "_flows", "current_load",
-                 "_busy_integral", "_last_change", "_comp")
+                 "_busy_integral", "_moved_integral", "_last_change",
+                 "_comp")
 
     def __init__(self, name: str, capacity: float):
         if capacity <= 0:
@@ -87,6 +88,7 @@ class SharedResource:
         self._comp: Optional["_Component"] = None
         self.current_load = 0.0
         self._busy_integral = 0.0
+        self._moved_integral = 0.0
         self._last_change = 0.0
 
     @property
@@ -106,8 +108,9 @@ class SharedResource:
         not retroactively rescale utilization that was accumulated at the
         old capacity.
         """
-        self._busy_integral += (self.current_load / self.capacity
-                                * (now - self._last_change))
+        dt = now - self._last_change
+        self._busy_integral += self.current_load / self.capacity * dt
+        self._moved_integral += self.current_load * dt
         self._last_change = now
 
     def _set_load(self, load: float, now: float) -> None:
@@ -124,6 +127,15 @@ class SharedResource:
         return (self._busy_integral
                 + self.current_load / self.capacity
                 * (now - self._last_change))
+
+    def moved_through(self, now: float) -> float:
+        """Units carried through this resource up to ``now`` — the
+        interface byte counter a real NIC/device exposes.  Unlike
+        :meth:`busy_time` this is in absolute units, so it *is* sensitive
+        to capacity changes: the link-health detector compares its rate
+        of change against the nominal capacity."""
+        return (self._moved_integral
+                + self.current_load * (now - self._last_change))
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<SharedResource {self.name} cap={self.capacity:g} "
@@ -250,6 +262,13 @@ class FairShareSystem:
         self._incidence = 0
         self.timer_cancellations = 0
         self.max_component_flows = 0
+        #: Optional flow-completion sink (anything with ``append``); every
+        #: flow that leaves the system — completed, closed, interrupted —
+        #: is handed over exactly once, after its rate/end_time are final.
+        #: The observatory's attribution engine installs a
+        #: :class:`repro.observatory.attribution.FlowLog` here via the
+        #: telemetry facade; the engine itself stays telemetry-agnostic.
+        self.flow_log = None
         self._metrics = metrics
         if metrics is not None:
             self._m_rebalances = metrics.counter(
@@ -382,6 +401,8 @@ class FairShareSystem:
                 res._set_load(0.0, now)
         flow.rate = 0.0
         flow.end_time = now
+        if self.flow_log is not None:
+            self.flow_log.append(flow)
 
     def _advance(self) -> list[FluidFlow]:
         """Progress every active flow from the last update time to now.

@@ -117,6 +117,11 @@ class Tracer:
         ``prefix`` (or for all events when ``prefix`` is None)."""
         self._subscribers.append((prefix, callback))
 
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Drop every subscription using ``callback`` (no-op when absent)."""
+        self._subscribers = [(p, c) for p, c in self._subscribers
+                             if c is not callback]
+
     def select(self, prefix: str) -> Iterator[TraceEvent]:
         """Iterate recorded events whose kind starts with ``prefix``."""
         return (e for e in self.events if e.kind.startswith(prefix))

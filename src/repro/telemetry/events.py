@@ -82,6 +82,9 @@ CHAOS_DISK_SLOW = "chaos.disk.slow"
 CHAOS_DISK_HEAL = "chaos.disk.heal"
 CHAOS_REJOIN = "chaos.rejoin"
 
+OBSERVATORY_ALERT_FIRED = "observatory.alert.fired"
+OBSERVATORY_ALERT_RESOLVED = "observatory.alert.resolved"
+
 RECOVERY_TRACKER_DEAD = "recovery.tracker.dead"
 RECOVERY_DATANODE_DEAD = "recovery.datanode.dead"
 RECOVERY_TASK_RETRY = "recovery.task.retry"
@@ -106,6 +109,7 @@ POINT_KINDS: frozenset[str] = frozenset({
     CHAOS_VM_CRASH, CHAOS_HOST_CRASH,
     CHAOS_NET_DEGRADE, CHAOS_NET_HEAL,
     CHAOS_DISK_SLOW, CHAOS_DISK_HEAL, CHAOS_REJOIN,
+    OBSERVATORY_ALERT_FIRED, OBSERVATORY_ALERT_RESOLVED,
     RECOVERY_TRACKER_DEAD, RECOVERY_DATANODE_DEAD,
     RECOVERY_TASK_RETRY, RECOVERY_TRACKER_BLACKLISTED,
     RECOVERY_REPLICATION_START, RECOVERY_REPLICATION_DONE,
@@ -146,6 +150,7 @@ _PREFIX_CATEGORIES: tuple[tuple[str, str], ...] = (
     ("cloud.", "cloud"),
     ("chaos.", "chaos"),
     ("recovery.", "recovery"),
+    ("observatory.", "observatory"),
 )
 
 

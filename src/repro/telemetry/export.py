@@ -15,6 +15,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import zlib
 from typing import Iterable, Optional, Sequence
 
 from repro.sim.trace import Span, TraceEvent
@@ -51,19 +52,25 @@ def chrome_trace(spans: Sequence[Span],
         for edge in ("start", "end"))
     trace_events: list[dict] = []
     seen_tracks: set[tuple[int, str]] = set()
+    seen_pids: set[int] = set()
 
     def track(category: str, tid_name: str) -> tuple[int, int]:
         pid = _CATEGORY_PIDS.get(category, _CATEGORY_PIDS["other"])
         key = (pid, tid_name)
         if key not in seen_tracks:
             seen_tracks.add(key)
-            if len(seen_tracks) == 1 or all(p != pid for p, _ in
-                                            list(seen_tracks)[:-1]):
+            # One process_name row per pid (probing the seen_tracks *set*
+            # for other members of this pid depended on hash order).
+            if pid not in seen_pids:
+                seen_pids.add(pid)
                 trace_events.append({
                     "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
                     "args": {"name": category}})
-        # tids must be integers; hash the row label into a stable small id.
-        tid = abs(hash(tid_name)) % 1_000_000
+        # tids must be integers; hash the row label into a small id that is
+        # stable across processes (``hash(str)`` is salted per run, which
+        # made every export assign fresh tids — the golden-file tests pin
+        # the crc32 assignment).
+        tid = zlib.crc32(tid_name.encode("utf-8")) % 1_000_000
         trace_events.append({
             "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
             "args": {"name": tid_name}})
@@ -124,11 +131,18 @@ def _prom_name(name: str, suffix: str = "") -> str:
     return name.replace(".", "_").replace("-", "_") + suffix
 
 
+def _prom_escape(value) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double quote and newline must be escaped inside the quoted value."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_labels(labelset, extra: Optional[dict] = None) -> str:
     pairs = list(labelset) + sorted((extra or {}).items())
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_prom_escape(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -139,7 +153,9 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         family = registry.families[name]
         metric = _prom_name(name)
         if family.help:
-            lines.append(f"# HELP {metric} {family.help}")
+            help_text = (family.help.replace("\\", "\\\\")
+                         .replace("\n", "\\n"))
+            lines.append(f"# HELP {metric} {help_text}")
         lines.append(f"# TYPE {metric} {family.kind}")
         for labelset, child in family.items():
             if isinstance(child, Histogram):

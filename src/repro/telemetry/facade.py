@@ -26,8 +26,11 @@ from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.timeline import CriticalPath, JobTimeline, build_timeline
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.monitor.analyser import BottleneckReport, NmonAnalyser
+    from repro.monitor.analyser import NmonAnalyser
     from repro.monitor.nmon import NmonMonitor
+    from repro.monitor.window import RollingWindow
+    from repro.observatory.attribution import FlowLog, JobBottleneckReport
+    from repro.observatory.core import Observatory
     from repro.virt.datacenter import Datacenter
     from repro.virt.vm import VirtualMachine
 
@@ -47,7 +50,13 @@ class Telemetry:
         self.monitor_interval = monitor_interval
         self._vms = list(vms) if vms is not None else None
         self._monitor: Optional["NmonMonitor"] = None
+        #: vm name -> cached metric instruments for the nmon sample mirror
+        #: (the per-sample family/label-set resolution dominated monitor
+        #: overhead at 64 VMs).
+        self._sample_instruments: dict[str, list] = {}
         self._analyser: Optional["NmonAnalyser"] = None
+        self._windows: dict[float, "RollingWindow"] = {}
+        self._flow_log: Optional["FlowLog"] = None
 
     # -- scope -----------------------------------------------------------
     @property
@@ -106,21 +115,71 @@ class Telemetry:
 
     def _record_sample(self, sample) -> None:
         """Mirror each nmon sample into the metrics registry."""
-        labels = {"vm": sample.vm}
-        self.metrics.gauge("vm.cpu.utilization",
-                           "VCPU load fraction", labels).set(sample.cpu_util)
-        self.metrics.gauge("vm.memory.fraction",
-                           "resident memory fraction",
-                           labels).set(sample.memory_fraction)
-        self.metrics.gauge("vm.tasks.running", "running tasks",
-                           labels).set(sample.activity)
+        inst = self._sample_instruments.get(sample.vm)
+        if inst is None:
+            labels = {"vm": sample.vm}
+            # The I/O counter slots stay None until first use so an idle
+            # VM exports no zero-valued counter series (same visible
+            # behaviour as resolving them per sample).
+            inst = [labels,
+                    self.metrics.gauge("vm.cpu.utilization",
+                                       "VCPU load fraction", labels),
+                    self.metrics.gauge("vm.memory.fraction",
+                                       "resident memory fraction", labels),
+                    self.metrics.gauge("vm.tasks.running",
+                                       "running tasks", labels),
+                    None, None]
+            self._sample_instruments[sample.vm] = inst
+        inst[1].set(sample.cpu_util)
+        inst[2].set(sample.memory_fraction)
+        inst[3].set(sample.activity)
         if sample.disk_bytes_delta > 0:
-            self.metrics.counter("vm.disk.bytes", "virtual-disk I/O",
-                                 labels).inc(sample.disk_bytes_delta)
+            if inst[4] is None:
+                inst[4] = self.metrics.counter(
+                    "vm.disk.bytes", "virtual-disk I/O", inst[0])
+            inst[4].inc(sample.disk_bytes_delta)
         net = sample.net_tx_delta + sample.net_rx_delta
         if net > 0:
-            self.metrics.counter("vm.net.bytes", "VM network I/O",
-                                 labels).inc(net)
+            if inst[5] is None:
+                inst[5] = self.metrics.counter(
+                    "vm.net.bytes", "VM network I/O", inst[0])
+            inst[5].inc(net)
+
+    def rolling_window(self, seconds: float = 30.0) -> "RollingWindow":
+        """A bounded, incrementally maintained view of recent nmon samples.
+
+        One window per distinct span is kept and reused — repeated calls
+        with the same ``seconds`` return the same object, so detectors
+        polling every tick share a single O(1)-per-sample accumulator
+        instead of each re-aggregating the monitor's full history.
+        """
+        key = float(seconds)
+        window = self._windows.get(key)
+        if window is None:
+            from repro.monitor.window import RollingWindow
+            window = RollingWindow(self.monitor, key)
+            self._windows[key] = window
+        return window
+
+    # -- flow accounting ---------------------------------------------------
+    def enable_flow_log(self) -> "FlowLog":
+        """Start recording completed fair-share flows (idempotent).
+
+        The log feeds per-job bottleneck attribution; it only sees flows
+        that *finish* after this call.  Enable it before running the job
+        you want attributed — ``telemetry.observatory()`` does this for
+        you.
+        """
+        if self._flow_log is None:
+            from repro.observatory.attribution import FlowLog
+            self._flow_log = FlowLog()
+            if self.datacenter is not None:
+                self.datacenter.fss.flow_log = self._flow_log
+        return self._flow_log
+
+    @property
+    def flow_log(self) -> Optional["FlowLog"]:
+        return self._flow_log
 
     # -- platform diagnosis ------------------------------------------------
     def shared_resources(self) -> list:
@@ -135,10 +194,39 @@ class Telemetry:
         resources.append(self.datacenter.image_store.node.vnic)
         return resources
 
-    def bottleneck(self) -> "BottleneckReport":
-        """The paper's diagnosis: which shared resource is busiest."""
-        return self.analyser.bottleneck(self.shared_resources(),
-                                        now=self.sim.now)
+    def bottleneck(self, job: Optional[str] = None):
+        """Bottleneck diagnosis.
+
+        Without arguments this is the paper's cluster-wide view: a
+        :class:`~repro.monitor.analyser.BottleneckReport` naming the
+        busiest shared resource over the whole run.  With ``job=<name>``
+        it narrows to *that job's* critical path instead, blaming each
+        path segment on cpu / network / disk / nfs via flow-level
+        accounting — a :class:`JobBottleneckReport` (requires the flow log,
+        see :meth:`enable_flow_log` / :meth:`observatory`).
+        """
+        if job is None:
+            return self.analyser.bottleneck(self.shared_resources(),
+                                            now=self.sim.now)
+        return self.attribution(job)
+
+    def attribution(self, job_name: str) -> "JobBottleneckReport":
+        """Per-job, per-phase bottleneck attribution from the flow log."""
+        if self._flow_log is None:
+            raise MonitorError(
+                "flow accounting is off — call telemetry.enable_flow_log() "
+                "(or telemetry.observatory()) before running the job")
+        from repro.observatory.attribution import attribute
+        return attribute(self.job_timeline(job_name), self._flow_log)
+
+    # -- observatory -------------------------------------------------------
+    def observatory(self, **kwargs) -> "Observatory":
+        """Build an :class:`~repro.observatory.core.Observatory` on this
+        scope (enables the flow log as a side effect).  The caller owns
+        start/stop; see :mod:`repro.observatory`."""
+        from repro.observatory.core import Observatory
+        self.enable_flow_log()
+        return Observatory(self, **kwargs)
 
     def imbalance(self) -> float:
         return self.analyser.imbalance()

@@ -32,6 +32,33 @@ _EPS = 1e-9
 _PATH_CATEGORIES = frozenset(
     {"task", "shuffle", "hdfs", "vm", "migration", "net"})
 
+#: Categories where one logical unit of work may leave several attempt
+#: spans under the same name (task retries/speculation, shuffle re-fetch).
+_ATTEMPT_CATEGORIES = frozenset({"task", "shuffle"})
+
+
+def _superseded_ids(spans: Sequence[Span]) -> set[int]:
+    """Span ids of attempts whose work another attempt redid.
+
+    A chaos-killed or speculation-losing attempt closes with
+    ``failed=True`` / ``won=False``; when a sibling attempt under the same
+    ``(kind, name)`` succeeded, the loser's span must not count as
+    critical-path work — its wall time is recovery latency (an explicit
+    wait), not a second helping of the task's runtime.  Attempts with no
+    successful sibling (e.g. a job that ultimately failed) are kept.
+    """
+    winners: set[tuple[str, str]] = set()
+    for s in spans:
+        if (EV.category_of(s.kind) in _ATTEMPT_CATEGORIES
+                and not s.attrs.get("failed")
+                and s.attrs.get("won") is not False):
+            winners.add((s.kind, s.name))
+    return {
+        s.span_id for s in spans
+        if EV.category_of(s.kind) in _ATTEMPT_CATEGORIES
+        and (s.attrs.get("failed") or s.attrs.get("won") is False)
+        and (s.kind, s.name) in winners}
+
 
 @dataclass(frozen=True)
 class PathSegment:
@@ -159,9 +186,11 @@ def build_timeline(job_name: str, spans: Iterable[Span]) -> JobTimeline:
 
 def critical_path(job_span: Span, spans: Sequence[Span]) -> CriticalPath:
     """Backward latest-predecessor walk from the job span's end."""
+    superseded = _superseded_ids(spans)
     candidates = [
         s for s in spans
         if s is not job_span and not s.open
+        and s.span_id not in superseded
         and EV.category_of(s.kind) in _PATH_CATEGORIES
         and s.end <= job_span.end + _EPS
         and s.start >= job_span.start - _EPS]

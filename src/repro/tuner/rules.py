@@ -5,6 +5,16 @@ the cluster) and may emit a :class:`Recommendation` — either a Hadoop
 parameter change or a live-migration plan.  Rules are deliberately simple
 threshold rules: the paper's Tuner is a closed-loop knob-turner, not an
 optimizer.
+
+Two rule families exist:
+
+* **metric rules** (the originals) read nmon aggregates and scheduler
+  counters;
+* **alert rules** (:class:`SpeculateOnStragglersRule`,
+  :class:`MigrateOffHotHostRule`) are driven by the observatory's SLO
+  alerts — the detection work already happened online, the rule only
+  decides the knob.  Construct them with the
+  :class:`~repro.observatory.core.Observatory` handle.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.monitor.analyser import BottleneckReport, NmonAnalyser
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.observatory.core import Observatory
     from repro.platform.cluster import HadoopVirtualCluster
 
 
@@ -199,6 +210,98 @@ class RebalanceByMigrationRule(TuningRule):
             reason=f"CPU imbalance {imbalance:.2f} >= "
                    f"{self.imbalance_threshold}: migrating {vm.name}",
             migrations=((vm.name, index),))
+
+
+class SpeculateOnStragglersRule(TuningRule):
+    """Straggler alerts -> raise speculative-execution pressure.
+
+    Each evaluation consumes the ``straggler-task`` alerts the
+    observatory fired since the previous one (a cursor, so a post-job
+    tuner step still sees that run's stragglers).  The first response is
+    to switch speculative execution on; once on, the slowdown threshold
+    is ratcheted down (×0.75 per step, floored) so speculation triggers
+    earlier on clusters that keep producing stragglers.
+    """
+
+    name = "speculate-on-stragglers"
+
+    def __init__(self, observatory: "Observatory", min_alerts: int = 1,
+                 ratchet: float = 0.75, floor: float = 1.2):
+        self.observatory = observatory
+        self.min_alerts = min_alerts
+        self.ratchet = ratchet
+        self.floor = floor
+        self._cursor = 0
+
+    def evaluate(self, cluster, analyser, report):
+        alerts = self.observatory.alerts("straggler-task")
+        fresh = alerts[self._cursor:]
+        self._cursor = len(alerts)
+        if len(fresh) < self.min_alerts:
+            return None
+        tasks = sorted({a.target for a in fresh})
+        if not cluster.config.speculative_execution:
+            return Recommendation(
+                rule=self.name, kind="reconfigure",
+                reason=f"{len(fresh)} straggler alert(s) "
+                       f"({', '.join(tasks[:4])}): enabling speculative "
+                       f"execution",
+                config_changes={"speculative_execution": True})
+        slowdown = cluster.config.speculative_slowdown
+        lowered = max(self.floor, slowdown * self.ratchet)
+        if lowered >= slowdown:
+            return None
+        return Recommendation(
+            rule=self.name, kind="reconfigure",
+            reason=f"{len(fresh)} straggler alert(s) with speculation "
+                   f"already on: lowering speculative_slowdown "
+                   f"{slowdown:g} -> {lowered:g}",
+            config_changes={"speculative_slowdown": lowered})
+
+
+class MigrateOffHotHostRule(TuningRule):
+    """Hot-host alerts -> migrate that host's busiest VM elsewhere.
+
+    Consumes fresh ``hot-host`` alerts (cursor, like
+    :class:`SpeculateOnStragglersRule`) and proposes moving the alerted
+    host's highest-CPU resident to the machine with the most free DRAM.
+    """
+
+    name = "migrate-off-hot-host"
+
+    def __init__(self, observatory: "Observatory"):
+        self.observatory = observatory
+        self._cursor = 0
+
+    def evaluate(self, cluster, analyser, report):
+        alerts = self.observatory.alerts("hot-host")
+        fresh = alerts[self._cursor:]
+        self._cursor = len(alerts)
+        if not fresh:
+            return None
+        alert = fresh[-1]
+        residents = [vm for vm in cluster.vms
+                     if vm.host is not None
+                     and vm.host.name == alert.target]
+        if not residents:
+            return None
+        cpu_of = {s.vm: s.cpu_mean for s in report.node_summaries}
+        hottest = max(residents,
+                      key=lambda vm: (cpu_of.get(vm.name, 0.0), vm.name))
+        machines = cluster.datacenter.machines
+        candidates = [
+            (i, m) for i, m in enumerate(machines)
+            if m.name != alert.target
+            and m.dram_free >= hottest.config.memory]
+        if not candidates:
+            return None
+        index, _machine = max(candidates, key=lambda im: im[1].dram_free)
+        return Recommendation(
+            rule=self.name, kind="migrate",
+            reason=f"hot-host alert on {alert.target} (cpu "
+                   f"{alert.value:.0%}): migrating {hottest.name} to "
+                   f"{machines[index].name}",
+            migrations=((hottest.name, index),))
 
 
 DEFAULT_RULES: tuple[TuningRule, ...] = (

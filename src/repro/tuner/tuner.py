@@ -34,6 +34,12 @@ class MapReduceTuner:
     Pass nothing for ``telemetry`` to use ``cluster.telemetry`` (the normal
     case).  Passing a bare :class:`NmonAnalyser` is deprecated: the facade
     adopts it, and the tuner reads every metric through the facade.
+    Callers who were constructing an analyser just to drive detection
+    should instead attach an :class:`~repro.observatory.core.Observatory`
+    and use the alert-driven rules
+    (:class:`~repro.tuner.rules.SpeculateOnStragglersRule`,
+    :class:`~repro.tuner.rules.MigrateOffHotHostRule`) — the observatory
+    does the anomaly detection online and the rules consume its alerts.
     """
 
     def __init__(self, cluster: "HadoopVirtualCluster",

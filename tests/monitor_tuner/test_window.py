@@ -1,0 +1,127 @@
+"""RollingWindow: bounded, O(1)-per-sample view over the nmon stream."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.monitor.nmon import NmonSample
+from repro.monitor.window import RollingWindow
+from repro.platform import VHadoopPlatform, normal_placement
+
+
+class StubMonitor:
+    """The slice of NmonMonitor a window needs: interval + listeners."""
+
+    def __init__(self, interval=1.0):
+        self.interval = interval
+        self.listeners = []
+
+    def add_listener(self, callback):
+        self.listeners.append(callback)
+
+    def remove_listener(self, callback):
+        self.listeners.remove(callback)
+
+    def emit(self, sample):
+        for callback in list(self.listeners):
+            callback(sample)
+
+
+def sample(t, vm="vm1", cpu=0.5, disk=0.0, tx=0.0, rx=0.0, activity=1):
+    return NmonSample(time=t, vm=vm, cpu_util=cpu, memory_fraction=0.5,
+                      disk_bytes_delta=disk, net_tx_delta=tx,
+                      net_rx_delta=rx, activity=activity)
+
+
+def make(seconds=10.0, interval=1.0):
+    monitor = StubMonitor(interval=interval)
+    return monitor, RollingWindow(monitor, seconds)
+
+
+def test_rejects_nonpositive_span():
+    for bad in (0.0, -3.0):
+        with pytest.raises(ValueError):
+            RollingWindow(StubMonitor(), bad)
+
+
+def test_eviction_bounds_the_window():
+    monitor, window = make(seconds=10.0)
+    for t in range(20):
+        monitor.emit(sample(float(t), cpu=t / 20.0))
+    # At now=19 the cutoff is 9: samples 9..19 survive.
+    assert window.n_samples("vm1") == 11
+    kept = [t / 20.0 for t in range(9, 20)]
+    assert window.summary("vm1").cpu_mean == pytest.approx(
+        sum(kept) / len(kept))
+
+
+def test_running_sums_match_a_full_recompute():
+    monitor, window = make(seconds=7.0)
+    pushed = [sample(float(t), cpu=(t * 7 % 10) / 10.0, disk=100.0 * t,
+                     tx=3.0 * t, rx=2.0 * t, activity=t % 4)
+              for t in range(15)]
+    for s in pushed:
+        monitor.emit(s)
+    kept = [s for s in pushed if s.time >= 15 - 1 - 7]
+    summary = window.summary("vm1")
+    assert summary.n_samples == len(kept)
+    assert summary.cpu_mean == pytest.approx(
+        sum(s.cpu_util for s in kept) / len(kept))
+    assert summary.disk_bytes == pytest.approx(
+        sum(s.disk_bytes_delta for s in kept))
+    assert summary.net_bytes == pytest.approx(
+        sum(s.net_tx_delta + s.net_rx_delta for s in kept))
+    assert summary.activity_mean == pytest.approx(
+        sum(s.activity for s in kept) / len(kept))
+
+
+def test_advance_is_monotonic():
+    monitor, window = make(seconds=4.0)
+    monitor.emit(sample(0.0))
+    monitor.emit(sample(5.0))           # cutoff 1.0 evicts the t=0 sample
+    assert window.n_samples("vm1") == 1
+    window.advance(3.0)                 # going backwards is a no-op
+    assert window._now == 5.0
+    assert window.n_samples("vm1") == 1
+
+
+def test_span_and_rates():
+    monitor, window = make(seconds=10.0, interval=2.0)
+    monitor.emit(sample(4.0, disk=100.0, tx=30.0, rx=20.0))
+    summary = window.summary("vm1")
+    # A single sample covers (at least) one monitor interval.
+    assert summary.span_s == 2.0
+    assert summary.disk_rate == pytest.approx(50.0)
+    assert summary.net_rate == pytest.approx(25.0)
+    monitor.emit(sample(8.0, disk=100.0))
+    summary = window.summary("vm1")
+    assert summary.span_s == 4.0
+    assert summary.disk_bytes == 200.0
+    assert summary.disk_rate == pytest.approx(50.0)
+
+
+def test_empty_summary_is_all_zeros():
+    monitor, window = make()
+    summary = window.summary("ghost")
+    assert summary.n_samples == 0 and summary.span_s == 0.0
+    assert summary.disk_rate == 0.0 and summary.net_rate == 0.0
+
+
+def test_facade_reuses_windows_and_feeds_them_from_the_monitor():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=1, seed=0))
+    cluster = platform.provision_cluster("win", normal_placement(2))
+    telemetry = cluster.telemetry
+    window = telemetry.rolling_window(10.0)
+    assert telemetry.rolling_window(10.0) is window
+    assert telemetry.rolling_window(5.0) is not window
+
+    telemetry.monitor.sample_now(1.0)
+    names = sorted(vm.name for vm in telemetry.vms)
+    assert window.vms() == names
+    assert all(window.n_samples(vm) == 1 for vm in names)
+
+    window.detach()
+    telemetry.monitor.sample_now(2.0)
+    assert all(window.n_samples(vm) == 1 for vm in names)
+    # The other window stayed attached.
+    assert all(telemetry.rolling_window(5.0).n_samples(vm) == 2
+               for vm in names)

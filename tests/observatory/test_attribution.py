@@ -1,0 +1,87 @@
+"""Per-job bottleneck attribution over a real Wordcount run."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.observatory.attribution import CLASSES, FlowLog, classify
+from repro.platform import VHadoopPlatform, normal_placement
+from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
+                                       wordcount_job)
+
+LINES = ["kappa lambda mu nu xi omicron pi rho"] * 600
+
+
+@pytest.fixture(scope="module")
+def run():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=4))
+    cluster = platform.provision_cluster("attr", normal_placement(6))
+    cluster.telemetry.enable_flow_log()
+    platform.upload(cluster, "/in", lines_as_records(LINES),
+                    sizeof=line_record_sizeof, timed=False)
+    job = wordcount_job("/in", "/out", n_reduces=3)
+    report = platform.run_job(cluster, job)
+    return platform, cluster, job, report
+
+
+def test_attribution_covers_the_critical_path(run):
+    _platform, cluster, job, report = run
+    attribution = cluster.telemetry.attribution(job.name)
+    assert attribution.job == job.name
+    assert attribution.makespan == pytest.approx(report.elapsed, rel=0.01)
+    assert attribution.coverage >= 0.90
+    assert attribution.dominant in CLASSES
+
+
+def test_segments_tile_the_makespan_and_blame_known_classes(run):
+    _platform, cluster, job, _report = run
+    attribution = cluster.telemetry.attribution(job.name)
+    segments = attribution.segments
+    assert segments
+    for before, after in zip(segments, segments[1:]):
+        assert after.start == pytest.approx(before.end)
+    for seg in segments:
+        assert seg.blame in (*CLASSES, "wait")
+        if seg.blame == "wait":
+            assert seg.n_flows == 0
+        else:
+            assert seg.n_flows > 0
+            assert seg.covered_s <= seg.duration + 1e-6
+    total = attribution.class_seconds
+    assert sum(total.values()) <= attribution.makespan * (1 + 1e-6)
+    phase_total = {}
+    for phase in ("map", "reduce", "other"):
+        for klass, s in attribution.phase_seconds(phase).items():
+            phase_total[klass] = phase_total.get(klass, 0.0) + s
+    assert phase_total == pytest.approx(total)
+
+
+def test_describe_mentions_job_and_every_segment(run):
+    _platform, cluster, job, _report = run
+    attribution = cluster.telemetry.attribution(job.name)
+    text = attribution.describe()
+    assert job.name in text
+    assert text.count("\n") == len(attribution.segments)
+
+
+def test_classify_maps_paths_onto_resource_classes():
+    assert classify("nfs:image:vm1", ("h1.nic",)) == "nfs"
+    assert classify("vm1:disk:read", ("vm1.disk",)) == "disk"
+    assert classify("vm1:dfs:b1", ("h1.nic", "nfs.vnic")) == "disk"
+    assert classify("m-0:r1:shuffle", ("h1.nic", "h2.bridge")) == "network"
+    assert classify("vm1:task:m-0", ("vm1.cpu",)) == "cpu"
+
+
+def test_flow_log_window_queries():
+    class FakeFlow:
+        name = "vm1:task:m-0"
+        path = ()
+        start_time, end_time = 2.0, 5.0
+        size = moved = transferred = 10.0
+
+    log = FlowLog()
+    log.append(FakeFlow())
+    assert len(log) == 1
+    assert log.between(0.0, 10.0) and not log.between(6.0, 10.0)
+    record = log.records[0]
+    assert record.klass == "cpu" and record.duration == 3.0
+    assert {"vm1", "task", "m-0"} == set(record.tokens)

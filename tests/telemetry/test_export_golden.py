@@ -1,0 +1,134 @@
+"""Golden-file exporter tests.
+
+The fixtures are fully synthetic (hand-built spans, events and metrics),
+so every byte of the rendered Chrome trace, Prometheus text and CSVs is
+deterministic and pinned against the files in ``goldens/``.  This is what
+keeps the exports stable across refactors — notably the Chrome-trace tid
+assignment, which once used ``hash(str)`` and silently changed ids every
+process (PYTHONHASHSEED salting).
+
+To regenerate after an intentional format change::
+
+    REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/telemetry/test_export_golden.py
+"""
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.sim.trace import Tracer
+from repro.telemetry import (MetricsRegistry, chrome_trace, events as EV,
+                             metrics_csv, prometheus_text, spans_csv)
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+def golden(name: str, rendered: str) -> None:
+    # Byte-level comparison: the CSVs carry \r\n row endings which text
+    # mode would silently normalize away.
+    path = GOLDENS / name
+    if os.environ.get("REGEN_GOLDENS"):
+        path.write_bytes(rendered.encode("utf-8"))
+    expected = path.read_bytes().decode("utf-8")
+    assert rendered == expected, (
+        f"{name} drifted from its golden file — if the format change is "
+        f"intentional, regenerate with REGEN_GOLDENS=1")
+
+
+def fixture_tracer() -> Tracer:
+    tracer = Tracer()
+    job = tracer.begin_span(0.0, EV.JOB_RUN, "wc", n_reduces=2)
+    maps = tracer.begin_span(0.5, EV.PHASE_MAP, "wc", parent=job)
+    m0 = tracer.begin_span(1.0, EV.TASK_MAP, "m-00000", parent=maps,
+                           tracker="vm01")
+    tracer.end_span(m0, 4.0, input_bytes=1024)
+    tracer.end_span(maps, 4.0)
+    fetch = tracer.begin_span(4.0, EV.SHUFFLE_FETCH, "m-00000:r0",
+                              parent=job, tracker="vm02", nbytes=512)
+    tracer.end_span(fetch, 4.5)
+    tracer.emit(5.0, EV.JOB_DONE, "wc", elapsed=5.0)
+    tracer.end_span(job, 5.0)
+    tracer.begin_span(2.0, EV.VM_BOOT, "vm-open")    # stays open
+    return tracer
+
+
+def fixture_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("mapreduce.tasks.speculated", "backup attempts",
+                     {"phase": "map", "job": "wc"}).inc(3)
+    registry.gauge("vm.cpu.utilization", "VCPU load fraction",
+                   {"vm": "vm01"}).set(0.75)
+    hist = registry.histogram("shuffle.partition.bytes",
+                              "bytes per partition", {"job": "wc"},
+                              buckets=(100.0, 1000.0))
+    for value in (50, 150, 5000):
+        hist.observe(value)
+    # The escaping gauntlet: quotes, backslashes and newlines in label
+    # values, a newline in help text.
+    registry.counter("weird.labels", 'help with "quotes"\nand a newline',
+                     {"path": 'C:\\tmp\\"in"\nout'}).inc()
+    return registry
+
+
+def test_chrome_trace_matches_golden():
+    trace = chrome_trace(fixture_tracer().spans, fixture_tracer().events)
+    golden("chrome_trace.json",
+           json.dumps(trace, indent=1, sort_keys=True) + "\n")
+
+
+def test_chrome_trace_tids_are_crc32_stable():
+    trace = chrome_trace(fixture_tracer().spans)
+    rows = {r["name"]: r for r in trace["traceEvents"] if r["ph"] == "X"}
+    task = rows[f"{EV.TASK_MAP}:m-00000"]
+    assert task["tid"] == zlib.crc32(b"vm01") % 1_000_000
+    assert task["pid"] == 3                      # the "task" category pid
+    fetch = rows[f"{EV.SHUFFLE_FETCH}:m-00000:r0"]
+    assert fetch["tid"] == zlib.crc32(b"vm02") % 1_000_000
+    assert fetch["pid"] == 4                     # the "shuffle" category pid
+
+
+def test_prometheus_text_matches_golden():
+    golden("metrics.prom", prometheus_text(fixture_registry()))
+
+
+def test_prometheus_escaping_round_trips():
+    text = prometheus_text(fixture_registry())
+    line = next(ln for ln in text.splitlines()
+                if ln.startswith("weird_labels{"))
+    assert '\n' not in line                     # newline escaped, not raw
+    assert '\\"in\\"' in line and "\\\\tmp" in line and "\\n" in line
+    help_line = next(ln for ln in text.splitlines()
+                     if ln.startswith("# HELP weird_labels"))
+    assert "\\nand" in help_line
+
+
+def test_histogram_exposition_is_cumulative():
+    text = prometheus_text(fixture_registry())
+    buckets = [ln for ln in text.splitlines()
+               if ln.startswith("shuffle_partition_bytes_bucket")]
+    counts = [int(ln.rsplit(" ", 1)[1]) for ln in buckets]
+    assert counts == [1, 2, 3]                  # cumulative, +Inf == count
+    assert 'le="+Inf"' in buckets[-1]
+
+
+def test_metrics_csv_matches_golden():
+    golden("metrics.csv", metrics_csv(fixture_registry()))
+
+
+def test_spans_csv_matches_golden():
+    golden("spans.csv", spans_csv(fixture_tracer().spans))
+
+
+def test_spans_csv_excludes_open_spans():
+    text = spans_csv(fixture_tracer().spans)
+    assert "vm-open" not in text
+
+
+@pytest.mark.parametrize("name", ["chrome_trace.json", "metrics.prom",
+                                  "metrics.csv", "spans.csv"])
+def test_goldens_are_checked_in(name):
+    assert (GOLDENS / name).is_file()

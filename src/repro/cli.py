@@ -21,7 +21,7 @@ from repro.experiments import (chaos_faults, fig2_wordcount, fig3_mrbench,
                                fig4_terasort_dfsio, fig5_migration,
                                fig6_synthetic_control,
                                fig7_display_clustering, fig8_cluster_visuals,
-                               observatory, sched_policies,
+                               observatory, sched_policies, service,
                                table1_benchmarks, telemetry_demo)
 
 
@@ -93,6 +93,10 @@ def _run_observatory(args) -> list:
     return [observatory.run(seed=args.seed, quick=args.quick)]
 
 
+def _run_service(args) -> list:
+    return [service.run(seed=args.seed, quick=args.quick)]
+
+
 _EXPERIMENTS: dict[str, Callable] = {
     "table1": _run_table1,
     "fig2": _run_fig2,
@@ -107,6 +111,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "telemetry": _run_telemetry,
     "chaos": _run_chaos,
     "observatory": _run_observatory,
+    "service": _run_service,
 }
 
 

@@ -1,19 +1,52 @@
-"""On-demand vHadoop service (the paper's future work, implemented).
+"""The cloud service layer (the paper's future work, implemented).
 
 "Future work will include integrating the vHadoop platform to open source
 cloud computing system to provide scalable on-demand computation service
 for processing data-intensive (or big-data) applications with parallel
 machine learning algorithms."  (paper, Section VI)
 
-:class:`~repro.cloud.service.OnDemandVHadoopService` accepts job requests,
-elastically provisions hadoop virtual clusters against the datacenter's
-DRAM capacity (booting VMs from the NFS image store), queues requests that
-do not fit, runs each job, and tears the cluster down — an EMR-style
-cluster-per-job service on top of the platform.
+Three service shapes on top of the platform:
+
+* :class:`~repro.cloud.service.OnDemandVHadoopService` — EMR-style
+  cluster-per-job: provision, run, tear down (capacity-gated admission
+  through an :class:`~repro.cloud.admission.AgingFifoGate`);
+* :class:`~repro.cloud.service.SharedVHadoopService` — one warm cluster,
+  jobs interleaved at slot granularity under a scheduler policy;
+* the **always-on service mode** — open-loop traffic
+  (:mod:`repro.cloud.traffic`) from a tenant fleet
+  (:mod:`repro.cloud.tenants`) through admission control
+  (:mod:`repro.cloud.admission`) into a
+  :class:`~repro.cloud.controller.ServiceController`, with SLO alerting
+  and alert-driven elastic autoscaling
+  (:mod:`repro.cloud.autoscaler`) — the platform's first closed
+  monitor → decide → actuate loop.
 """
 
+from repro.cloud.admission import (ADMIT, DEFER, REJECT_IMPOSSIBLE,
+                                   REJECT_OVERLOAD, REJECT_QUOTA,
+                                   AdmissionController, AdmissionDecision,
+                                   AgingFifoGate)
+from repro.cloud.autoscaler import (AlertCursor, ElasticAutoscaler,
+                                    ScalingAction)
+from repro.cloud.controller import (CostModel, ServiceController,
+                                    ServiceReport, SharedClusterBackend,
+                                    SlotModelBackend)
 from repro.cloud.service import (OnDemandVHadoopService, ServiceOutcome,
                                  ServiceRequest, SharedVHadoopService)
+from repro.cloud.tenants import (LatencyHistogram, TenantRegistry,
+                                 TenantSpec, TenantStats)
+from repro.cloud.traffic import (Arrival, BurstTraffic, DiurnalTraffic,
+                                 PoissonTraffic, TraceReplay, trace_digest)
 
-__all__ = ["OnDemandVHadoopService", "ServiceOutcome", "ServiceRequest",
-           "SharedVHadoopService"]
+__all__ = [
+    "ADMIT", "DEFER", "REJECT_IMPOSSIBLE", "REJECT_OVERLOAD",
+    "REJECT_QUOTA",
+    "AdmissionController", "AdmissionDecision", "AgingFifoGate",
+    "AlertCursor", "Arrival", "BurstTraffic", "CostModel",
+    "DiurnalTraffic", "ElasticAutoscaler", "LatencyHistogram",
+    "OnDemandVHadoopService", "PoissonTraffic", "ScalingAction",
+    "ServiceController", "ServiceOutcome", "ServiceReport",
+    "ServiceRequest", "SharedClusterBackend", "SharedVHadoopService",
+    "SlotModelBackend", "TenantRegistry", "TenantSpec", "TenantStats",
+    "TraceReplay", "trace_digest",
+]

@@ -1,0 +1,133 @@
+"""Admission control for both cloud service modes.
+
+Two admission mechanisms live here:
+
+* :class:`AgingFifoGate` — the capacity gate of the cluster-per-job
+  :class:`~repro.cloud.service.OnDemandVHadoopService`, extracted from its
+  historical ``_admit`` scan: FIFO with bounded skipping, where each
+  admission that jumps a waiting request ages it and an aged-out queue
+  head stops the scan (no starvation of large requests behind small
+  ones).
+
+* :class:`AdmissionController` — the always-on service's per-arrival
+  policy: a hard per-tenant in-flight quota, then graded load shedding by
+  priority class once the service overloads.  Batch traffic sheds first
+  (at ``shed_start``), interactive last (at ``shed_hard``), standard
+  midway — so an overloaded service degrades from the bottom of the
+  priority ladder upward instead of collapsing uniformly.
+
+Every decision is an explicit :data:`AdmissionDecision` with a stable
+reason string; decisions are pure functions of their inputs (no RNG), so
+same-seed runs reject byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.cloud.tenants import TenantSpec, TenantStats
+from repro.errors import ConfigError
+
+# -- decisions ---------------------------------------------------------------
+ADMIT = "admit"
+DEFER = "defer"                      # queued, not yet schedulable
+REJECT_QUOTA = "reject-quota"        # tenant over its in-flight quota
+REJECT_OVERLOAD = "reject-overload"  # shed by priority under overload
+REJECT_IMPOSSIBLE = "reject-impossible"  # can never fit this datacenter
+
+DECISIONS = (ADMIT, DEFER, REJECT_QUOTA, REJECT_OVERLOAD, REJECT_IMPOSSIBLE)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One arrival's verdict, with a stable human-readable reason."""
+
+    decision: str
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.decision not in DECISIONS:
+            raise ConfigError(f"unknown decision {self.decision!r}")
+
+    @property
+    def admitted(self) -> bool:
+        return self.decision == ADMIT
+
+    @property
+    def rejected(self) -> bool:
+        return self.decision in (REJECT_QUOTA, REJECT_OVERLOAD,
+                                 REJECT_IMPOSSIBLE)
+
+
+class AdmissionController:
+    """Quota + graded-priority load shedding for the always-on service.
+
+    ``overload`` is the caller-supplied pressure signal — the controller
+    uses backlog per schedulable slot.  Below ``shed_start`` everything
+    within quota is admitted; between ``shed_start`` and ``shed_hard`` the
+    priority ladder sheds bottom-up (batch, then standard); at or above
+    ``shed_hard`` even interactive traffic is shed.
+    """
+
+    def __init__(self, shed_start: float = 2.0, shed_hard: float = 4.0):
+        if not 0 < shed_start < shed_hard:
+            raise ConfigError("need 0 < shed_start < shed_hard")
+        self.shed_start = float(shed_start)
+        self.shed_hard = float(shed_hard)
+
+    def shed_threshold(self, spec: TenantSpec) -> float:
+        """Overload level at which this tenant's class starts shedding."""
+        n_ranks = 3  # interactive / standard / batch
+        step = (self.shed_hard - self.shed_start) / (n_ranks - 1)
+        # rank 0 (interactive) sheds at shed_hard, rank 2 (batch) at
+        # shed_start.
+        return self.shed_start + step * (n_ranks - 1 - spec.priority_rank)
+
+    def decide(self, spec: TenantSpec, stats: TenantStats,
+               overload: float) -> AdmissionDecision:
+        if stats.inflight >= spec.quota_inflight:
+            return AdmissionDecision(
+                REJECT_QUOTA,
+                f"inflight={stats.inflight} >= quota={spec.quota_inflight}")
+        threshold = self.shed_threshold(spec)
+        if overload >= threshold:
+            return AdmissionDecision(
+                REJECT_OVERLOAD,
+                f"overload={overload:.3f} >= {threshold:.3f} "
+                f"({spec.priority})")
+        return AdmissionDecision(ADMIT)
+
+
+class AgingFifoGate:
+    """FIFO-with-bounded-skipping admission over a waiting queue.
+
+    Entries must expose a mutable ``skips`` counter.  ``admittable``
+    yields, in scan order, each entry that currently ``fits`` — aging
+    every blocked entry it jumps — and stops early once the queue head
+    has exhausted its skip budget (``max_head_skips``; ``None`` means
+    unbounded skipping, ``0`` strict FIFO).
+
+    It is a generator on purpose: the caller reserves capacity for each
+    yielded entry *before* advancing, so later ``fits`` checks see the
+    reduced capacity and same-instant admissions cannot double-book.
+    """
+
+    def __init__(self, max_head_skips: Optional[int] = 16):
+        if max_head_skips is not None and max_head_skips < 0:
+            raise ConfigError("max_head_skips must be >= 0 or None")
+        self.max_head_skips = max_head_skips
+
+    def admittable(self, queue: list,
+                   fits: Callable[[object], bool]) -> Iterator[object]:
+        blocked: list = []
+        for entry in list(queue):
+            if (self.max_head_skips is not None and blocked
+                    and blocked[0].skips >= self.max_head_skips):
+                return  # the head has aged out its skip budget
+            if not fits(entry):
+                blocked.append(entry)
+                continue
+            for older in blocked:
+                older.skips += 1
+            yield entry

@@ -1,0 +1,602 @@
+"""The always-on service controller: traffic → admission → backend → SLOs.
+
+:class:`ServiceController` runs as a pair of sim processes over one
+arrival stream:
+
+* the **offer** process replays the open-loop traffic, asks the
+  :class:`~repro.cloud.admission.AdmissionController` for a verdict per
+  arrival (quota, then graded load shedding) and hands admitted work to
+  the backend;
+* the **control** process ticks every ``tick_s``: it evaluates the
+  :data:`~repro.observatory.slo.SERVICE_SLOS` against rolling service
+  state (backlog per slot, rolling p99 vs target, rejection rate) into an
+  :class:`~repro.observatory.slo.AlertBook` with hysteresis, lets the
+  :class:`~repro.cloud.autoscaler.ElasticAutoscaler` act on the book, and
+  samples the public timeline (workers / backlog / in-flight /
+  utilisation / p99).
+
+Two backends provide two fidelities of the same contract:
+
+* :class:`SharedClusterBackend` — every admitted arrival becomes a real
+  MapReduce job on a warm :class:`~repro.cloud.service.SharedVHadoopService`
+  cluster (full task/shuffle/HDFS simulation).  Use for demos, tests and
+  for *calibrating* the surrogate.
+* :class:`SlotModelBackend` — a job-granularity queueing surrogate: an
+  elastic pool of service slots where a job's service time comes from a
+  :class:`CostModel` fitted against real scheduler runs.  ~2 kernel
+  events per job, which is what makes million-submission experiments
+  tractable.
+
+Determinism: arrivals, decisions and completions are pure functions of
+the seed; :meth:`ServiceReport.digest` pins the whole run (trace digest,
+counters, autoscaler actions, alert history) and CI compares it across
+two fresh processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cloud.admission import (ADMIT, REJECT_OVERLOAD, REJECT_QUOTA,
+                                   AdmissionController)
+from repro.cloud.tenants import LatencyHistogram, TenantRegistry
+from repro.cloud.traffic import Arrival, ArrivalProcess
+from repro.errors import ConfigError
+from repro.observatory.slo import SERVICE_SLOS, AlertBook
+from repro.telemetry import events as EV
+
+
+# -- the surrogate cost model ------------------------------------------------
+@dataclass(frozen=True)
+class CostModel:
+    """Linear job-service-time model: ``base_s + per_mb_s * size_mb``.
+
+    Fit it from real runs (:meth:`fit`) so the surrogate backend's
+    latencies track the full simulation's.
+    """
+
+    base_s: float = 30.0
+    per_mb_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0 or self.per_mb_s < 0:
+            raise ConfigError("need base_s > 0 and per_mb_s >= 0")
+
+    def service_time(self, size_mb: float) -> float:
+        return self.base_s + self.per_mb_s * size_mb
+
+    @classmethod
+    def fit(cls, samples: list) -> "CostModel":
+        """Least-squares fit of (size_mb, elapsed_s) pairs."""
+        if len(samples) < 2:
+            raise ConfigError("need >= 2 calibration samples")
+        n = len(samples)
+        sx = sum(s for s, _ in samples)
+        sy = sum(e for _, e in samples)
+        sxx = sum(s * s for s, _ in samples)
+        sxy = sum(s * e for s, e in samples)
+        denom = n * sxx - sx * sx
+        if abs(denom) < 1e-12:
+            return cls(base_s=max(1e-3, sy / n), per_mb_s=0.0)
+        slope = (n * sxy - sx * sy) / denom
+        intercept = (sy - slope * sx) / n
+        return cls(base_s=max(1e-3, intercept), per_mb_s=max(0.0, slope))
+
+
+# -- backends ----------------------------------------------------------------
+class _SurrogatePool:
+    """ScalingTarget over the surrogate backend's slot count."""
+
+    def __init__(self, backend: "SlotModelBackend", min_size: int,
+                 max_size: int, boot_s: float):
+        self.backend = backend
+        self.min_size = min_size
+        self.max_size = max_size
+        self.boot_s = boot_s
+        self.booting = 0
+        self.retired = 0
+
+    @property
+    def size(self) -> int:
+        return self.backend.slots + self.booting
+
+    def grow(self, n: int = 1, avoid_hosts=()) -> int:
+        started = 0
+        for _ in range(n):
+            if self.size >= self.max_size:
+                break
+            self.booting += 1
+            self.backend.sim.process(self._bring_up(),
+                                     name="svc-surrogate:boot")
+            started += 1
+        return started
+
+    def _bring_up(self):
+        yield self.backend.sim.timeout(self.boot_s)
+        self.booting -= 1
+        self.backend.add_slot()
+
+    def shrink(self, n: int = 1) -> int:
+        stopped = 0
+        for _ in range(n):
+            if self.size <= self.min_size:
+                break
+            if not self.backend.remove_slot():
+                break
+            self.retired += 1
+            stopped += 1
+        return stopped
+
+
+class SlotModelBackend:
+    """Job-granularity queueing surrogate over an elastic slot pool.
+
+    Admitted jobs queue FIFO; each of ``slots`` perpetual worker
+    processes takes the head, holds it for ``cost.service_time(size_mb)``
+    and reports completion.  No tasks, no shuffle, no HDFS — the
+    :class:`CostModel` stands in for all of it, calibrated against the
+    full simulation.
+    """
+
+    def __init__(self, sim, cost: CostModel, slots: int,
+                 elastic_min: Optional[int] = None, elastic_max: int = 512,
+                 boot_s: float = 45.0):
+        if slots < 1:
+            raise ConfigError("slots must be >= 1")
+        self.sim = sim
+        self.cost = cost
+        self.slots = 0
+        #: Set by the controller: ``on_done(tenant, submitted_at, wait_s)``.
+        self.on_done: Optional[Callable] = None
+        self._queue: deque = deque()   # (tenant, size_mb, enqueued_at)
+        #: One park event per idle worker — a submission wakes exactly one
+        #: worker, not the whole pool (no thundering herd at 1M arrivals).
+        self._parked: deque = deque()
+        self._retiring = 0
+        self.busy = 0
+        self.pool = _SurrogatePool(
+            self, min_size=slots if elastic_min is None else elastic_min,
+            max_size=elastic_max, boot_s=boot_s)
+        for _ in range(slots):
+            self.add_slot()
+
+    # -- capacity ----------------------------------------------------------
+    def add_slot(self) -> None:
+        self.slots += 1
+        self.sim.process(self._worker(), name="svc-surrogate:slot")
+
+    def remove_slot(self) -> bool:
+        """Gracefully retire one slot (takes effect between jobs)."""
+        if self.slots - self._retiring <= 0:
+            return False
+        self._retiring += 1
+        self._signal()  # a parked worker can exit immediately
+        return True
+
+    def total_slots(self) -> int:
+        return self.slots - self._retiring
+
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def utilization(self) -> float:
+        total = self.total_slots()
+        return self.busy / total if total > 0 else 1.0
+
+    # -- the service loop --------------------------------------------------
+    def submit(self, arrival: Arrival, spec) -> None:
+        self._queue.append((arrival.tenant, arrival.size_mb, self.sim.now))
+        self._signal()
+
+    def _signal(self) -> None:
+        if self._parked:
+            self._parked.popleft().succeed(None)
+
+    def _worker(self):
+        while True:
+            if self._retiring > 0:
+                self._retiring -= 1
+                self.slots -= 1
+                return
+            if not self._queue:
+                park = self.sim.event()
+                self._parked.append(park)
+                yield park
+                continue
+            tenant, size_mb, enqueued_at = self._queue.popleft()
+            wait_s = self.sim.now - enqueued_at
+            self.busy += 1
+            yield self.sim.timeout(self.cost.service_time(size_mb))
+            self.busy -= 1
+            if self.on_done is not None:
+                self.on_done(tenant, enqueued_at, wait_s, True)
+
+
+class SharedClusterBackend:
+    """Full-fidelity backend: real jobs on a warm shared cluster.
+
+    Every admitted arrival is turned into a :class:`ServiceRequest` (by
+    default a wordcount over a small materialized sample whose serialized
+    sizes are scaled to the arrival's ``size_mb`` — the volume-scaling
+    trick the experiments use) and submitted to the tenant's priority
+    pool on the :class:`~repro.cloud.service.SharedVHadoopService`.
+    """
+
+    #: Fixed sample corpus; sizes are scaled per arrival.
+    SAMPLE_LINES = ["alpha beta gamma delta", "beta gamma", "gamma delta",
+                    "delta epsilon zeta"] * 4
+
+    def __init__(self, service, request_factory: Optional[Callable] = None,
+                 pool=None):
+        self.service = service
+        self.sim = service.sim
+        self.scheduler = service.scheduler
+        self.request_factory = request_factory or self._default_request
+        #: The autoscaler's actuator (an ElasticWorkerPool), if any.
+        self.pool = pool
+        self.on_done: Optional[Callable] = None
+
+    def _default_request(self, arrival: Arrival):
+        from repro.cloud.service import ServiceRequest
+        from repro.workloads.wordcount import (lines_as_records,
+                                               wordcount_job)
+        records = lines_as_records(self.SAMPLE_LINES)
+        per_record = max(1, int(arrival.size_mb * (1 << 20) / len(records)))
+        return ServiceRequest(
+            name=arrival.request_id,
+            n_nodes=2,  # ignored by the shared service
+            records=records,
+            make_job=lambda inp, out: wordcount_job(inp, out, n_reduces=2),
+            sizeof=lambda record: per_record,
+            tenant=arrival.tenant)
+
+    def submit(self, arrival: Arrival, spec) -> None:
+        request = self.request_factory(arrival)
+        submitted_at = self.sim.now
+        event = self.service.submit(request, pool=spec.priority)
+        self.sim.process(self._watch(event, arrival.tenant, submitted_at),
+                         name=f"svc-watch:{arrival.request_id}")
+
+    def _watch(self, event, tenant: str, submitted_at: float):
+        try:
+            outcome = yield event
+            wait_s = (outcome.report.wait_s
+                      if outcome.report is not None else 0.0)
+            ok = True
+        except Exception:
+            wait_s, ok = 0.0, False
+        if self.on_done is not None:
+            self.on_done(tenant, submitted_at, wait_s, ok)
+
+    def backlog(self) -> int:
+        return (self.scheduler.backlog("map")
+                + self.scheduler.backlog("reduce"))
+
+    def total_slots(self) -> int:
+        return self.scheduler.total_slots("map")
+
+    def utilization(self) -> float:
+        busy = total = 0
+        from repro.virt.vm import VMState
+        for tracker in self.scheduler.cluster.trackers:
+            if tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
+                continue
+            busy += tracker.map_slots.in_use + tracker.reduce_slots.in_use
+            total += (tracker.map_slots.capacity
+                      + tracker.reduce_slots.capacity)
+        return busy / total if total else 1.0
+
+
+# -- the report --------------------------------------------------------------
+@dataclass
+class TimelinePoint:
+    at: float
+    workers: int
+    backlog: int
+    inflight: int
+    utilization: float
+    p99: float
+
+    def as_row(self) -> list:
+        return [round(self.at, 3), self.workers, self.backlog,
+                self.inflight, round(self.utilization, 4),
+                round(self.p99, 3)]
+
+
+class ServiceReport:
+    """Everything measured about one service run."""
+
+    def __init__(self, name: str, tenants: TenantRegistry,
+                 book: AlertBook):
+        self.name = name
+        self.tenants = tenants
+        self.book = book
+        self.submitted = 0
+        self.admitted = 0
+        self.rejected_quota = 0
+        self.rejected_overload = 0
+        self.completed = 0
+        self.failed = 0
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+        self.timeline: list[TimelinePoint] = []
+        self.actions: list = []          # autoscaler ScalingActions
+        self.trace_digest = ""
+        self.horizon_s = 0.0
+        self.finished_at = 0.0
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_quota + self.rejected_overload
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.submitted if self.submitted else 0.0
+
+    @property
+    def goodput(self) -> float:
+        return self.completed / self.submitted if self.submitted else 0.0
+
+    def counters(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected_quota": self.rejected_quota,
+            "rejected_overload": self.rejected_overload,
+            "completed": self.completed,
+            "failed": self.failed,
+            "alerts": len(self.book.alerts),
+            "scaling_actions": len(self.actions),
+        }
+
+    def digest(self) -> str:
+        """Stable digest over counters, tenants, actions and alerts."""
+        h = hashlib.sha256()
+        for key, value in sorted(self.counters().items()):
+            h.update(f"{key}={value}\n".encode())
+        for name in sorted(self.tenants.names):
+            stats = self.tenants.stats(name)
+            h.update((f"{name}|{stats.submitted}|{stats.admitted}|"
+                      f"{stats.rejected}|{stats.completed}\n").encode())
+        for action in self.actions:
+            h.update(action.line().encode())
+            h.update(b"\n")
+        h.update(self.book.digest().encode())
+        h.update(self.trace_digest.encode())
+        return h.hexdigest()[:16]
+
+    def as_dict(self, timeline_stride: int = 1) -> dict:
+        per_tenant = {name: self.tenants.stats(name).as_dict()
+                      for name in sorted(self.tenants.names)}
+        return {
+            "service": self.name,
+            "horizon_s": self.horizon_s,
+            "finished_at": round(self.finished_at, 3),
+            "counters": self.counters(),
+            "rejection_rate": round(self.rejection_rate, 6),
+            "goodput": round(self.goodput, 6),
+            "latency_p50": round(self.latency.p50, 3),
+            "latency_p99": round(self.latency.p99, 3),
+            "wait_p50": round(self.queue_wait.p50, 3),
+            "wait_p99": round(self.queue_wait.p99, 3),
+            "n_tenants": len(self.tenants),
+            "tenants": per_tenant,
+            "timeline": [p.as_row() for p
+                         in self.timeline[::max(1, timeline_stride)]],
+            "scaling_actions": [a.line() for a in self.actions],
+            "alerts": [a.slo for a in self.book.alerts],
+            "trace_digest": self.trace_digest,
+            "digest": self.digest(),
+        }
+
+    def to_json(self, timeline_stride: int = 1) -> str:
+        return json.dumps(self.as_dict(timeline_stride), indent=2,
+                          sort_keys=True)
+
+
+# -- the controller ----------------------------------------------------------
+class ServiceController:
+    """Runs one always-on service: open-loop traffic through admission
+    into a backend, with SLO evaluation and (optionally) autoscaling."""
+
+    def __init__(self, sim, backend, tenants: TenantRegistry,
+                 traffic: ArrivalProcess,
+                 admission: Optional[AdmissionController] = None,
+                 book: Optional[AlertBook] = None,
+                 autoscaler=None,
+                 name: str = "service",
+                 tick_s: float = 5.0,
+                 latency_target_s: float = 600.0,
+                 rolling_ticks: int = 24,
+                 tracer=None, metrics=None,
+                 verbose_telemetry: bool = False):
+        if tick_s <= 0:
+            raise ConfigError("tick_s must be positive")
+        if rolling_ticks < 1:
+            raise ConfigError("rolling_ticks must be >= 1")
+        self.sim = sim
+        self.backend = backend
+        self.tenants = tenants
+        self.traffic = traffic
+        self.admission = admission or AdmissionController()
+        self.book = book if book is not None else AlertBook(sim=sim,
+                                                            tracer=tracer)
+        for spec in SERVICE_SLOS:
+            if spec.name not in self.book.slos:
+                self.book.register(spec)
+        self.autoscaler = autoscaler
+        self.name = name
+        self.tick_s = tick_s
+        self.latency_target_s = latency_target_s
+        self.tracer = tracer
+        self.metrics = metrics
+        #: Per-request trace events are off by default: a million-arrival
+        #: run must not materialize a million TraceEvents.  Aggregates
+        #: always flow into the metrics registry.
+        self.verbose_telemetry = verbose_telemetry
+        self.report = ServiceReport(name, tenants, self.book)
+        self.inflight = 0
+        backend.on_done = self._on_done
+        self._trace_hash = hashlib.sha256()
+        self._offer_done = False
+        # Rolling per-tick windows for the SLO signals.
+        self._window: deque = deque(maxlen=rolling_ticks)
+        self._tick_hist = LatencyHistogram()
+        self._tick_submitted = 0
+        self._tick_rejected = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def run(self, horizon_s: float) -> ServiceReport:
+        """Offer traffic until ``horizon_s``, drain, return the report."""
+        if horizon_s <= 0:
+            raise ConfigError("horizon_s must be positive")
+        self.report.horizon_s = horizon_s
+        done = self.sim.event()
+        self.sim.process(self._offer(horizon_s),
+                         name=f"svc-ctl:offer:{self.name}")
+        self.sim.process(self._control(done),
+                         name=f"svc-ctl:tick:{self.name}")
+        self.sim.run_until(done)
+        self.report.finished_at = self.sim.now
+        self.report.trace_digest = self._trace_hash.hexdigest()[:16]
+        if self.autoscaler is not None:
+            self.report.actions = list(self.autoscaler.actions)
+        return self.report
+
+    # -- offer path --------------------------------------------------------
+    def _offer(self, horizon_s: float):
+        for arrival in self.traffic.stream(horizon_s):
+            delay = arrival.at - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self._handle(arrival)
+        self._offer_done = True
+
+    def _handle(self, arrival: Arrival) -> None:
+        self._trace_hash.update(arrival.line().encode("utf-8"))
+        self._trace_hash.update(b"\n")
+        spec = self.tenants.spec(arrival.tenant)
+        stats = self.tenants.stats(arrival.tenant)
+        stats.submitted += 1
+        self.report.submitted += 1
+        self._tick_submitted += 1
+        slots = self.backend.total_slots()
+        overload = self.backend.backlog() / max(1, slots)
+        decision = self.admission.decide(spec, stats, overload)
+        if self.verbose_telemetry and self.tracer is not None:
+            self.tracer.emit(self.sim.now, EV.CLOUD_ADMISSION,
+                             arrival.request_id, tenant=arrival.tenant,
+                             decision=decision.decision,
+                             reason=decision.reason)
+        if decision.decision == REJECT_QUOTA:
+            stats.rejected_quota += 1
+            self.report.rejected_quota += 1
+            self._tick_rejected += 1
+            return
+        if decision.decision == REJECT_OVERLOAD:
+            stats.rejected_overload += 1
+            self.report.rejected_overload += 1
+            self._tick_rejected += 1
+            return
+        assert decision.decision == ADMIT
+        stats.admitted += 1
+        stats.inflight += 1
+        self.report.admitted += 1
+        self.inflight += 1
+        self.backend.submit(arrival, spec)
+
+    def _on_done(self, tenant: str, submitted_at: float, wait_s: float,
+                 ok: bool) -> None:
+        now = self.sim.now
+        latency = now - submitted_at
+        stats = self.tenants.stats(tenant)
+        stats.inflight -= 1
+        self.inflight -= 1
+        if ok:
+            stats.completed += 1
+            self.report.completed += 1
+            stats.latency.observe(latency)
+            stats.queue_wait.observe(wait_s)
+            stats.busy_slot_seconds += latency - wait_s
+            self.report.latency.observe(latency)
+            self.report.queue_wait.observe(wait_s)
+            self._tick_hist.observe(latency)
+        else:
+            stats.failed += 1
+            self.report.failed += 1
+        if self.verbose_telemetry and self.tracer is not None:
+            self.tracer.emit(now, EV.SERVICE_REQUEST_DONE, tenant,
+                             latency=latency, wait=wait_s, ok=ok)
+
+    # -- control path ------------------------------------------------------
+    def _control(self, done):
+        while True:
+            yield self.sim.timeout(self.tick_s)
+            self._tick()
+            if (self._offer_done and self.inflight == 0
+                    and self.backend.backlog() == 0):
+                break
+        done.succeed(None)
+
+    def _rolling(self) -> tuple[float, float]:
+        """(rolling p99, rolling rejection rate) over the window."""
+        merged = LatencyHistogram()
+        submitted = rejected = 0
+        for hist, sub, rej in self._window:
+            merged.merge(hist)
+            submitted += sub
+            rejected += rej
+        rate = rejected / submitted if submitted else 0.0
+        return merged.p99, rate
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        self._window.append((self._tick_hist, self._tick_submitted,
+                             self._tick_rejected))
+        self._tick_hist = LatencyHistogram()
+        self._tick_submitted = 0
+        self._tick_rejected = 0
+
+        slots = self.backend.total_slots()
+        backlog = self.backend.backlog()
+        utilization = self.backend.utilization()
+        p99, rejection_rate = self._rolling()
+        self._evaluate_slos(backlog / max(1, slots), p99, rejection_rate)
+        if self.autoscaler is not None:
+            self.autoscaler.tick(now, utilization)
+        self.report.timeline.append(TimelinePoint(
+            at=now, workers=slots, backlog=backlog, inflight=self.inflight,
+            utilization=utilization, p99=p99))
+        if self.metrics is not None:
+            labels = {"service": self.name}
+            self.metrics.gauge("service.backlog", "queued jobs",
+                               labels).set(backlog)
+            self.metrics.gauge("service.inflight", "admitted jobs in "
+                               "flight", labels).set(self.inflight)
+            self.metrics.gauge("service.slots", "schedulable service "
+                               "slots", labels).set(slots)
+            self.metrics.gauge("service.utilization", "busy slot "
+                               "fraction", labels).set(utilization)
+
+    def _evaluate_slos(self, backlog_per_slot: float, p99: float,
+                       rejection_rate: float) -> None:
+        """Fire/resolve the service SLOs with 0.5x-threshold hysteresis."""
+        signals = {
+            "service-backlog": (backlog_per_slot, "capacity"),
+            "service-p99": (p99 / self.latency_target_s
+                            if self.latency_target_s > 0 else 0.0,
+                            "capacity"),
+            "service-rejection": (rejection_rate, "admission"),
+        }
+        for slo, (value, attribution) in signals.items():
+            spec = self.book.spec(slo)
+            if spec.violated_by(value):
+                self.book.fire(slo, self.name, value, attribution,
+                               detail=f"{spec.signal}={value:.3f}")
+            elif (self.book.is_active(slo, self.name)
+                    and value < spec.threshold * 0.5):
+                self.book.resolve(slo, self.name)

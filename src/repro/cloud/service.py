@@ -23,6 +23,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro.cloud.admission import (ADMIT, DEFER, REJECT_IMPOSSIBLE,
+                                   AgingFifoGate)
 from repro.config import HadoopConfig, VMConfig
 from repro.errors import ConfigError, PlacementError
 from repro.hdfs.client import default_sizeof
@@ -49,6 +51,9 @@ class ServiceRequest:
     sizeof: Callable[[Any], int] = default_sizeof
     vm_config: Optional[VMConfig] = None
     hadoop_config: Optional[HadoopConfig] = None
+    #: Who submitted it — admission decisions and service accounting key
+    #: on this (see :mod:`repro.cloud.tenants`).
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -85,6 +90,9 @@ class _QueueEntry:
     done: Event
     outcome: ServiceOutcome
     skips: int = 0
+    #: Whether the defer decision has been announced (one telemetry event
+    #: per stay in the queue, not one per admission scan).
+    deferred: bool = False
 
 
 class OnDemandVHadoopService:
@@ -99,19 +107,35 @@ class OnDemandVHadoopService:
 
     def __init__(self, platform: VHadoopPlatform,
                  max_head_skips: Optional[int] = 16):
-        if max_head_skips is not None and max_head_skips < 0:
-            raise ConfigError("max_head_skips must be >= 0 or None")
+        self._gate = AgingFifoGate(max_head_skips)
         self.platform = platform
         self.datacenter = platform.datacenter
         self.sim = platform.sim
-        self.max_head_skips = max_head_skips
         self._queue: list[_QueueEntry] = []
         self._ids = itertools.count()
         self.completed: list[ServiceOutcome] = []
 
+    @property
+    def max_head_skips(self) -> Optional[int]:
+        return self._gate.max_head_skips
+
     # -- public --------------------------------------------------------------
     def submit(self, request: ServiceRequest) -> Event:
-        """Queue a request; the event's value is a :class:`ServiceOutcome`."""
+        """Queue a request; the event's value is a :class:`ServiceOutcome`.
+
+        A request that could never fit the datacenter — more nodes than
+        its total (empty) capacity holds — is rejected synchronously with
+        :class:`~repro.errors.PlacementError` instead of queueing forever.
+        """
+        capacity = self._max_possible_nodes(request)
+        if request.n_nodes > capacity:
+            self._announce(request, REJECT_IMPOSSIBLE,
+                           f"n_nodes={request.n_nodes} > datacenter "
+                           f"capacity {capacity}")
+            raise PlacementError(
+                f"request {request.name!r} wants {request.n_nodes} nodes "
+                f"but the datacenter can host at most {capacity} VMs of "
+                f"its size")
         done = self.sim.event()
         outcome = ServiceOutcome(request=request, submitted_at=self.sim.now)
         self._queue.append(_QueueEntry(request, done, outcome))
@@ -140,39 +164,51 @@ class OnDemandVHadoopService:
                     for machine in self.datacenter.machines)
         return slots >= request.n_nodes
 
+    def _max_possible_nodes(self, request: ServiceRequest) -> int:
+        """VMs of this request's size an *empty* datacenter could host."""
+        memory = self._vm_memory(request)
+        return sum(machine.config.guest_dram // memory
+                   for machine in self.datacenter.machines)
+
+    def _announce(self, request: ServiceRequest, decision: str,
+                  reason: str) -> None:
+        """Emit the admission-decision telemetry event (one per verdict)."""
+        self.datacenter.tracer.emit(
+            self.sim.now, EV.CLOUD_ADMISSION, request.name,
+            tenant=request.tenant, decision=decision, reason=reason)
+
     def _admit(self) -> None:
         """Start every queued request that currently fits (FIFO scan with
-        bounded skipping).
+        bounded skipping — see :class:`~repro.cloud.admission.AgingFifoGate`).
 
         Admission reserves the cluster's DRAM *synchronously* (a hold per
         VM) so that several same-instant admissions cannot double-book the
         capacity; the hold is swapped for real VM residency when the serve
-        process provisions.
-
-        A request that fits may skip ahead of older ones that do not — but
-        each admission that jumps a waiting request ages it, and once the
-        queue head has been skipped ``max_head_skips`` times the scan stops
-        there: nothing younger is admitted until the head fits.
+        process provisions.  Each verdict is announced as a
+        ``cloud.admission.decision`` event: ``admit`` when a request
+        starts, ``defer`` the first time it is left waiting.
         """
-        blocked: list[_QueueEntry] = []
-        for entry in list(self._queue):
-            if (self.max_head_skips is not None and blocked
-                    and blocked[0].skips >= self.max_head_skips):
-                break  # the head has aged out its skip budget
-            if not self._fits(entry.request):
-                blocked.append(entry)
-                continue
-            for older in blocked:
-                older.skips += 1
+        for entry in self._gate.admittable(
+                self._queue, lambda e: self._fits(e.request)):
             request = entry.request
             self._queue.remove(entry)
             hosts = self._place(request)
             memory = self._vm_memory(request)
             for machine in hosts:
                 machine.reserve_dram(memory, f"svc-hold:{request.name}")
+            self._announce(request, ADMIT,
+                           f"fits n_nodes={request.n_nodes}"
+                           + (f" after {entry.skips} skips"
+                              if entry.skips else ""))
             self.sim.process(
                 self._serve(request, entry.done, entry.outcome, hosts),
                 name=f"svc:{request.name}")
+        for entry in self._queue:
+            if not entry.deferred:
+                entry.deferred = True
+                self._announce(entry.request, DEFER,
+                               f"insufficient capacity for "
+                               f"n_nodes={entry.request.n_nodes}")
 
     # -- serving -------------------------------------------------------------
     def _place(self, request: ServiceRequest) -> list:

@@ -1,0 +1,266 @@
+"""Tenants of the always-on service: specs, SLOs and per-tenant accounting.
+
+A :class:`TenantSpec` declares who a tenant is (priority class, in-flight
+quota, latency target); the :class:`TenantRegistry` owns the fleet and can
+mint deterministic synthetic fleets for experiments.  Per-tenant outcomes
+accumulate in :class:`TenantStats`, whose latency percentiles come from a
+:class:`LatencyHistogram` — log-spaced bins with O(1) memory, so a million
+completions cost nothing to rank and two same-seed runs quantise
+identically (bin edges are pure functions of the constructor arguments).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+
+#: Priority classes, most important first.  Admission sheds load from the
+#: bottom of this ladder upward (batch first, interactive last).
+PRIORITIES = ("interactive", "standard", "batch")
+
+
+class LatencyHistogram:
+    """Fixed log-spaced latency histogram with deterministic quantiles.
+
+    ``quantile(q)`` returns the *upper edge* of the bin holding the q-th
+    sample — a deterministic over-estimate with bounded relative error
+    (``growth - 1``), independent of arrival order.  Exact values are
+    deliberately not kept: at ~1M samples a sorted list dominates memory
+    and wall time, while 256 bin counters do not.
+    """
+
+    def __init__(self, lo: float = 0.1, hi: float = 1e5,
+                 n_bins: int = 256):
+        if not (lo > 0 and hi > lo and n_bins >= 2):
+            raise ConfigError("need 0 < lo < hi and n_bins >= 2")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.n_bins = int(n_bins)
+        self._log_lo = math.log(lo)
+        self._scale = (n_bins - 1) / (math.log(hi) - self._log_lo)
+        self.counts = [0] * n_bins
+        self.n = 0
+        self.total = 0.0
+        self.max_seen = 0.0
+
+    def _edge(self, index: int) -> float:
+        return math.exp(self._log_lo + (index + 1) / self._scale)
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ConfigError(f"negative latency {value!r}")
+        self.n += 1
+        self.total += value
+        if value > self.max_seen:
+            self.max_seen = value
+        if value <= self.lo:
+            index = 0
+        else:
+            index = min(self.n_bins - 1,
+                        int((math.log(value) - self._log_lo) * self._scale))
+        self.counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper edge of the bin containing the q-th sample (0 if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"q must be in [0, 1], got {q}")
+        if self.n == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.n))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index == self.n_bins - 1:
+                    return self.max_seen  # overflow bin: exact max
+                return min(self._edge(index), self.max_seen)
+        return self.max_seen
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if (other.lo, other.hi, other.n_bins) != (self.lo, self.hi,
+                                                  self.n_bins):
+            raise ConfigError("cannot merge histograms with different bins")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.n += other.n
+        self.total += other.total
+        self.max_seen = max(self.max_seen, other.max_seen)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the always-on service."""
+
+    name: str
+    priority: str = "standard"      # one of PRIORITIES
+    weight: float = 1.0             # relative share of offered load
+    quota_inflight: int = 8         # max concurrent admitted jobs
+    latency_slo_s: float = 600.0    # p99 completion-latency target
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITIES:
+            raise ConfigError(f"unknown priority {self.priority!r}")
+        if self.weight <= 0:
+            raise ConfigError("tenant weight must be positive")
+        if self.quota_inflight < 1:
+            raise ConfigError("quota_inflight must be >= 1")
+        if self.latency_slo_s <= 0:
+            raise ConfigError("latency_slo_s must be positive")
+
+    @property
+    def priority_rank(self) -> int:
+        """0 = most important (shed last)."""
+        return PRIORITIES.index(self.priority)
+
+
+@dataclass
+class TenantStats:
+    """Everything counted about one tenant's traffic."""
+
+    tenant: str
+    submitted: int = 0
+    admitted: int = 0
+    rejected_quota: int = 0
+    rejected_overload: int = 0
+    completed: int = 0
+    failed: int = 0
+    inflight: int = 0
+    busy_slot_seconds: float = 0.0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_quota + self.rejected_overload
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.submitted if self.submitted else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Completed fraction of everything submitted so far."""
+        return self.completed / self.submitted if self.submitted else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected_quota": self.rejected_quota,
+            "rejected_overload": self.rejected_overload,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejection_rate": round(self.rejection_rate, 6),
+            "goodput": round(self.goodput, 6),
+            "latency_p50": round(self.latency.p50, 3),
+            "latency_p99": round(self.latency.p99, 3),
+            "wait_p50": round(self.queue_wait.p50, 3),
+            "wait_p99": round(self.queue_wait.p99, 3),
+        }
+
+
+class TenantRegistry:
+    """The fleet of tenants one service instance carries."""
+
+    def __init__(self):
+        self._specs: dict[str, TenantSpec] = {}
+        self._stats: dict[str, TenantStats] = {}
+
+    def register(self, spec: TenantSpec) -> TenantSpec:
+        if spec.name in self._specs:
+            raise ConfigError(f"tenant {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        self._stats[spec.name] = TenantStats(tenant=spec.name)
+        return spec
+
+    def ensure(self, name: str, **kwargs) -> TenantSpec:
+        """Fetch the spec for ``name``, registering a default if new."""
+        spec = self._specs.get(name)
+        if spec is None:
+            spec = self.register(TenantSpec(name=name, **kwargs))
+        return spec
+
+    def spec(self, name: str) -> TenantSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ConfigError(f"unknown tenant {name!r}") from None
+
+    def stats(self, name: str) -> TenantStats:
+        self.spec(name)
+        return self._stats[name]
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[TenantSpec]:
+        return iter(self._specs.values())
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._specs)
+
+    def all_stats(self) -> dict[str, TenantStats]:
+        return dict(self._stats)
+
+    def total_weight(self) -> float:
+        return sum(spec.weight for spec in self)
+
+    # -- synthetic fleets --------------------------------------------------
+    @classmethod
+    def synthetic(cls, n_tenants: int, rng,
+                  latency_slo_s: float = 600.0,
+                  quota_scale: float = 32.0) -> "TenantRegistry":
+        """Mint a deterministic fleet of ``n_tenants`` synthetic tenants.
+
+        Weights are Zipf-ish (a few heavy hitters, a long tail), priorities
+        follow a fixed 20/60/20 interactive/standard/batch split, and
+        quotas are ``ceil(quota_scale * weight) + 2`` — size
+        ``quota_scale`` to the offered load (roughly ``expected total
+        inflight / total weight`` times the headroom you want) so quotas
+        bite on abusive bursts rather than on steady fair traffic; the
+        flat ``+2`` keeps Poisson noise from rejecting tail tenants whose
+        expected inflight is below one.  All
+        draws come from the caller's named ``rng`` stream so the fleet is
+        a pure function of the seed.
+        """
+        if n_tenants < 1:
+            raise ConfigError("n_tenants must be >= 1")
+        if quota_scale <= 0:
+            raise ConfigError("quota_scale must be > 0")
+        registry = cls()
+        width = max(3, len(str(n_tenants - 1)))
+        for index in range(n_tenants):
+            weight = 1.0 / (1 + index) ** 0.8
+            draw = float(rng.uniform(0.0, 1.0))
+            if draw < 0.2:
+                priority, slo_scale = "interactive", 0.5
+            elif draw < 0.8:
+                priority, slo_scale = "standard", 1.0
+            else:
+                priority, slo_scale = "batch", 2.0
+            registry.register(TenantSpec(
+                name=f"tenant-{index:0{width}d}",
+                priority=priority,
+                weight=weight,
+                quota_inflight=int(math.ceil(quota_scale * weight)) + 2,
+                latency_slo_s=latency_slo_s * slo_scale))
+        return registry

@@ -1,0 +1,275 @@
+"""Always-on service mode at scale: ~1M submissions, hundreds of tenants.
+
+The experiment the paper's future-work section gestures at: run vHadoop
+as a *service*.  Open-loop traffic from a synthetic tenant fleet flows
+through admission control into a slot-model backend whose
+:class:`~repro.cloud.controller.CostModel` is first **calibrated against
+real wordcount jobs** on a shared vHadoop cluster — so the million-job
+surrogate inherits the full simulator's cost structure without paying
+its per-task event price.
+
+Four arrival mixes, each a fresh same-seed universe:
+
+* ``steady``   — homogeneous Poisson at ~80% utilisation.  The clean
+  run: the experiment *asserts* zero SLO alerts and zero scaling
+  actions (a correctly provisioned service must not churn).
+* ``diurnal``  — sinusoidal day/night load, autoscaler following.
+* ``burst-off`` — periodic 4x flash crowds, fixed capacity.
+* ``burst-on``  — the *same arrival trace* (asserted by digest) with
+  the alert-driven autoscaler enabled.  The experiment asserts the
+  p99 latency improves — the ablation the ISSUE calls for.
+
+Writes ``BENCH_service.json`` (``BENCH_service.quick.json`` under
+``--quick``) with per-mix latency/goodput/rejection curves, tenant
+stats, autoscaler action logs and timelines, and prints a combined
+``service digest`` note that the CI ``service-smoke`` job pins across
+two fresh processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Optional
+
+from repro.cloud import (AdmissionController, Arrival, BurstTraffic,
+                         CostModel, DiurnalTraffic, ElasticAutoscaler,
+                         PoissonTraffic, ServiceController, ServiceReport,
+                         SharedClusterBackend, SharedVHadoopService,
+                         SlotModelBackend, TenantRegistry)
+from repro.cloud.traffic import JOB_CLASSES, mean_job_size_mb
+from repro.experiments.common import (ExperimentResult, make_platform,
+                                      scaled_cluster)
+from repro.observatory.slo import AlertBook
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+#: Capacity margin over offered load for the base slot pool.
+MARGIN = 1.25
+#: Quota headroom: per-tenant quota ~ 8x its expected steady inflight.
+#: Quotas exist to stop a *single* tenant monopolising the service; a
+#: synchronized flash crowd must reach the overload/autoscaling layer
+#: instead of being silently absorbed per-tenant, so the headroom sits
+#: well above the burst factor.
+QUOTA_HEADROOM = 8.0
+#: Input sizes (MB) run as real jobs to calibrate the cost model.
+CALIBRATION_SIZES = (32.0, 128.0, 512.0, 2048.0)
+CALIBRATION_SIZES_QUICK = (32.0, 256.0)
+
+
+def _size_quantile(q: float) -> float:
+    """Quantile of the job-size mix (log-uniform within each class)."""
+    acc = 0.0
+    for _, lo_mb, hi_mb, prob in JOB_CLASSES:
+        if q <= acc + prob:
+            u = (q - acc) / prob
+            return lo_mb * (hi_mb / lo_mb) ** u
+        acc += prob
+    return JOB_CLASSES[-1][2]
+
+
+def calibrate_cost_model(seed: int, quick: bool) -> CostModel:
+    """Fit the surrogate's CostModel against real wordcount runs.
+
+    One shared 8-node cluster, one job per calibration size, each run
+    solo (no queueing) so elapsed time is pure service time.  The
+    surrogate then bills every simulated submission at the full
+    simulator's own cost structure.
+    """
+    platform = make_platform(seed)
+    cluster = scaled_cluster(platform, 8, name="svc-cal")
+    service = SharedVHadoopService(platform, cluster)
+    backend = SharedClusterBackend(service)
+    sizes = CALIBRATION_SIZES_QUICK if quick else CALIBRATION_SIZES
+    samples = []
+    for size_mb in sizes:
+        arrival = Arrival(at=platform.sim.now, tenant="default",
+                          job_class="calibration", size_mb=size_mb,
+                          request_id=f"cal-{int(size_mb)}")
+        request = backend.request_factory(arrival)
+        outcome = service.run_all([service.submit(request)])[0]
+        samples.append((size_mb, outcome.total_s))
+    return CostModel.fit(samples)
+
+
+def _scenario_sizes(quick: bool) -> dict:
+    """Arrival-mix parameters; rates x horizons total ~1.1M (full)."""
+    if quick:
+        return {
+            "n_tenants": 48,
+            "steady": dict(rate=1.2, horizon=2500.0),
+            "diurnal": dict(rate=1.2, amplitude=0.5, period=1250.0,
+                            horizon=2500.0),
+            "burst": dict(rate=0.8, factor=4.0, every=600.0,
+                          duration=150.0, horizon=2500.0),
+            "tick_s": 5.0,
+        }
+    return {
+        "n_tenants": 160,
+        "steady": dict(rate=12.0, horizon=25000.0),
+        "diurnal": dict(rate=12.0, amplitude=0.5, period=12500.0,
+                        horizon=25000.0),
+        "burst": dict(rate=8.0, factor=4.0, every=5000.0,
+                      duration=800.0, horizon=25000.0),
+        "tick_s": 10.0,
+    }
+
+
+def _run_scenario(name: str, seed: int, cost: CostModel, sizes: dict,
+                  rate: float, make_traffic, horizon_s: float,
+                  autoscale: bool) -> ServiceReport:
+    """One arrival mix in a fresh simulator universe.
+
+    Capacity, quotas and the latency target all derive from the
+    *calibrated* cost model and the offered rate, so the scenario stays
+    balanced whatever the calibration produced.
+    """
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    mean_service_s = cost.service_time(mean_job_size_mb())
+    slots = max(4, int(math.ceil(rate * mean_service_s * MARGIN)))
+    expected_inflight = rate * mean_service_s
+    n_tenants = sizes["n_tenants"]
+    total_weight = sum(1.0 / (1 + i) ** 0.8 for i in range(n_tenants))
+    latency_target_s = 2.5 * cost.service_time(_size_quantile(0.99))
+    tenants = TenantRegistry.synthetic(
+        n_tenants, rngs.stream("service:fleet"),
+        latency_slo_s=latency_target_s,
+        quota_scale=QUOTA_HEADROOM * expected_inflight / total_weight)
+    traffic = make_traffic(tenants, rngs.stream("service:traffic"))
+    backend = SlotModelBackend(sim, cost, slots=slots,
+                               elastic_max=slots * 4, boot_s=45.0)
+    book = AlertBook(sim=sim)
+    autoscaler = None
+    if autoscale:
+        autoscaler = ElasticAutoscaler(
+            backend.pool, book, service=name, cooldown_s=30.0,
+            grow_step=max(2, slots // 8), scale_in_util=0.3,
+            scale_in_ticks=24)
+    controller = ServiceController(
+        sim, backend, tenants, traffic,
+        admission=AdmissionController(shed_start=12.0, shed_hard=24.0),
+        book=book, autoscaler=autoscaler, name=name,
+        tick_s=sizes["tick_s"], latency_target_s=latency_target_s)
+    return controller.run(horizon_s)
+
+
+def run(seed: int = 0, quick: bool = False,
+        out_path: Optional[str] = None) -> ExperimentResult:
+    """Calibrate, run all four arrival mixes, assert, write the bench."""
+    sizes = _scenario_sizes(quick)
+    cost = calibrate_cost_model(seed, quick)
+
+    reports: dict[str, ServiceReport] = {}
+
+    st = sizes["steady"]
+    reports["steady"] = _run_scenario(
+        "steady", seed, cost, sizes, st["rate"],
+        lambda tenants, rng: PoissonTraffic(
+            "steady", tenants, rng, rate_per_s=st["rate"]),
+        st["horizon"], autoscale=True)
+
+    di = sizes["diurnal"]
+    reports["diurnal"] = _run_scenario(
+        "diurnal", seed, cost, sizes, di["rate"],
+        lambda tenants, rng: DiurnalTraffic(
+            "diurnal", tenants, rng, base_rate_per_s=di["rate"],
+            amplitude=di["amplitude"], period_s=di["period"]),
+        di["horizon"], autoscale=True)
+
+    bu = sizes["burst"]
+    def burst_traffic(tenants, rng):
+        return BurstTraffic(
+            "burst", tenants, rng, base_rate_per_s=bu["rate"],
+            burst_factor=bu["factor"], burst_every_s=bu["every"],
+            burst_duration_s=bu["duration"])
+    reports["burst-off"] = _run_scenario(
+        "burst-off", seed, cost, sizes, bu["rate"], burst_traffic,
+        bu["horizon"], autoscale=False)
+    reports["burst-on"] = _run_scenario(
+        "burst-on", seed, cost, sizes, bu["rate"], burst_traffic,
+        bu["horizon"], autoscale=True)
+
+    # -- the promises this mode makes, asserted ---------------------------
+    steady = reports["steady"]
+    if steady.counters()["alerts"]:
+        raise AssertionError(
+            f"clean steady run fired {steady.counters()['alerts']} "
+            f"SLO alerts: {[a.slo for a in steady.book.alerts]}")
+    if steady.counters()["scaling_actions"]:
+        raise AssertionError("clean steady run scaled "
+                             f"{steady.counters()['scaling_actions']} times")
+    off, on = reports["burst-off"], reports["burst-on"]
+    if on.trace_digest != off.trace_digest:
+        raise AssertionError(
+            f"ablation arms saw different traffic: "
+            f"{on.trace_digest} != {off.trace_digest}")
+    if not on.latency.p99 < off.latency.p99:
+        raise AssertionError(
+            f"autoscaler did not improve burst p99: "
+            f"on={on.latency.p99:.1f}s vs off={off.latency.p99:.1f}s")
+
+    result = ExperimentResult(
+        experiment_id="service",
+        title="Always-on service mode: 4 arrival mixes, "
+              f"{sizes['n_tenants']} tenants",
+        columns=("mix", "autoscaler", "submitted", "completed",
+                 "rejected", "goodput", "p50_s", "p99_s", "workers_peak",
+                 "alerts", "actions"))
+    total_submitted = 0
+    for name, report in reports.items():
+        counters = report.counters()
+        total_submitted += counters["submitted"]
+        rejected = (counters["rejected_quota"]
+                    + counters["rejected_overload"])
+        peak = max((p.workers for p in report.timeline), default=0)
+        result.add(name, "off" if name == "burst-off" else "on",
+                   counters["submitted"], counters["completed"], rejected,
+                   round(report.goodput, 4), round(report.latency.p50, 1),
+                   round(report.latency.p99, 1), peak,
+                   counters["alerts"], counters["scaling_actions"])
+
+    combined = "|".join(f"{name}:{report.digest()}"
+                        for name, report in sorted(reports.items()))
+    digest = hashlib.sha256(combined.encode()).hexdigest()[:16]
+
+    result.note(f"cost model: base={cost.base_s:.1f}s "
+                f"per_mb={cost.per_mb_s:.4f}s (calibrated on real jobs)")
+    result.note(f"total submissions {total_submitted} across "
+                f"{sizes['n_tenants']} tenants")
+    result.note(f"burst p99 {off.latency.p99:.1f}s -> "
+                f"{on.latency.p99:.1f}s with autoscaler "
+                f"({len(on.actions)} actions)")
+    result.note(f"service digest {digest} (4 mixes, deterministic)")
+
+    if out_path is None:
+        out_path = "BENCH_service.quick.json" if quick \
+            else "BENCH_service.json"
+    stride = 1 if quick else 10
+    payload = {
+        "experiment": "service",
+        "seed": seed,
+        "quick": quick,
+        "cost_model": {"base_s": round(cost.base_s, 3),
+                       "per_mb_s": round(cost.per_mb_s, 6)},
+        "digest": digest,
+        "total_submitted": total_submitted,
+        "scenarios": {name: report.as_dict(timeline_stride=stride)
+                      for name, report in reports.items()},
+        "ablation": {
+            "trace_digest": on.trace_digest,
+            "p99_off_s": round(off.latency.p99, 3),
+            "p99_on_s": round(on.latency.p99, 3),
+            "p50_off_s": round(off.latency.p50, 3),
+            "p50_on_s": round(on.latency.p50, 3),
+            "improvement_pct": round(
+                100.0 * (1 - on.latency.p99 / off.latency.p99), 2)
+            if off.latency.p99 else 0.0,
+        },
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    result.note(f"wrote {out_path}")
+    return result

@@ -121,6 +121,25 @@ DEFAULT_SLOS: tuple[SloSpec, ...] = (
 )
 
 
+#: Service-mode SLOs (:mod:`repro.cloud.controller` evaluates these each
+#: control tick; the autoscaler keys on them).  Targets are the service
+#: name, so one alert per service per condition.  Thresholds are relative
+#: (backlog per slot, p99-vs-target ratio, rejection fraction) so a
+#: provisioned-for-its-load service fires nothing — the experiments assert
+#: zero alerts on the clean steady run.
+SERVICE_SLOS: tuple[SloSpec, ...] = (
+    SloSpec("service-backlog", "service.backlog.per_slot", 3.0, "warning",
+            description="queued jobs per schedulable slot — sustained "
+                        "values mean the pool is underprovisioned"),
+    SloSpec("service-p99", "service.latency.p99.ratio", 1.0, "warning",
+            description="rolling p99 completion latency over the tenant "
+                        "latency target"),
+    SloSpec("service-rejection", "service.rejection.rate", 0.05, "critical",
+            description="fraction of recent arrivals rejected by "
+                        "admission control"),
+)
+
+
 class AlertBook:
     """Fire/resolve ledger with one active alert per (slo, target)."""
 

@@ -34,6 +34,9 @@ class TaskTracker:
                                   name=f"{vm.name}.map_slots")
         self.reduce_slots = Resource(vm.sim, config.reduce_tasks_maximum,
                                      name=f"{vm.name}.reduce_slots")
+        #: A draining tracker takes no new tasks (elastic scale-in: the
+        #: autoscaler marks it, waits for quiescence, then retires the VM).
+        self.draining = False
 
     @property
     def name(self) -> str:
@@ -99,6 +102,54 @@ class HadoopVirtualCluster:
     @property
     def cross_domain(self) -> bool:
         return len(self.hosts_used()) > 1
+
+    # -- elastic membership ------------------------------------------------
+    def add_worker(self, vm: VirtualMachine,
+                   with_datanode: bool = False) -> TaskTracker:
+        """Join a running VM to the cluster as a new worker.
+
+        By default the worker is *compute-only* (a TaskTracker without a
+        DataNode) — the elastic-autoscaling contract: scaled-out capacity
+        carries tasks, while HDFS replicas stay on the stable core
+        workers, so scale-in never forces a re-replication sweep.  Pass
+        ``with_datanode=True`` to grow the HDFS tier too (permanent
+        expansion rather than elastic burst capacity).
+        """
+        self.workers.append(vm)
+        tracker = TaskTracker(vm, self.config)
+        self.trackers.append(tracker)
+        if with_datanode:
+            dn = DataNode(vm)
+            self.namenode.register_datanode(dn)
+            self.datanodes.append(dn)
+            if self.recovery is not None:
+                self.recovery.watch(dn)
+        if self.recovery is not None:
+            self.watch_tracker(tracker)
+        self.telemetry.add_vm(vm)
+        self.tracer.emit(self.sim.now, EV.CLUSTER_WORKER_JOINED, vm.name,
+                         cluster=self.name, datanode=with_datanode,
+                         n_nodes=self.n_nodes)
+        return tracker
+
+    def retire_worker(self, tracker: TaskTracker) -> None:
+        """Detach a (drained) elastic worker and stop its VM.
+
+        The caller is responsible for quiescence — no running tasks and no
+        live shuffle inputs on the tracker (see
+        :meth:`~repro.scheduler.JobScheduler.tracker_quiescent`).  Only
+        compute-only workers should be retired; retiring a datanode VM
+        would strand replicas.
+        """
+        if tracker in self.trackers:
+            self.trackers = [t for t in self.trackers if t is not tracker]
+        self.workers = [w for w in self.workers if w is not tracker.vm]
+        self._watched_trackers.discard(tracker.name)
+        if tracker.vm.host is not None:
+            tracker.vm.stop()
+        self.tracer.emit(self.sim.now, EV.CLUSTER_WORKER_RETIRED,
+                         tracker.name, cluster=self.name,
+                         n_nodes=self.n_nodes)
 
     # -- observability -----------------------------------------------------
     def observatory(self, **kwargs):

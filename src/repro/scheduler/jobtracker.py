@@ -168,6 +168,8 @@ class JobScheduler:
         for tracker in self.cluster.trackers:
             if tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
                 continue
+            if tracker.draining:
+                continue  # scale-in: no longer part of the schedulable pool
             slots = (tracker.map_slots if kind == "map"
                      else tracker.reduce_slots)
             total += slots.capacity
@@ -176,6 +178,42 @@ class JobScheduler:
     def backlog(self, kind: str) -> int:
         """Dispatchable-but-unassigned tasks of ``kind`` right now."""
         return sum(ex.pending_count(kind) for ex in self._active)
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._active)
+
+    # -- elastic membership ------------------------------------------------
+    def attach_tracker(self, tracker) -> None:
+        """Start slot workers for a tracker joined after the first submit
+        (elastic scale-out).  Before workers exist this is a no-op — the
+        tracker is picked up by :meth:`_ensure_workers` with the rest.
+        """
+        if not self._workers_started:
+            return
+        arm = getattr(self.cluster, "watch_tracker", None)
+        if arm is not None and self.cluster.recovery is not None:
+            arm(tracker)
+        for slot in range(tracker.map_slots.capacity):
+            self.sim.process(
+                self._slot_worker(tracker, "map"),
+                name=f"sched:mapslot:{tracker.name}:{slot}")
+        for slot in range(tracker.reduce_slots.capacity):
+            self.sim.process(
+                self._slot_worker(tracker, "reduce"),
+                name=f"sched:reduceslot:{tracker.name}:{slot}")
+
+    def tracker_quiescent(self, tracker) -> bool:
+        """True when the tracker can be retired without disturbing any
+        active job: nothing running on its VM and no active job still
+        holds shuffle inputs (map outputs) produced there."""
+        if tracker.vm.activity > 0:
+            return False
+        for ex in self._active:
+            for output in ex.map_outputs:
+                if output.tracker is tracker:
+                    return False
+        return True
 
     # -- job lifecycle -----------------------------------------------------
     def _job_driver(self, ex: JobExecution):
@@ -265,6 +303,8 @@ class JobScheduler:
         stats.wait_s_total += r.wait_s
         stats.elapsed_total += r.elapsed
         stats.slot_seconds += r.slot_seconds
+        stats.wait_samples.append(r.wait_s)
+        stats.latency_samples.append(r.elapsed)
 
     # -- slot workers ------------------------------------------------------
     def _ensure_workers(self) -> None:
@@ -311,6 +351,8 @@ class JobScheduler:
         while True:
             if tracker.vm.state in (VMState.FAILED, VMState.STOPPED):
                 break  # dead trackers take no more tasks
+            if tracker.draining:
+                break  # scale-in: finish nothing new, let the pool retire us
             pending, spec_only = self._dispatchable(kind)
             if not pending and not spec_only:
                 self._accrue()

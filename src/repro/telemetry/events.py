@@ -42,6 +42,8 @@ NET_TRANSFER_END = "net.transfer.end"
 CLUSTER_PROVISIONED = "cluster.provisioned"
 CLUSTER_RECONFIGURE = "cluster.reconfigure"
 CLUSTER_WORKER_FAILED = "cluster.worker.failed"
+CLUSTER_WORKER_JOINED = "cluster.worker.joined"
+CLUSTER_WORKER_RETIRED = "cluster.worker.retired"
 
 VM_PLACE = "vm.place"
 VM_SHUTDOWN = "vm.shutdown"
@@ -69,6 +71,9 @@ HDFS_REPAIR_LOST = "hdfs.repair.lost"
 HDFS_REPAIR_DONE = "hdfs.repair.done"
 
 CLOUD_REQUEST_DONE = "cloud.request.done"
+CLOUD_ADMISSION = "cloud.admission.decision"
+CLOUD_AUTOSCALE = "cloud.autoscale.action"
+SERVICE_REQUEST_DONE = "cloud.service.request.done"
 
 VM_RECOVERED = "vm.recovered"
 
@@ -96,6 +101,7 @@ RECOVERY_WORKER_REJOINED = "recovery.worker.rejoined"
 POINT_KINDS: frozenset[str] = frozenset({
     NET_TRANSFER_START, NET_TRANSFER_END,
     CLUSTER_PROVISIONED, CLUSTER_RECONFIGURE, CLUSTER_WORKER_FAILED,
+    CLUSTER_WORKER_JOINED, CLUSTER_WORKER_RETIRED,
     VM_PLACE, VM_SHUTDOWN, VM_FAILED, VM_RECOVERED,
     MIGRATION_ROUND, VIRTLM_CLUSTER_END,
     JOB_SUBMIT, JOB_MAPS_DONE, JOB_DONE,
@@ -104,7 +110,8 @@ POINT_KINDS: frozenset[str] = frozenset({
     TASK_MAP_RECOVER, TASK_MAP_PREEMPTED,
     SCHEDULER_SUBMIT, SCHEDULER_PREEMPT,
     DFS_FILE_WRITTEN, HDFS_REPAIR_LOST, HDFS_REPAIR_DONE,
-    CLOUD_REQUEST_DONE,
+    CLOUD_REQUEST_DONE, CLOUD_ADMISSION, CLOUD_AUTOSCALE,
+    SERVICE_REQUEST_DONE,
     CHAOS_PLAN_START, CHAOS_PLAN_DONE,
     CHAOS_VM_CRASH, CHAOS_HOST_CRASH,
     CHAOS_NET_DEGRADE, CHAOS_NET_HEAL,

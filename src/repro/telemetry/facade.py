@@ -67,6 +67,17 @@ class Telemetry:
             return list(self.datacenter.vms.values())
         return []
 
+    def add_vm(self, vm: "VirtualMachine") -> None:
+        """Grow the scope to a VM joined after construction (elastic
+        scale-out).  If the nmon monitor already exists, the VM starts
+        being sampled from the next interval."""
+        if self._vms is not None and vm not in self._vms:
+            self._vms.append(vm)
+        if self._monitor is not None and vm not in self._monitor.vms:
+            from repro.monitor.nmon import NodeSeries
+            self._monitor.vms.append(vm)
+            self._monitor.series.setdefault(vm.name, NodeSeries(vm.name))
+
     # -- nmon monitor ------------------------------------------------------
     @property
     def monitor(self) -> "NmonMonitor":

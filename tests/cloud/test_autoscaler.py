@@ -1,0 +1,119 @@
+"""The alert-driven autoscaler: cursors, cooldown, replace and scale-in."""
+
+from types import SimpleNamespace
+
+from repro.cloud import AlertCursor, ElasticAutoscaler
+from repro.observatory.slo import DEFAULT_SLOS, SERVICE_SLOS, AlertBook
+
+
+class FakePool:
+    def __init__(self, size=4):
+        self.size = size
+        self.grows = []     # (n, avoid_hosts)
+        self.shrinks = 0
+
+    def grow(self, n=1, avoid_hosts=()):
+        self.grows.append((n, frozenset(avoid_hosts)))
+        self.size += n
+        return n
+
+    def shrink(self, n=1):
+        self.shrinks += n
+        self.size -= n
+        return n
+
+
+def make_book(now=0.0):
+    clock = SimpleNamespace(now=now)
+    book = AlertBook(sim=clock)
+    for spec in DEFAULT_SLOS + SERVICE_SLOS:
+        book.register(spec)
+    return book, clock
+
+
+def test_alert_cursor_sees_each_fire_exactly_once():
+    book, _ = make_book()
+    cursor = AlertCursor(book, "service-backlog")
+    assert cursor.fresh() == []
+    book.fire("service-backlog", "svc", 5.0, "capacity")
+    assert [a.slo for a in cursor.fresh()] == ["service-backlog"]
+    assert cursor.fresh() == []                  # consumed
+    book.resolve("service-backlog", "svc")
+    book.fire("service-backlog", "svc", 6.0, "capacity")
+    assert len(cursor.fresh()) == 1              # a new episode, seen once
+
+
+def test_fresh_fire_grows_and_cooldown_holds():
+    book, clock = make_book()
+    pool = FakePool(size=4)
+    scaler = ElasticAutoscaler(pool, book, cooldown_s=120.0, grow_step=3)
+    assert scaler.tick(0.0, utilization=0.9) == []   # nothing fired yet
+    book.fire("service-backlog", "svc", 4.0, "capacity")
+    actions = scaler.tick(10.0, utilization=0.9)
+    assert [(a.action, a.amount) for a in actions] == [("grow", 3)]
+    assert pool.size == 7
+    # Still active, but within cooldown: no action.
+    assert scaler.tick(60.0, utilization=0.9) == []
+    # Past the cooldown the still-active alert drives another grow, even
+    # though the book deduplicated (no second fire event).
+    actions = scaler.tick(140.0, utilization=0.9)
+    assert [a.action for a in actions] == ["grow"]
+    assert actions[0].trigger == "service-backlog"
+
+
+def test_node_down_replaces_immediately_and_avoids_hot_hosts():
+    book, _ = make_book()
+    pool = FakePool(size=4)
+    scaler = ElasticAutoscaler(pool, book, cooldown_s=3600.0)
+    book.fire("hot-host", "pm0", 0.97, "cpu")
+    book.fire("node-down", "vm-3", 0.0, "vm")
+    book.fire("node-down", "vm-4", 0.0, "vm")
+    actions = scaler.tick(5.0, utilization=0.5)
+    replaces = [a for a in actions if a.action == "replace"]
+    assert len(replaces) == 1 and replaces[0].amount == 2
+    assert "vm-3" in replaces[0].detail and "vm-4" in replaces[0].detail
+    # Placement avoided the hot host.
+    assert pool.grows[0][1] == frozenset({"pm0"})
+    # Replacement bypasses the grow cooldown bookkeeping: a later
+    # node-down replaces again immediately.
+    book.fire("node-down", "vm-5", 0.0, "vm")
+    actions = scaler.tick(6.0, utilization=0.5)
+    assert [a.action for a in actions] == ["replace"]
+
+
+def test_scale_in_needs_sustained_calm_low_utilization():
+    book, _ = make_book()
+    pool = FakePool(size=8)
+    scaler = ElasticAutoscaler(pool, book, cooldown_s=10.0,
+                               scale_in_util=0.3, scale_in_ticks=3)
+    # Low utilisation but an active service alert: never shrink.
+    book.fire("service-p99", "svc", 2.0, "capacity")
+    for t in range(5):
+        for action in scaler.tick(float(t), utilization=0.1):
+            assert action.action != "shrink"
+    book.resolve("service-p99", "svc")
+    # Three consecutive calm low-util ticks shrink exactly once (the fire
+    # was consumed back at t=0, so t=100 starts the streak).
+    assert scaler.tick(100.0, 0.1) == []
+    assert scaler.tick(101.0, 0.1) == []
+    actions = scaler.tick(102.0, 0.1)
+    assert [a.action for a in actions] == ["shrink"]
+    assert pool.shrinks == 1
+    # A busy tick resets the streak.
+    assert scaler.tick(103.0, 0.1) == []
+    assert scaler.tick(104.0, 0.9) == []
+    assert scaler.tick(105.0, 0.1) == []
+    assert scaler.tick(106.0, 0.1) == []
+    actions = scaler.tick(107.0, 0.1)
+    assert [a.action for a in actions] == ["shrink"]
+
+
+def test_actions_are_recorded_with_stable_lines():
+    book, _ = make_book()
+    pool = FakePool(size=2)
+    scaler = ElasticAutoscaler(pool, book, grow_step=1)
+    book.fire("service-backlog", "svc", 9.0, "capacity")
+    scaler.tick(42.0, utilization=1.0)
+    assert len(scaler.actions) == 1
+    line = scaler.actions[0].line()
+    assert line.startswith("42.000000|grow|1|service-backlog|3|")

@@ -1,0 +1,163 @@
+"""The always-on ServiceController: end-to-end surrogate runs, the
+full-fidelity backend, and cross-process determinism."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cloud import (AdmissionController, BurstTraffic, CostModel,
+                         ElasticAutoscaler, PoissonTraffic,
+                         ServiceController, SharedClusterBackend,
+                         SharedVHadoopService, SlotModelBackend,
+                         TenantRegistry)
+from repro.config import PlatformConfig
+from repro.observatory.slo import AlertBook
+from repro.platform import VHadoopPlatform, balanced_placement
+from repro.platform.provisioning import ElasticWorkerPool
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.telemetry import events as EV
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def surrogate_run(seed, autoscale=True, rate=2.0, horizon=600.0):
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    cost = CostModel(base_s=20.0, per_mb_s=0.02)
+    tenants = TenantRegistry.synthetic(16, rngs.stream("fleet"),
+                                       quota_scale=200.0)
+    traffic = BurstTraffic("b", tenants, rngs.stream("traffic"),
+                           base_rate_per_s=rate, burst_factor=5.0,
+                           burst_every_s=200.0, burst_duration_s=80.0)
+    slots = 80
+    backend = SlotModelBackend(sim, cost, slots=slots, elastic_max=320,
+                               boot_s=30.0)
+    book = AlertBook(sim=sim)
+    autoscaler = None
+    if autoscale:
+        autoscaler = ElasticAutoscaler(backend.pool, book,
+                                       cooldown_s=20.0, grow_step=16,
+                                       scale_in_ticks=12)
+    controller = ServiceController(
+        sim, backend, tenants, traffic,
+        admission=AdmissionController(shed_start=12.0, shed_hard=24.0),
+        book=book, autoscaler=autoscaler, tick_s=5.0,
+        latency_target_s=150.0)
+    return controller.run(horizon)
+
+
+def test_surrogate_run_is_deterministic_in_process():
+    a = surrogate_run(7)
+    b = surrogate_run(7)
+    assert a.trace_digest == b.trace_digest
+    assert a.counters() == b.counters()
+    assert a.digest() == b.digest()
+    assert surrogate_run(8).digest() != a.digest()
+
+
+def test_surrogate_run_conserves_requests():
+    report = surrogate_run(3)
+    c = report.counters()
+    assert c["submitted"] > 1000
+    assert c["submitted"] == (c["admitted"] + c["rejected_quota"]
+                              + c["rejected_overload"])
+    assert c["completed"] + c["failed"] == c["admitted"]  # fully drained
+    assert report.latency.n == c["completed"]
+    # Tenant stats roll up to the service totals.
+    per_tenant = sum(report.tenants.stats(n).submitted
+                     for n in report.tenants.names)
+    assert per_tenant == c["submitted"]
+
+
+def test_autoscaler_improves_the_burst_and_acts_on_alerts():
+    off = surrogate_run(7, autoscale=False)
+    on = surrogate_run(7, autoscale=True)
+    assert on.trace_digest == off.trace_digest  # same offered traffic
+    assert on.counters()["scaling_actions"] > 0
+    assert any(a.action == "grow" for a in on.actions)
+    assert on.counters()["alerts"] >= 1
+    # More capacity under the same load: completion latency and/or
+    # rejections must improve, and never get worse.
+    assert on.latency.p99 <= off.latency.p99
+    assert on.goodput >= off.goodput
+    peak_on = max(p.workers for p in on.timeline)
+    assert peak_on > 80
+
+
+def test_report_serialization_roundtrip():
+    report = surrogate_run(5, horizon=200.0)
+    payload = json.loads(report.to_json(timeline_stride=4))
+    assert payload["counters"]["submitted"] == report.submitted
+    assert payload["trace_digest"] == report.trace_digest
+    assert len(payload["timeline"]) <= len(report.timeline) // 4 + 1
+    assert payload["tenants"]
+
+
+CHILD_SCRIPT = """
+import json
+from tests.cloud.test_controller import surrogate_run
+report = surrogate_run(11, rate=1.0, horizon=300.0)
+print(json.dumps({"trace": report.trace_digest,
+                  "digest": report.digest(),
+                  "counters": report.counters()}, sort_keys=True))
+"""
+
+
+def test_two_fresh_processes_agree_byte_for_byte():
+    """Satellite of the determinism contract: same seed, two *fresh*
+    interpreter processes, identical trace digest and bench counters."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)])
+    env["PYTHONHASHSEED"] = "random"   # digests must not depend on it
+    outputs = []
+    for _ in range(2):
+        proc = subprocess.run([sys.executable, "-c", CHILD_SCRIPT],
+                              capture_output=True, text=True, env=env,
+                              cwd=REPO_ROOT, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(proc.stdout.strip())
+    assert outputs[0] == outputs[1]
+    payload = json.loads(outputs[0])
+    assert payload["counters"]["submitted"] > 100
+
+
+def test_full_fidelity_backend_with_elastic_pool():
+    """Real jobs on a warm cluster; the autoscaler boots real VMs."""
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=31))
+    cluster = platform.provision_cluster("svc", balanced_placement(4, 2))
+    service = SharedVHadoopService(platform, cluster)
+    rngs = platform.datacenter.rng
+    tenants = TenantRegistry.synthetic(6, rngs.stream("fleet"),
+                                       quota_scale=50.0)
+    traffic = PoissonTraffic("p", tenants, rngs.stream("traffic"), 0.25)
+    book = AlertBook(sim=platform.sim)
+    pool = ElasticWorkerPool(cluster, service.scheduler, max_size=4,
+                             quiescence_poll_s=5.0)
+    autoscaler = ElasticAutoscaler(pool, book, cooldown_s=30.0,
+                                   grow_step=2, scale_in_ticks=4)
+    backend = SharedClusterBackend(service, pool=pool)
+    import dataclasses
+    default = backend.request_factory
+    backend.request_factory = lambda arrival: default(
+        dataclasses.replace(arrival, size_mb=min(arrival.size_mb, 64.0)))
+    controller = ServiceController(
+        platform.sim, backend, tenants, traffic, book=book,
+        autoscaler=autoscaler, tick_s=10.0, latency_target_s=60.0,
+        tracer=cluster.tracer, verbose_telemetry=True)
+    base_slots = service.scheduler.total_slots("map")
+    report = controller.run(horizon_s=240.0)
+    c = report.counters()
+    assert c["completed"] > 0
+    assert c["completed"] + c["failed"] == c["admitted"]
+    kinds = {e.kind for e in cluster.tracer.events}
+    assert EV.CLOUD_ADMISSION in kinds
+    assert EV.SERVICE_REQUEST_DONE in kinds
+    # The cramped cluster overloads: the autoscaler must have added real
+    # workers, which joined the scheduler's pool.
+    if any(a.action == "grow" for a in report.actions):
+        assert EV.CLUSTER_WORKER_JOINED in kinds
+        assert service.scheduler.total_slots("map") > base_slots

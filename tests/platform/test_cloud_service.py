@@ -173,3 +173,47 @@ def test_service_emits_trace():
     done = platform.tracer.last("cloud.request.done")
     assert done is not None
     assert done["total"] > 0
+
+
+def admission_events(platform):
+    return [e for e in platform.tracer.events
+            if e.kind == "cloud.admission.decision"]
+
+
+def test_every_admission_verdict_is_announced():
+    platform, service = make_service()
+    # Admit: fits immediately.
+    fast = service.submit(wc_request("fast"))
+    # Defer: a second 16-node 2 GiB request cannot fit beside the first.
+    big = lambda name: wc_request(name, n_nodes=16, memory=2 * C.GiB)
+    blocker = service.submit(big("blocker"))
+    waiter = service.submit(big("waiter"))
+    events = admission_events(platform)
+    by_source = {e.source: e for e in events}
+    assert by_source["fast"]["decision"] == "admit"
+    assert by_source["fast"]["tenant"] == "default"
+    assert by_source["waiter"]["decision"] == "defer"
+    assert "n_nodes=16" in by_source["waiter"]["reason"]
+    # One defer per stay in the queue, not one per admission scan.
+    assert sum(e.source == "waiter" for e in events) == 1
+    service.run_all([fast, blocker, waiter])
+    events = admission_events(platform)
+    # The waiter was eventually admitted too: defer then admit.
+    waiter_decisions = [e["decision"] for e in events
+                        if e.source == "waiter"]
+    assert waiter_decisions == ["defer", "admit"]
+
+
+def test_impossible_request_announces_rejection_and_raises():
+    from repro.errors import PlacementError
+
+    platform, service = make_service()
+    # 64 nodes x 2 GiB = 128 GiB can never fit the 60 GiB datacenter.
+    with pytest.raises(PlacementError):
+        service.submit(wc_request("hopeless", n_nodes=64, memory=2 * C.GiB))
+    event = platform.tracer.last("cloud.admission.decision")
+    assert event is not None and event.source == "hopeless"
+    assert event["decision"] == "reject-impossible"
+    assert event["tenant"] == "default"
+    assert "n_nodes=64" in event["reason"]
+    assert service.queued == 0  # never entered the queue

@@ -1,0 +1,76 @@
+"""Per-pool queue-wait / completion-latency percentiles in the
+SchedulerReport, plus the nearest-rank percentile helper itself."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.platform import VHadoopPlatform, balanced_placement
+from repro.scheduler import FairScheduler, PoolConfig
+from repro.scheduler.report import PoolStats, percentile
+from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
+                                       wordcount_job)
+
+LINES = ["mu nu xi omicron", "nu xi", "xi omicron"] * 6
+
+
+def test_percentile_nearest_rank_exactness():
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 0.5) == 3.0
+    assert percentile(values, 0.99) == 5.0
+    assert percentile(values, 1.0) == 5.0
+    assert percentile([7.5], 0.5) == 7.5
+    assert percentile([], 0.9) == 0.0
+    with pytest.raises(ValueError):
+        percentile(values, 1.5)
+
+
+def test_pool_stats_percentiles_from_samples():
+    stats = PoolStats(name="p")
+    assert stats.wait_p50 == 0.0 and stats.latency_p99 == 0.0
+    stats.wait_samples.extend(float(i) for i in range(1, 101))
+    stats.latency_samples.extend(float(i) * 10 for i in range(1, 101))
+    assert stats.wait_p50 == 50.0
+    assert stats.wait_p99 == 99.0
+    assert stats.latency_p50 == 500.0
+    assert stats.latency_p99 == 990.0
+
+
+def test_scheduler_report_collects_per_pool_samples():
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=17))
+    cluster = platform.provision_cluster("sch", balanced_placement(6, 2))
+    platform.upload(cluster, "/in", lines_as_records(LINES),
+                    sizeof=line_record_sizeof, timed=False)
+
+    def wc(out, name):
+        job = wordcount_job("/in", out, n_reduces=1)
+        job.name = name
+        return job
+
+    policy = FairScheduler(pools=[PoolConfig("a"), PoolConfig("b")])
+    jobs = [(wc("/out-0", "j0"), "a"), (wc("/out-1", "j1"), "a"),
+            (wc("/out-2", "j2"), "b")]
+    reports, sched = platform.submit_jobs(cluster, jobs, policy=policy)
+
+    # Every finished job contributed exactly one sample to its pool.
+    assert len(sched.pool("a").wait_samples) == 2
+    assert len(sched.pool("a").latency_samples) == 2
+    assert len(sched.pool("b").wait_samples) == 1
+
+    # Pool percentiles are nearest-rank over those samples, and latencies
+    # dominate waits (a job cannot finish before it starts).
+    for pool in sched.pools.values():
+        assert pool.latency_p50 >= pool.wait_p50
+        assert pool.latency_p99 >= pool.latency_p50 > 0.0
+        assert pool.wait_p99 == percentile(pool.wait_samples, 0.99)
+
+    # Cluster-wide percentiles agree with the raw job stats.
+    waits = sorted(j.wait_s for j in sched.jobs)
+    assert sched.wait_p99 == waits[-1]
+    elapsed = sorted(j.elapsed for j in sched.jobs)
+    assert sched.latency_p99 == elapsed[-1]
+    assert sched.latency_p50 == elapsed[1]  # rank 2 of 3
+
+    # The per-job elapsed matches the per-pool samples exactly.
+    a_lat = sorted(sched.pool("a").latency_samples)
+    assert a_lat == sorted(j.elapsed for j in sched.jobs if j.pool == "a")

@@ -64,7 +64,23 @@ from repro.mapreduce import api as mr_api
 from repro.mapreduce import runner as mr_runner
 from repro.mapreduce.api import stable_hash
 from repro.net.topology import NetworkFabric
-from repro.platform import VHadoopPlatform, balanced_placement
+from repro.platform import VHadoopPlatform
+
+try:
+    from repro.config import TopologySpec
+    from repro.platform import ClusterSpec
+except ImportError:  # pragma: no cover - pre-rack --baseline-tree probe
+    # A --baseline-tree probe runs this harness against a checkout that
+    # predates the ClusterSpec API; map the one spec the probed workloads
+    # use onto the legacy helper (scale mode never probes baselines).
+    from repro.platform import balanced_placement
+
+    TopologySpec = None
+
+    class ClusterSpec:  # type: ignore[no-redef]
+        @staticmethod
+        def spread(n_vms, hosts=None):
+            return balanced_placement(n_vms, n_hosts=hosts)
 from repro.sim.fairshare import _EPS, _MIN_DT, FairShareSystem
 from repro.workloads import wordcount as wc_mod
 from repro.workloads.terasort import run_terasort
@@ -261,7 +277,7 @@ def wordcount_scale(quick: bool):
         (2, 16, 256 * C.MB, 8) if quick else (4, 64, 2 * C.GB, 16))
     platform = VHadoopPlatform(PlatformConfig(n_hosts=n_hosts, seed=0))
     cluster = platform.provision_cluster(
-        "bench", balanced_placement(n_nodes, n_hosts))
+        "bench", ClusterSpec.spread(n_nodes, hosts=n_hosts))
     lines = generate_corpus(nbytes // scale,
                             rng=platform.datacenter.rng.fresh("corpus"))
     platform.upload(cluster, "/in", lines_as_records(lines),
@@ -280,7 +296,7 @@ def terasort_storm(quick: bool):
         (2, 16, 128 * C.MB, 16) if quick else (8, 64, 512 * C.MB, 64))
     platform = VHadoopPlatform(PlatformConfig(n_hosts=n_hosts, seed=0))
     cluster = platform.provision_cluster(
-        "storm", balanced_placement(n_nodes, n_hosts))
+        "storm", ClusterSpec.spread(n_nodes, hosts=n_hosts))
     runner = platform.runner(cluster)
     t0 = time.time()
     tera = run_terasort(runner, cluster, nbytes, n_reduces=n_reduces,
@@ -315,6 +331,155 @@ WORKLOADS = (("wordcount_scale", wordcount_scale),
              ("chaos", chaos_run))
 
 
+# -- kernel scale ladder -----------------------------------------------------
+
+#: One rung per target VM count, each a racked ``RxHxV`` topology.  Every
+#: rung runs in a fresh subprocess so its peak RSS is attributable, and
+#: covers a wordcount slice plus a terasort slice.  ``rss_limit_mb`` is
+#: the gated memory ceiling — generous (roughly 3x the measured peak on
+#: the reference machine) because the gate exists to catch O(n^2)
+#: blowups at 1,000 endpoints, not allocator noise.  Wall time is
+#: reported but never gated.
+SCALE_RUNGS = (
+    {"name": "16", "topology": "1x2x8", "wc_mb": 256, "wc_reduces": 8,
+     "tera_mb": 128, "tera_reduces": 16, "rss_limit_mb": 256},
+    {"name": "100", "topology": "5x5x4", "wc_mb": 640, "wc_reduces": 16,
+     "tera_mb": 256, "tera_reduces": 32, "rss_limit_mb": 384},
+    {"name": "500", "topology": "25x5x4", "wc_mb": 1920, "wc_reduces": 32,
+     "tera_mb": 512, "tera_reduces": 32, "rss_limit_mb": 768},
+    {"name": "1000", "topology": "25x5x8", "wc_mb": 3840, "wc_reduces": 64,
+     "tera_mb": 1024, "tera_reduces": 64, "rss_limit_mb": 1024},
+)
+
+#: Materialize 1/SCALE of the wordcount corpus; simulate the full volume.
+SCALE_VOLUME = 400
+
+#: Deterministic per-rung counters compared by --scale --check.
+SCALE_CHECKED_KEYS = ("events_processed", "rebalance_count", "flow_visits",
+                      "completed_flows")
+
+
+def scale_rung(rung: dict) -> dict:
+    """Run one ladder rung in-process (subprocess entry)."""
+    import resource
+
+    topo = TopologySpec.parse(rung["topology"])
+    platform = VHadoopPlatform(PlatformConfig(topology=topo, seed=0))
+    cluster = platform.provision_cluster("ladder", ClusterSpec.racked(topo))
+    placement = [(vm.name, vm.host.name, vm.host.rack_name)
+                 for vm in cluster.vms]
+    placement_digest = hashlib.sha256(
+        repr(placement).encode("utf-8")).hexdigest()[:16]
+    t0 = time.time()
+    lines = generate_corpus(rung["wc_mb"] * C.MB // SCALE_VOLUME,
+                            rng=platform.datacenter.rng.fresh("corpus"))
+    platform.upload(cluster, "/in", lines_as_records(lines),
+                    sizeof=scaled_line_sizeof(SCALE_VOLUME), timed=False)
+    wc_report = platform.run_job(
+        cluster, wordcount_job("/in", "/out",
+                               n_reduces=rung["wc_reduces"],
+                               volume_scale=SCALE_VOLUME))
+    runner = platform.runner(cluster)
+    tera = run_terasort(runner, cluster, rung["tera_mb"] * C.MB,
+                        n_reduces=rung["tera_reduces"], seed_tag="ladder")
+    if not tera.validated:
+        raise SystemExit(f"scale rung {rung['name']}: TeraValidate failed")
+    wall = time.time() - t0
+    counters = _counters(platform, wall)
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return {
+        "topology": rung["topology"],
+        "n_vms": topo.n_vms,
+        "racks": topo.racks,
+        "placement_digest": placement_digest,
+        "sim_elapsed": repr((wc_report.elapsed,
+                             tera.generation_time_s + tera.sort_time_s)),
+        "wall_s": counters["wall_s"],
+        "events_per_sec": int(counters["events_processed"] / max(wall, 1e-9)),
+        "peak_rss_mb": round(peak_rss_mb, 1),
+        "rss_limit_mb": rung["rss_limit_mb"],
+        "path_cache": platform.datacenter.fabric.path_cache_stats(),
+        "counters": counters,
+    }
+
+
+def _rung_by_name(name: str) -> dict:
+    for rung in SCALE_RUNGS:
+        if rung["name"] == name:
+            return rung
+    raise SystemExit(f"unknown scale rung {name!r}; "
+                     f"have {[r['name'] for r in SCALE_RUNGS]}")
+
+
+def run_scale_ladder(quick: bool) -> dict:
+    """Climb the ladder, one subprocess per rung (clean peak RSS)."""
+    rungs = SCALE_RUNGS[:2] if quick else SCALE_RUNGS
+    out = {"generated_by": "benchmarks/perf/perf_bench.py --scale",
+           "mode": "quick" if quick else "full",
+           "rungs": {}}
+    for rung in rungs:
+        probe_file = Path(f"BENCH_scale.{rung['name']}.probe.json")
+        cmd = [sys.executable, os.path.abspath(__file__),
+               "--scale-rung", rung["name"],
+               "--scale-probe", str(probe_file)]
+        subprocess.run(cmd, check=True)
+        entry = json.loads(probe_file.read_text(encoding="utf-8"))
+        probe_file.unlink()
+        print(f"[scale:{rung['name']}] {entry['topology']}: "
+              f"wall {entry['wall_s']}s, "
+              f"{entry['events_per_sec']} events/s, "
+              f"peak RSS {entry['peak_rss_mb']} MB "
+              f"(limit {entry['rss_limit_mb']})")
+        if entry["peak_rss_mb"] > rung["rss_limit_mb"]:
+            raise SystemExit(
+                f"scale rung {rung['name']}: peak RSS "
+                f"{entry['peak_rss_mb']} MB exceeds the "
+                f"{rung['rss_limit_mb']} MB ceiling")
+        out["rungs"][rung["name"]] = entry
+    return out
+
+
+def check_scale(results: dict, baseline_path: Path) -> int:
+    """Gate the ladder's deterministic counters; never wall time."""
+    baselines = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures = 0
+    for name, entry in results["rungs"].items():
+        want = baselines["rungs"].get(name)
+        if want is None:
+            print(f"check: no scale baseline for rung {name!r}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        for key in ("sim_elapsed", "placement_digest"):
+            if entry[key] != want[key]:
+                print(f"check: scale.{name}.{key} {entry[key]} != "
+                      f"baseline {want[key]}", file=sys.stderr)
+                failures += 1
+        for key in SCALE_CHECKED_KEYS:
+            if entry["counters"][key] != want["counters"][key]:
+                print(f"check: scale.{name}.{key} "
+                      f"{entry['counters'][key]} != baseline "
+                      f"{want['counters'][key]}", file=sys.stderr)
+                failures += 1
+    if failures:
+        print(f"check: {failures} scale regression(s)", file=sys.stderr)
+        return 1
+    print("check: all scale-ladder counters match the baselines")
+    return 0
+
+
+def to_scale_baselines(results: dict) -> dict:
+    """Keep only what --scale --check compares."""
+    slim = {"mode": results["mode"], "rungs": {}}
+    for name, entry in results["rungs"].items():
+        slim["rungs"][name] = {
+            "sim_elapsed": entry["sim_elapsed"],
+            "placement_digest": entry["placement_digest"],
+            "counters": {k: entry["counters"][k]
+                         for k in SCALE_CHECKED_KEYS}}
+    return slim
+
+
 # -- observatory overhead ----------------------------------------------------
 
 #: Engine counters that must be bit-identical with detectors on — the
@@ -341,7 +506,7 @@ def _observatory_wordcount(quick: bool, with_observatory: bool):
         (2, 16, 256 * C.MB, 8) if quick else (4, 64, 1 * C.GB, 16))
     platform = VHadoopPlatform(PlatformConfig(n_hosts=n_hosts, seed=0))
     cluster = platform.provision_cluster(
-        "obsbench", balanced_placement(n_nodes, n_hosts))
+        "obsbench", ClusterSpec.spread(n_nodes, hosts=n_hosts))
     lines = generate_corpus(nbytes // scale,
                             rng=platform.datacenter.rng.fresh("corpus"))
     platform.upload(cluster, "/in", lines_as_records(lines),
@@ -585,6 +750,14 @@ def main(argv=None) -> int:
                         help="measure observatory overhead instead "
                              "(detectors off vs on; writes "
                              "BENCH_observatory.json)")
+    parser.add_argument("--scale", action="store_true",
+                        help="climb the 16/100/500/1000-VM rack-topology "
+                             "ladder instead (quick: first two rungs; "
+                             "writes BENCH_scale.json)")
+    parser.add_argument("--scale-rung", metavar="NAME",
+                        help=argparse.SUPPRESS)  # internal subprocess entry
+    parser.add_argument("--scale-probe", metavar="FILE",
+                        help=argparse.SUPPRESS)
     parser.add_argument("--out", default=None,
                         help="result file (default: BENCH_fairshare.json, "
                              "or BENCH_observatory.json with --observatory)")
@@ -601,6 +774,27 @@ def main(argv=None) -> int:
 
     if args.baseline_probe:
         baseline_probe(args.quick, Path(args.baseline_probe))
+        return 0
+
+    if args.scale_rung:
+        entry = scale_rung(_rung_by_name(args.scale_rung))
+        Path(args.scale_probe).write_text(
+            json.dumps(entry, indent=2) + "\n", encoding="utf-8")
+        return 0
+
+    if args.scale:
+        results = run_scale_ladder(quick=args.quick)
+        out = args.out or "BENCH_scale.json"
+        Path(out).write_text(json.dumps(results, indent=2) + "\n",
+                             encoding="utf-8")
+        print(f"wrote {out}")
+        if args.write_baselines:
+            Path(args.write_baselines).write_text(
+                json.dumps(to_scale_baselines(results), indent=2) + "\n",
+                encoding="utf-8")
+            print(f"wrote {args.write_baselines}")
+        if args.check:
+            return check_scale(results, Path(args.check))
         return 0
 
     if args.observatory:

@@ -7,8 +7,7 @@ coincidence, produces the paper's shapes.
 
 from repro import constants as C
 from repro.config import HadoopConfig, HostConfig, PlatformConfig
-from repro.platform import (VHadoopPlatform, cross_domain_placement,
-                            normal_placement)
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads.mrbench import run_mrbench
 from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
                                        wordcount_job)
@@ -23,8 +22,8 @@ def _run_wordcount(layout="normal", hadoop_config=None, host_config=None,
     config = PlatformConfig(n_hosts=2, seed=seed,
                             host=host_config or HostConfig())
     platform = VHadoopPlatform(config)
-    placement = (normal_placement(16) if layout == "normal"
-                 else cross_domain_placement(16))
+    placement = (ClusterSpec.single_host(16) if layout == "normal"
+                 else ClusterSpec.packed(16, hosts=2))
     cluster = platform.provision_cluster("abl", placement,
                                          hadoop_config=hadoop_config)
     lines = generate_corpus(INPUT_MB * C.MB // SCALE,
@@ -78,7 +77,7 @@ def test_ablation_task_startup_overhead(one_shot):
     def run_pair(startup):
         config = HadoopConfig(task_startup_s=startup)
         platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=0))
-        cluster = platform.provision_cluster("mb", normal_placement(16),
+        cluster = platform.provision_cluster("mb", ClusterSpec.single_host(16),
                                              hadoop_config=config)
         runner = platform.runner(cluster)
         small = run_mrbench(runner, cluster, n_maps=1, n_reduces=1,
@@ -125,7 +124,7 @@ def test_ablation_migration_sequential_vs_concurrent(one_shot):
     def run_mode(concurrent):
         platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
         cluster = platform.provision_cluster(
-            "m", normal_placement(8), vm_config=VMConfig(memory=512 * C.MiB))
+            "m", ClusterSpec.single_host(8), vm_config=VMConfig(memory=512 * C.MiB))
         dc = platform.datacenter
         event = dc.virtlm.migrate_cluster(cluster.vms, dc.machine(1),
                                           concurrent=concurrent)

@@ -10,7 +10,7 @@ qualitative behaviours persist at scale.
 from repro import constants as C
 from repro.config import PlatformConfig
 from repro.datasets.text import generate_corpus
-from repro.platform import VHadoopPlatform, balanced_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
                                        wordcount_job)
 
@@ -21,7 +21,7 @@ def test_64_node_cluster_2gb_wordcount(one_shot):
     def run():
         platform = VHadoopPlatform(PlatformConfig(n_hosts=4, seed=0))
         cluster = platform.provision_cluster(
-            "big", balanced_placement(64, 4))
+            "big", ClusterSpec.spread(64, hosts=4))
         lines = generate_corpus(2 * C.GB // SCALE,
                                 rng=platform.datacenter.rng.fresh("corpus"))
         platform.upload(cluster, "/in", lines_as_records(lines),

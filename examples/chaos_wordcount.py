@@ -16,7 +16,7 @@ byte-for-byte identical.
 Run:  python examples/chaos_wordcount.py
 """
 
-from repro import PlatformConfig, VHadoopPlatform, cross_domain_placement
+from repro import ClusterSpec, PlatformConfig, VHadoopPlatform
 from repro.chaos import ChaosInjector, Fault, FaultPlan
 from repro.datasets.text import generate_corpus
 from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
@@ -29,7 +29,7 @@ def build() -> tuple:
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=42,
                                               trace=True))
     cluster = platform.provision_cluster("chaos-demo",
-                                         cross_domain_placement(16))
+                                         ClusterSpec.packed(16, hosts=2))
     lines = generate_corpus(256_000_000 // SCALE,
                             rng=platform.datacenter.rng.stream("corpus"))
     platform.upload(cluster, "/corpus", lines_as_records(lines),

@@ -8,7 +8,7 @@ Fig. 5 and Table II.
 Run:  python examples/live_migration.py
 """
 
-from repro import PlatformConfig, VHadoopPlatform, normal_placement
+from repro import ClusterSpec, PlatformConfig, VHadoopPlatform
 from repro.datasets.text import generate_corpus
 from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
                                        wordcount_job)
@@ -17,7 +17,7 @@ from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
 def migrate(condition: str) -> None:
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=5))
     cluster = platform.provision_cluster(f"mig-{condition}",
-                                         normal_placement(16))
+                                         ClusterSpec.single_host(16))
     dc = platform.datacenter
 
     stop_load = {"flag": False}

@@ -18,7 +18,7 @@ Run:  python examples/multi_tenant.py
 from repro import PlatformConfig, VHadoopPlatform
 from repro.datasets.text import generate_corpus
 from repro.mapreduce.local import LocalJobRunner
-from repro.platform import balanced_placement
+from repro.platform import ClusterSpec
 from repro.scheduler import FairScheduler, JobScheduler, PoolConfig
 from repro.workloads.mrbench import mrbench_input, mrbench_job, mrbench_sizeof
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
@@ -30,7 +30,7 @@ N_SMALL = 3
 def main() -> None:
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=7))
     cluster = platform.provision_cluster("shared",
-                                         balanced_placement(8, n_hosts=2))
+                                         ClusterSpec.spread(8, hosts=2))
     sim = platform.sim
 
     corpus = generate_corpus(300_000,

@@ -15,7 +15,7 @@ Writes the observatory's self-contained HTML report to
 Run:  python examples/observatory_demo.py
 """
 
-from repro import PlatformConfig, VHadoopPlatform, normal_placement
+from repro import ClusterSpec, PlatformConfig, VHadoopPlatform
 from repro.chaos import ChaosInjector, Fault, FaultPlan
 from repro.datasets.text import generate_corpus
 from repro.tuner import (MapReduceTuner, MigrateOffHotHostRule,
@@ -30,7 +30,7 @@ SEED = 11
 
 def main() -> None:
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=SEED))
-    cluster = platform.provision_cluster("obs-demo", normal_placement(16))
+    cluster = platform.provision_cluster("obs-demo", ClusterSpec.single_host(16))
     lines = generate_corpus(SIZE_MB * 1_000_000 // SCALE,
                             rng=platform.datacenter.rng.stream("corpus"))
     platform.upload(cluster, "/wc/in", lines_as_records(lines),

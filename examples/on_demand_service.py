@@ -18,7 +18,7 @@ from repro.cloud import OnDemandVHadoopService, ServiceRequest
 from repro.datasets.text import generate_corpus
 from repro.ml import (ClusterExecutor, ItemCooccurrenceRecommender,
                       NaiveBayesDriver)
-from repro.platform import normal_placement
+from repro.platform import ClusterSpec
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
                                        wordcount_job)
 
@@ -59,7 +59,7 @@ def main() -> None:
 
     # Tenants 2 and 3 use long-lived clusters through the platform API —
     # classification and recommendation, the library's other categories.
-    nb_cluster = platform.provision_cluster("nb", normal_placement(4))
+    nb_cluster = platform.provision_cluster("nb", ClusterSpec.single_host(4))
     platform.upload(nb_cluster, "/train", TRAIN_DOCS, timed=False)
     platform.upload(nb_cluster, "/test", TEST_DOCS, timed=False)
     executor = ClusterExecutor(platform.runner(nb_cluster), nb_cluster)
@@ -69,7 +69,7 @@ def main() -> None:
     print(f"[classifier]  trained in {train_s:.1f}s, classified in "
           f"{classify_s:.1f}s -> {predictions}")
 
-    rec_cluster = platform.provision_cluster("rec", normal_placement(4))
+    rec_cluster = platform.provision_cluster("rec", ClusterSpec.single_host(4))
     platform.upload(rec_cluster, "/prefs", PREFS, timed=False)
     rec_exec = ClusterExecutor(platform.runner(rec_cluster), rec_cluster)
     result = ItemCooccurrenceRecommender(top_n=2).run(rec_exec, "/prefs")

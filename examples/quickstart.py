@@ -11,7 +11,7 @@ This walks the paper's Fig. 1 execution flow end to end:
 Run:  python examples/quickstart.py
 """
 
-from repro import PlatformConfig, VHadoopPlatform, normal_placement
+from repro import ClusterSpec, PlatformConfig, VHadoopPlatform
 from repro.datasets.text import generate_corpus
 from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
                                        wordcount_job)
@@ -22,7 +22,7 @@ def main() -> None:
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=42))
 
     # Steps 1-3: a 16-node cluster on one physical machine.
-    cluster = platform.provision_cluster("quickstart", normal_placement(16))
+    cluster = platform.provision_cluster("quickstart", ClusterSpec.single_host(16))
     print(f"provisioned {cluster!r}")
 
     # Step 4: generate ~64 MB of Zipfian text and upload it.  We simulate

@@ -21,7 +21,7 @@ Run:  python examples/service_autoscale.py
 
 import dataclasses
 
-from repro import PlatformConfig, VHadoopPlatform, balanced_placement
+from repro import ClusterSpec, PlatformConfig, VHadoopPlatform
 from repro.cloud import (AdmissionController, BurstTraffic,
                          ElasticAutoscaler, ServiceController,
                          SharedClusterBackend, SharedVHadoopService,
@@ -38,7 +38,7 @@ MAX_INPUT_MB = 128.0
 def main() -> None:
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=11,
                                               trace=True))
-    cluster = platform.provision_cluster("svc", balanced_placement(6, 2))
+    cluster = platform.provision_cluster("svc", ClusterSpec.spread(6, hosts=2))
     service = SharedVHadoopService(platform, cluster)
     sim = platform.sim
     rngs = platform.datacenter.rng

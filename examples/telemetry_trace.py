@@ -13,7 +13,7 @@ Run:  python examples/telemetry_trace.py [trace.json]
 
 import sys
 
-from repro import PlatformConfig, VHadoopPlatform, normal_placement
+from repro import ClusterSpec, PlatformConfig, VHadoopPlatform
 from repro.datasets.text import generate_corpus
 from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
                                        wordcount_job)
@@ -23,7 +23,7 @@ SCALE = 100
 
 def main(trace_path: str = "trace.json") -> None:
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=11))
-    cluster = platform.provision_cluster("tel", normal_placement(8))
+    cluster = platform.provision_cluster("tel", ClusterSpec.single_host(8))
     lines = generate_corpus(64_000_000 // SCALE,
                             rng=platform.datacenter.rng.stream("corpus"))
     platform.upload(cluster, "/in", lines_as_records(lines),

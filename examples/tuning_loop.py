@@ -11,8 +11,7 @@ with a hot NIC is consolidated onto one host.
 Run:  python examples/tuning_loop.py
 """
 
-from repro import (HadoopConfig, PlatformConfig, VHadoopPlatform,
-                   cross_domain_placement, normal_placement)
+from repro import ClusterSpec, HadoopConfig, PlatformConfig, VHadoopPlatform
 from repro.datasets.text import generate_corpus
 from repro.tuner import (ConsolidateCrossDomainRule,
                          IncreaseSlotsWhenCpuIdleRule, MapReduceTuner)
@@ -26,7 +25,7 @@ def reconfiguration_loop() -> None:
     print("=== tuning by reconfiguration ===")
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=3))
     cluster = platform.provision_cluster(
-        "tune", normal_placement(8),
+        "tune", ClusterSpec.single_host(8),
         hadoop_config=HadoopConfig(map_tasks_maximum=1))
     lines = generate_corpus(96_000_000 // SCALE,
                             rng=platform.datacenter.rng.stream("corpus"))
@@ -56,7 +55,7 @@ def reconfiguration_loop() -> None:
 def migration_loop() -> None:
     print("\n=== tuning by live migration (consolidation) ===")
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=4))
-    cluster = platform.provision_cluster("cd", cross_domain_placement(8))
+    cluster = platform.provision_cluster("cd", ClusterSpec.packed(8, hosts=2))
     print(f"layout before: hosts used = {sorted(cluster.hosts_used())}")
 
     # Saturate the inter-host path so the analyser sees a hot NIC/netback.

@@ -6,9 +6,9 @@ Performance Consideration"* (Ye et al., IEEE CLUSTER 2012 Workshops).
 
 Quickstart
 ----------
->>> from repro import VHadoopPlatform, PlatformConfig, normal_placement
+>>> from repro import VHadoopPlatform, PlatformConfig, ClusterSpec
 >>> platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=0))
->>> cluster = platform.provision_cluster("demo", normal_placement(4))
+>>> cluster = platform.provision_cluster("demo", ClusterSpec.single_host(4))
 >>> cluster.n_nodes
 4
 
@@ -22,18 +22,21 @@ migration), :mod:`repro.hdfs` / :mod:`repro.mapreduce` (functional Hadoop),
 """
 
 from repro._version import __version__
-from repro.config import HadoopConfig, HostConfig, PlatformConfig, VMConfig
-from repro.platform import (HadoopVirtualCluster, VHadoopPlatform,
-                            balanced_placement, cross_domain_placement,
-                            normal_placement)
+from repro.config import (HadoopConfig, HostConfig, PlatformConfig,
+                          TopologySpec, VMConfig)
+from repro.platform import (ClusterSpec, HadoopVirtualCluster,
+                            VHadoopPlatform, balanced_placement,
+                            cross_domain_placement, normal_placement)
 from repro.virt import Datacenter, VirtLM
 
 __all__ = [
+    "ClusterSpec",
     "Datacenter",
     "HadoopConfig",
     "HadoopVirtualCluster",
     "HostConfig",
     "PlatformConfig",
+    "TopologySpec",
     "VHadoopPlatform",
     "VMConfig",
     "VirtLM",

@@ -21,8 +21,9 @@ from repro.experiments import (chaos_faults, fig2_wordcount, fig3_mrbench,
                                fig4_terasort_dfsio, fig5_migration,
                                fig6_synthetic_control,
                                fig7_display_clustering, fig8_cluster_visuals,
-                               observatory, sched_policies, service,
-                               table1_benchmarks, telemetry_demo)
+                               observatory, scale_wordcount, sched_policies,
+                               service, table1_benchmarks, telemetry_demo)
+from repro.experiments.common import add_topology_argument
 
 
 def _run_fig2(args) -> list:
@@ -97,6 +98,11 @@ def _run_service(args) -> list:
     return [service.run(seed=args.seed, quick=args.quick)]
 
 
+def _run_scale(args) -> list:
+    return [scale_wordcount.run(seed=args.seed, quick=args.quick,
+                                topology=args.topology)]
+
+
 _EXPERIMENTS: dict[str, Callable] = {
     "table1": _run_table1,
     "fig2": _run_fig2,
@@ -112,6 +118,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "chaos": _run_chaos,
     "observatory": _run_observatory,
     "service": _run_service,
+    "scale": _run_scale,
 }
 
 
@@ -129,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="smaller sweeps for a fast pass")
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="also write results as CSV/JSON into DIR")
+    add_topology_argument(parser)
     return parser
 
 

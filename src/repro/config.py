@@ -151,8 +151,87 @@ class HadoopConfig:
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """Declarative datacenter shape: ``racks × hosts_per_rack × vms_per_host``.
+
+    The paper's testbed is ``TopologySpec(1, 2, 8)`` — one rack of two
+    hosts, eight VMs each.  Single-rack topologies add no ToR/aggregation
+    resources, so they are bit-identical to the flat two-host model.
+    Parse the CLI form with :meth:`parse` (``"25x5x8"`` = 25 racks × 5
+    hosts × 8 VMs = 1,000 VMs).
+    """
+
+    racks: int = 1
+    hosts_per_rack: int = 2
+    vms_per_host: int = 8
+    #: Per-tier bandwidth overrides; ``None`` keeps the HostConfig /
+    #: constants defaults.
+    nic_bandwidth: "float | None" = None
+    bridge_bandwidth: "float | None" = None
+    tor_bandwidth: float = C.TOR_SWITCH_BPS
+    agg_bandwidth: float = C.AGG_UPLINK_BPS
+
+    def __post_init__(self) -> None:
+        if self.racks < 1 or self.hosts_per_rack < 1 or self.vms_per_host < 1:
+            raise ConfigError("racks, hosts_per_rack and vms_per_host "
+                              "must all be >= 1")
+        for name in ("tor_bandwidth", "agg_bandwidth"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @property
+    def n_hosts(self) -> int:
+        return self.racks * self.hosts_per_rack
+
+    @property
+    def n_vms(self) -> int:
+        return self.n_hosts * self.vms_per_host
+
+    @property
+    def multi_rack(self) -> bool:
+        return self.racks > 1
+
+    def rack_of_host(self, host_index: int) -> int:
+        """Hosts are numbered contiguously within racks: host *i* lives
+        in rack ``i // hosts_per_rack``."""
+        if host_index < 0 or host_index >= self.n_hosts:
+            raise ConfigError(f"host index {host_index} out of range "
+                              f"(topology has {self.n_hosts} hosts)")
+        return host_index // self.hosts_per_rack
+
+    @classmethod
+    def parse(cls, text: str, **overrides) -> "TopologySpec":
+        """Parse the shared CLI form ``RxHxV`` (racks × hosts/rack ×
+        VMs/host), e.g. ``"2x8x4"``."""
+        parts = text.lower().split("x")
+        if len(parts) != 3:
+            raise ConfigError(
+                f"topology {text!r} must be RxHxV (racks x hosts-per-rack "
+                f"x vms-per-host), e.g. 2x8x4")
+        try:
+            racks, hosts, vms = (int(p) for p in parts)
+        except ValueError:
+            raise ConfigError(f"topology {text!r}: parts must be integers "
+                              "(RxHxV, e.g. 2x8x4)") from None
+        return cls(racks=racks, hosts_per_rack=hosts, vms_per_host=vms,
+                   **overrides)
+
+    def spec_str(self) -> str:
+        return f"{self.racks}x{self.hosts_per_rack}x{self.vms_per_host}"
+
+    def replace(self, **kwargs) -> "TopologySpec":
+        return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
 class PlatformConfig:
-    """Whole-platform layout: hosts, VM template, Hadoop config, NFS, seed."""
+    """Whole-platform layout: hosts, VM template, Hadoop config, NFS, seed.
+
+    ``topology`` is the declarative multi-rack shape; when given it
+    drives ``n_hosts`` (racks × hosts_per_rack) and the datacenter wires
+    racks/ToR/aggregation accordingly.  Without it the platform is the
+    paper's flat ``n_hosts`` testbed.
+    """
 
     n_hosts: int = 2
     host: HostConfig = field(default_factory=HostConfig)
@@ -161,8 +240,11 @@ class PlatformConfig:
     nfs_bandwidth: float = C.NFS_BPS
     seed: int = 0
     trace: bool = True
+    topology: "TopologySpec | None" = None
 
     def __post_init__(self) -> None:
+        if self.topology is not None:
+            object.__setattr__(self, "n_hosts", self.topology.n_hosts)
         if self.n_hosts < 1:
             raise ConfigError("n_hosts must be >= 1")
         if self.nfs_bandwidth <= 0:

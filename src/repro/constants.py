@@ -44,6 +44,17 @@ XEN_NETBACK_BPS: float = 40e6
 #: One-way latency charged per network transfer (seconds).
 LAN_LATENCY_S: float = 0.3e-3
 BRIDGE_LATENCY_S: float = 0.05e-3
+#: Top-of-rack switch backplane bandwidth shared by a rack's hosts
+#: (bytes/second).  Gigabit-era ToR switches carry ~20 Gbit/s of
+#: aggregate traffic — far above one NIC, so intra-rack paths only
+#: contend here when many host pairs talk at once.
+TOR_SWITCH_BPS: float = 2.5e9
+#: Uplink from each ToR switch into the aggregation/core tier.  Real
+#: clusters oversubscribe this link (Barroso's 4:1–10:1), which is what
+#: makes off-rack traffic expensive and rack-aware placement matter.
+AGG_UPLINK_BPS: float = 1.25e9
+#: Extra one-way latency for paths that traverse the aggregation tier.
+AGG_LATENCY_S: float = 0.5e-3
 
 # --- disk and NFS -----------------------------------------------------------
 #: Local (virtual) disk streaming bandwidth per physical machine.

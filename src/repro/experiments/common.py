@@ -4,11 +4,10 @@ standard 16-node cluster builders used across the figures."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Optional, Sequence, Union
 
-from repro.config import HadoopConfig, PlatformConfig, VMConfig
-from repro.platform import (VHadoopPlatform, cross_domain_placement,
-                            normal_placement)
+from repro.config import HadoopConfig, PlatformConfig, TopologySpec, VMConfig
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.platform.cluster import HadoopVirtualCluster
 
 
@@ -64,9 +63,38 @@ def format_table(result: ExperimentResult) -> str:
 
 # -- standard setups ---------------------------------------------------------
 
-def make_platform(seed: int = 0, **overrides) -> VHadoopPlatform:
-    """Two-host platform matching the paper's testbed."""
-    return VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed, **overrides))
+def make_platform(seed: int = 0,
+                  topology: Union[TopologySpec, str, None] = None,
+                  **overrides) -> VHadoopPlatform:
+    """The experiment testbed.
+
+    Defaults to the paper's two-host machine pair; pass ``topology`` (a
+    :class:`~repro.config.TopologySpec` or its ``"RxHxV"`` string form,
+    the CLI's shared ``--topology`` flag) to build a racked datacenter
+    instead.
+    """
+    if topology is None:
+        return VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed,
+                                              **overrides))
+    topo = (TopologySpec.parse(topology) if isinstance(topology, str)
+            else topology)
+    return VHadoopPlatform(PlatformConfig(topology=topo, seed=seed,
+                                          **overrides))
+
+
+def add_topology_argument(parser) -> None:
+    """Install the one shared topology knob: ``--topology RxHxV``.
+
+    Every scale-aware entry point (the experiment CLI, the perf bench)
+    parses rack shapes through this flag and
+    :meth:`TopologySpec.parse <repro.config.TopologySpec.parse>` — there
+    are deliberately no per-experiment ``--vms``/``--hosts`` knobs.
+    """
+    parser.add_argument(
+        "--topology", metavar="RxHxV", type=TopologySpec.parse, default=None,
+        help="racks x hosts_per_rack x vms_per_host datacenter shape "
+             "(e.g. 2x8x4) for the scale-aware experiments; default is "
+             "the paper's flat two-host testbed")
 
 
 def sixteen_node_cluster(platform: VHadoopPlatform, layout: str,
@@ -77,13 +105,13 @@ def sixteen_node_cluster(platform: VHadoopPlatform, layout: str,
     """The paper's 16-node cluster (1 namenode + 15 datanodes) in the
     'normal' (one host) or 'cross-domain' (8 + 8) layout."""
     if layout == "normal":
-        placement = normal_placement(16)
+        spec = ClusterSpec.single_host(16)
     elif layout == "cross-domain":
-        placement = cross_domain_placement(16, n_hosts=2)
+        spec = ClusterSpec.packed(16, hosts=2)
     else:
         raise ValueError(f"unknown layout {layout!r}")
     return platform.provision_cluster(
-        name or f"hvc-{layout}", placement, vm_config=vm_config,
+        name or f"hvc-{layout}", spec, vm_config=vm_config,
         hadoop_config=hadoop_config)
 
 
@@ -95,11 +123,30 @@ def scaled_cluster(platform: VHadoopPlatform, n_nodes: int,
 
     Round-robin placement is how a real operator grows a virtual cluster on
     a two-machine testbed; it means the inter-node communication share that
-    crosses the physical NICs grows with the cluster — the paper's "larger
-    virtual cluster incurs more data communication" effect.
+    crosses the physical NICs grows with the cluster — the paper's
+    "larger virtual cluster incurs more data communication" effect.
     """
-    from repro.platform import balanced_placement
     return platform.provision_cluster(
         name or f"hvc-{n_nodes}",
-        balanced_placement(n_nodes, len(platform.datacenter.machines)),
+        ClusterSpec.spread(n_nodes, hosts=len(platform.datacenter.machines)),
         hadoop_config=hadoop_config)
+
+
+def racked_cluster(platform: VHadoopPlatform,
+                   n_vms: Optional[int] = None, layout: str = "packed",
+                   name: Optional[str] = None,
+                   hadoop_config: Optional[HadoopConfig] = None
+                   ) -> HadoopVirtualCluster:
+    """A cluster spanning the platform's declared rack topology.
+
+    Requires a platform built with ``make_platform(topology=...)``;
+    defaults to filling the whole datacenter.
+    """
+    topo = platform.config.topology
+    if topo is None:
+        raise ValueError("racked_cluster needs a platform built with a "
+                         "topology (make_platform(topology='RxHxV'))")
+    spec = ClusterSpec.racked(topo, n_vms=n_vms, layout=layout,
+                              hadoop=hadoop_config)
+    return platform.provision_cluster(
+        name or f"hvc-{topo.spec_str()}", spec)

@@ -1,16 +1,24 @@
 """The NameNode: namespace and block placement.
 
-Placement follows Hadoop's default policy with physical hosts standing in
-for racks (on a two-host testbed the host boundary *is* the interesting
-topology boundary):
+Placement follows Hadoop's default policy.  On multi-rack topologies it
+is fully rack-aware:
 
 1. first replica on the writer's own datanode when it has one, otherwise a
    random datanode;
-2. second replica on a datanode of a *different host* when one exists;
-3. further replicas on random remaining datanodes, spreading across hosts.
+2. second replica on a datanode of a *different rack* when one exists
+   (falling back to a different host);
+3. third replica on the second replica's rack but a different node
+   (Hadoop's default `BlockPlacementPolicy`);
+4. further replicas on random remaining datanodes.
+
+On flat/one-rack topologies (the paper's testbed) physical hosts stand in
+for racks — the host boundary *is* the interesting topology boundary —
+and the decision sequence (including every RNG draw) is bit-identical to
+the pre-rack model.
 
 Replica choice for reads prefers the closest copy: writer-local datanode >
-same-host datanode > remote datanode — HDFS's `NetworkTopology` distances.
+same-host datanode > same-rack datanode > any — HDFS's `NetworkTopology`
+distances.
 """
 
 from __future__ import annotations
@@ -93,6 +101,19 @@ class NameNode:
         state = getattr(dn.vm, "state", None)
         return state is None or state in (VMState.RUNNING, VMState.MIGRATING)
 
+    @staticmethod
+    def _rack_of(dn: DataNode):
+        """The datanode's rack (``None`` on flat topologies)."""
+        host = dn.vm.host
+        return host.rack if host is not None else None
+
+    @classmethod
+    def _is_multi_rack(cls, pool: Sequence[DataNode]) -> bool:
+        """More than one distinct rack among the datanodes."""
+        racks = {cls._rack_of(dn) for dn in pool}
+        racks.discard(None)
+        return len(racks) > 1
+
     def choose_write_targets(self, writer_vm_name: str, replication: int
                              ) -> list[DataNode]:
         """Pick ``replication`` *live* datanodes for a new block."""
@@ -110,7 +131,11 @@ class NameNode:
             targets.append(local)
         else:
             targets.append(self._pick(pool, exclude=targets))
-        if len(targets) < replication:
+        if self._is_multi_rack(pool):
+            self._add_rack_aware_targets(pool, targets, replication)
+        elif len(targets) < replication:
+            # Flat topology: hosts stand in for racks (bit-identical to
+            # the pre-rack policy, same RNG draw sequence).
             first_host = targets[0].vm.host
             off_host = [dn for dn in pool
                         if dn.vm.host is not first_host and dn not in targets]
@@ -119,6 +144,33 @@ class NameNode:
         while len(targets) < replication:
             targets.append(self._pick(pool, exclude=targets))
         return targets
+
+    def _add_rack_aware_targets(self, pool: Sequence[DataNode],
+                                targets: list[DataNode],
+                                replication: int) -> None:
+        """Hadoop's default rack policy for replicas 2 and 3: second
+        replica off-rack, third on the second's rack but off-node."""
+        if len(targets) < replication:
+            first_rack = self._rack_of(targets[0])
+            off_rack = [dn for dn in pool
+                        if self._rack_of(dn) is not first_rack
+                        and dn not in targets]
+            if off_rack:
+                targets.append(self._pick(off_rack, exclude=targets))
+            else:  # no other rack has capacity: degrade to off-host
+                first_host = targets[0].vm.host
+                off_host = [dn for dn in pool
+                            if dn.vm.host is not first_host
+                            and dn not in targets]
+                if off_host:
+                    targets.append(self._pick(off_host, exclude=targets))
+        if len(targets) < replication and len(targets) >= 2:
+            second_rack = self._rack_of(targets[1])
+            same_rack = [dn for dn in pool
+                         if self._rack_of(dn) is second_rack
+                         and dn not in targets]
+            if same_rack:
+                targets.append(self._pick(same_rack, exclude=targets))
 
     def choose_read_replica(self, reader_vm_name: str, block: Block,
                             prefer_local: bool = True) -> DataNode:
@@ -146,6 +198,12 @@ class NameNode:
                              if dn.vm.host is reader.vm.host]
                 if same_host:
                     return self._pick(same_host, exclude=[])
+                reader_rack = self._rack_of(reader)
+                if reader_rack is not None:
+                    same_rack = [dn for dn in holders
+                                 if self._rack_of(dn) is reader_rack]
+                    if same_rack:
+                        return self._pick(same_rack, exclude=[])
         return self._pick(holders, exclude=[])
 
     def commit_block(self, f: DfsFile, block: Block,

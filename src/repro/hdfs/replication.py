@@ -176,10 +176,24 @@ class ReplicationRepairer:
                       if dn not in holders and self._is_live(dn)]
         if not candidates:
             return False
-        # Prefer an off-host target, mirroring the write placement policy.
-        off_host = [dn for dn in candidates
-                    if dn.vm.host is not source.vm.host]
-        target = (off_host or candidates)[0]
+        # Prefer a target that restores rack diversity (all surviving
+        # replicas on one rack -> copy off-rack), then fall back to
+        # off-host, mirroring the write placement policy.  Flat/one-rack
+        # topologies skip straight to the off-host preference.
+        target = None
+        if self.namenode._is_multi_rack(candidates + live_sources):
+            holder_racks = {self.namenode._rack_of(dn)
+                            for dn in live_sources}
+            if len(holder_racks) == 1:
+                off_rack = [dn for dn in candidates
+                            if self.namenode._rack_of(dn)
+                            not in holder_racks]
+                if off_rack:
+                    target = off_rack[0]
+        if target is None:
+            off_host = [dn for dn in candidates
+                        if dn.vm.host is not source.vm.host]
+            target = (off_host or candidates)[0]
         pending = [source.read_from_disk(block),
                    target.write_to_disk(block)]
         if source.vm.node is not target.vm.node:
@@ -219,6 +233,10 @@ class ReplicationMonitor:
                                             tracer=self.tracer)
         self.reports: list[RepairReport] = []
         self._watched: set[str] = set()
+        #: Correlated failures (host/rack kills) arm many identical
+        #: repair-delay timers at one instant; the wheel folds them into
+        #: one queue entry without changing the simulated timeline.
+        self._wheel = sim.timer_wheel()
         self._sweeping = False
         self._resweep = False
 
@@ -240,7 +258,7 @@ class ReplicationMonitor:
         self._watched.discard(vm.name)
         delay = self.config.replication_repair_delay_s
         if delay > 0:
-            yield self.sim.timeout(delay)
+            yield self._wheel.sleep(delay)
         if vm.state is not VMState.FAILED:
             return  # rejoined before the expiry window elapsed
         if datanode not in self.namenode.datanodes:

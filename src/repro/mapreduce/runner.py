@@ -574,8 +574,14 @@ class MapReduceRunner:
         if not pending:
             return None, "-"
         if self.cluster.config.locality_aware:
-            for level, match in (("node", self._is_node_local),
-                                 ("host", self._is_host_local)):
+            levels = (("node", self._is_node_local),
+                      ("host", self._is_host_local))
+            if self.cluster.multi_rack:
+                # node > host > rack > off-rack: the rack tier only
+                # exists on multi-rack topologies, so flat/one-rack runs
+                # keep the exact pre-rack decision sequence.
+                levels += (("rack", self._is_rack_local),)
+            for level, match in levels:
                 for spec in pending:
                     if match(tracker, spec):
                         pending.remove(spec)
@@ -593,11 +599,19 @@ class MapReduceRunner:
     def _is_host_local(tracker: "TaskTracker", spec: _MapSpec) -> bool:
         return any(dn.vm.host is tracker.vm.host for dn in spec.holders)
 
+    @staticmethod
+    def _is_rack_local(tracker: "TaskTracker", spec: _MapSpec) -> bool:
+        rack = tracker.vm.host.rack
+        return rack is not None and any(dn.vm.host.rack is rack
+                                        for dn in spec.holders)
+
     def _locality_of(self, tracker, spec) -> str:
         if self._is_node_local(tracker, spec):
             return "node"
         if self._is_host_local(tracker, spec):
             return "host"
+        if self.cluster.multi_rack and self._is_rack_local(tracker, spec):
+            return "rack"
         return "remote"
 
     def _map_worker(self, job: Job, tracker: "TaskTracker", state: dict,
@@ -707,8 +721,12 @@ class MapReduceRunner:
             local = next(dn for dn in live_holders if dn.vm is vm)
             yield local.vm.disk_io(spec.nbytes, name=f"split:{spec.task_id}")
         elif live_holders:
-            source = next((dn for dn in live_holders
-                           if dn.vm.host is vm.host), live_holders[0])
+            rack = vm.host.rack
+            source = next(
+                (dn for dn in live_holders if dn.vm.host is vm.host),
+                next((dn for dn in live_holders
+                      if rack is not None and dn.vm.host.rack is rack),
+                     live_holders[0]))
             pending = [source.vm.disk_io(spec.nbytes,
                                          name=f"split:{spec.task_id}")]
             pending.append(self.cluster.datacenter.fabric.transfer(

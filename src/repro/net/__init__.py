@@ -9,6 +9,6 @@ than "normal" ones: their traffic crosses the shared physical NICs instead
 of the fast intra-host bridge.
 """
 
-from repro.net.topology import HostNet, NetNode, NetworkFabric
+from repro.net.topology import HostNet, NetNode, NetworkFabric, RackNet
 
-__all__ = ["HostNet", "NetNode", "NetworkFabric"]
+__all__ = ["HostNet", "NetNode", "NetworkFabric", "RackNet"]

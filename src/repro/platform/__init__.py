@@ -3,9 +3,11 @@
 from repro.platform.cluster import HadoopVirtualCluster
 from repro.platform.provisioning import (Placement, cross_domain_placement,
                                          normal_placement, balanced_placement)
+from repro.platform.spec import ClusterSpec
 from repro.platform.vhadoop import VHadoopPlatform
 
 __all__ = [
+    "ClusterSpec",
     "HadoopVirtualCluster",
     "Placement",
     "VHadoopPlatform",

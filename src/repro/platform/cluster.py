@@ -79,6 +79,9 @@ class HadoopVirtualCluster:
         #: both arm it; standalone runner tests stay untouched).
         self.recovery: Optional[ReplicationMonitor] = None
         self._watched_trackers: set[str] = set()
+        #: Correlated failures arm many identical heartbeat-expiry grace
+        #: timers at one instant; the wheel batches them into one event.
+        self._expiry_wheel = self.sim.timer_wheel()
 
     # -- convenience -----------------------------------------------------
     @property
@@ -102,6 +105,16 @@ class HadoopVirtualCluster:
     @property
     def cross_domain(self) -> bool:
         return len(self.hosts_used()) > 1
+
+    @property
+    def multi_rack(self) -> bool:
+        """True when the datacenter has ToR/aggregation tiers (never on
+        the flat or degenerate one-rack topologies)."""
+        return self.datacenter.fabric.agg is not None
+
+    def racks_used(self) -> set[str]:
+        return {vm.host.rack_name for vm in self.vms
+                if vm.host is not None and vm.host.rack_name is not None}
 
     # -- elastic membership ------------------------------------------------
     def add_worker(self, vm: VirtualMachine,
@@ -196,7 +209,7 @@ class HadoopVirtualCluster:
         # The JobTracker only notices after several silent heartbeats.
         grace = self.config.missed_heartbeats_dead * self.config.heartbeat_s
         if grace > 0:
-            yield self.sim.timeout(grace)
+            yield self._expiry_wheel.sleep(grace)
         if vm.state is not VMState.FAILED:
             return  # rejoined within the grace window
         if tracker not in self.trackers:

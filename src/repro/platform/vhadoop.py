@@ -27,6 +27,7 @@ from repro.mapreduce.job import Job
 from repro.mapreduce.runner import JobReport, MapReduceRunner
 from repro.platform.cluster import HadoopVirtualCluster
 from repro.platform.provisioning import Placement, validate_placement
+from repro.platform.spec import ClusterSpec
 from repro.telemetry import events as EV
 from repro.virt.datacenter import Datacenter
 
@@ -41,12 +42,19 @@ class VHadoopPlatform:
         self.runners: dict[str, MapReduceRunner] = {}
 
     # -- step 1-3: provision -----------------------------------------------
-    def provision_cluster(self, name: str, placement: Placement,
+    def provision_cluster(self, name: str,
+                          spec: "ClusterSpec | Placement",
                           vm_config: Optional[VMConfig] = None,
                           hadoop_config: Optional[HadoopConfig] = None,
                           boot: bool = False) -> HadoopVirtualCluster:
         """Create a hadoop virtual cluster: VM 0 is the namenode/master,
         the rest are datanode/workers (paper: n-node = 1 + (n-1)).
+
+        ``spec`` is normally a declarative :class:`ClusterSpec`, resolved
+        here against this datacenter's machines; a pre-resolved
+        :class:`Placement` is accepted for low-level callers.  Per-spec
+        ``vm``/``hadoop`` configs apply unless overridden by the explicit
+        keyword arguments.
 
         ``boot=True`` simulates the NFS image fetch and guest boot for every
         VM; the default places the cluster already running, which is how
@@ -54,6 +62,12 @@ class VHadoopPlatform:
         """
         if name in self.clusters:
             raise ConfigError(f"cluster {name!r} already exists")
+        if isinstance(spec, ClusterSpec):
+            placement = spec.placement(len(self.datacenter.machines))
+            vm_config = vm_config or spec.vm
+            hadoop_config = hadoop_config or spec.hadoop
+        else:
+            placement = spec
         if placement.n_vms < 2:
             raise ConfigError("a cluster needs >= 2 VMs (master + worker)")
         validate_placement(placement, self.datacenter.machines)

@@ -22,6 +22,7 @@ from repro.sim.kernel import (
     Process,
     Simulator,
     Timeout,
+    TimerWheel,
 )
 from repro.sim.fairshare import FairShareSystem, FluidFlow, SharedResource
 from repro.sim.resources import Resource, Store
@@ -43,6 +44,7 @@ __all__ = [
     "Span",
     "Store",
     "Timeout",
+    "TimerWheel",
     "TraceEvent",
     "Tracer",
 ]

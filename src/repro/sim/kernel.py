@@ -125,6 +125,20 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+class _Wake(Event):
+    """Kernel-internal immediate wake-up event.
+
+    These are the kernel's hottest allocation: every process bootstrap,
+    every resume-on-already-processed-target, and every interrupt creates
+    one, uses it for exactly one step, and drops it.  They are never
+    handed to user code, never waited on by ``_waiting_on``, and never
+    cancelled — so :meth:`Simulator.step` recycles them through a small
+    free list (slab) instead of letting each become garbage.
+    """
+
+    __slots__ = ()
+
+
 class Timeout(Event):
     """An event that triggers ``delay`` seconds after its creation."""
 
@@ -140,6 +154,51 @@ class Timeout(Event):
 
     def _pre_trigger(self) -> None:
         raise SimulationError("a Timeout fires by itself; do not trigger it")
+
+
+class TimerWheel:
+    """Coalesces same-instant, same-deadline sleeps into one queue entry.
+
+    Correlated timers — N replication watchers armed by one rack failure,
+    N tracker-expiry grace periods after a host crash — all sleep for the
+    same delay from the same simulated instant.  Arming each as its own
+    :class:`Timeout` costs N heap entries and N ``step()`` rounds; a
+    wheel shares one Timeout among all waiters armed at the same instant
+    for the same deadline, so a 1,000-VM correlated failure wakes its
+    watchers with one event.  Waiters resume in arming order — exactly
+    the order their individual timers' sequence numbers would have given
+    them — so coalescing is invisible to the simulated timeline.
+
+    Each subsystem should own its wheel: slots are keyed by
+    ``(armed_at, deadline)`` *within* the wheel, which keeps unrelated
+    same-delay timers from ever sharing an entry.
+    """
+
+    __slots__ = ("sim", "_slots", "armed", "coalesced")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._slots: dict[tuple[float, float], Timeout] = {}
+        #: Distinct Timeouts created (cache misses).
+        self.armed = 0
+        #: Sleeps that shared an existing Timeout (events saved).
+        self.coalesced = 0
+
+    def sleep(self, delay: float) -> Timeout:
+        """An event firing ``delay`` seconds from now, shared with every
+        other ``sleep(delay)`` issued at this same instant."""
+        now = self.sim.now
+        key = (now, now + delay)
+        timer = self._slots.get(key)
+        if timer is None or timer._processed:
+            timer = Timeout(self.sim, delay)
+            self._slots[key] = timer
+            timer.callbacks.append(
+                lambda _ev, key=key: self._slots.pop(key, None))
+            self.armed += 1
+        else:
+            self.coalesced += 1
+        return timer
 
 
 class Interrupt(Exception):
@@ -169,10 +228,7 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         # Bootstrap: resume the process at the current time.
-        boot = Event(sim)
-        self._waiting_on: Optional[Event] = boot
-        boot.callbacks.append(self._resume)
-        boot.succeed(None)
+        self._waiting_on: Optional[Event] = sim._wake(self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -191,9 +247,7 @@ class Process(Event):
         if target is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
         self._waiting_on = None
-        hit = Event(self.sim)
-        hit.callbacks.append(lambda _ev: self._throw_interrupt(cause))
-        hit.succeed(None)
+        self.sim._wake(lambda _ev: self._throw_interrupt(cause))
 
     # -- internal ------------------------------------------------------------
     def _throw_interrupt(self, cause: Any) -> None:
@@ -250,9 +304,7 @@ class Process(Event):
         self._waiting_on = target
         if target._processed:
             # Already done: resume immediately at the current time.
-            hit = Event(self.sim)
-            hit.callbacks.append(lambda _ev: self._resume(target))
-            hit.succeed(None)
+            self.sim._wake(lambda _ev: self._resume(target))
         else:
             target.callbacks.append(self._resume)
 
@@ -328,6 +380,10 @@ class AllOf(_Condition):
 class Simulator:
     """The event loop: virtual clock plus a time-ordered event queue."""
 
+    #: Free-list bound: enough to absorb bursts, small enough to stay hot
+    #: in cache.
+    _WAKE_POOL_MAX = 512
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
@@ -338,6 +394,10 @@ class Simulator:
         self.max_heap_size = 0
         #: Cancelled entries dropped without processing.
         self.cancelled_pruned = 0
+        #: Slab/free list of recycled kernel wake events, and how many
+        #: allocations it saved (perf-harness counter).
+        self._wake_pool: list[_Wake] = []
+        self.wake_events_reused = 0
 
     # -- factories -----------------------------------------------------------
     def event(self) -> Event:
@@ -352,6 +412,22 @@ class Simulator:
                 name: Optional[str] = None) -> Process:
         """Start a process from a generator; returns its completion event."""
         return Process(self, generator, name=name)
+
+    def timer_wheel(self) -> TimerWheel:
+        """A fresh :class:`TimerWheel` for one subsystem's batched sleeps."""
+        return TimerWheel(self)
+
+    def _wake(self, callback: Callable[[Event], None]) -> Event:
+        """An immediately-triggered kernel wake event (recycled slab)."""
+        pool = self._wake_pool
+        if pool:
+            ev = pool.pop()
+            self.wake_events_reused += 1
+        else:
+            ev = _Wake(self)
+        ev.callbacks.append(callback)
+        ev.succeed(None)
+        return ev
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
@@ -398,6 +474,14 @@ class Simulator:
         # Unwaited failures must not pass silently.
         if not event._ok and not callbacks:
             raise event._value
+        if type(event) is _Wake and len(self._wake_pool) < self._WAKE_POOL_MAX:
+            # Wake events are single-use and kernel-private: by the time
+            # their callbacks have run, nothing references them any more,
+            # so they go back to the slab for reuse.
+            event._triggered = False
+            event._processed = False
+            event._value = None
+            self._wake_pool.append(event)
 
     def run_until(self, event: Event) -> None:
         """Process events until ``event`` has been processed.

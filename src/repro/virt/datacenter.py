@@ -9,6 +9,7 @@ above (HDFS, MapReduce, the vHadoop platform) builds on a
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from repro.config import PlatformConfig, VMConfig
@@ -42,8 +43,30 @@ class Datacenter:
         self.image_store.register_image("base", self.config.vm.image_size)
         self.machines: list[PhysicalMachine] = []
         self.hypervisors: dict[str, Hypervisor] = {}
+        topo = self.config.topology
+        host_cfg = self.config.host
+        if topo is not None and (topo.nic_bandwidth is not None
+                                 or topo.bridge_bandwidth is not None):
+            host_cfg = dataclasses.replace(
+                host_cfg,
+                nic_bandwidth=topo.nic_bandwidth or host_cfg.nic_bandwidth,
+                bridge_bandwidth=(topo.bridge_bandwidth
+                                  or host_cfg.bridge_bandwidth))
+        racks = []
+        if topo is not None:
+            # ToR/aggregation resources only exist on multi-rack
+            # topologies; one rack stays bit-identical to the flat model.
+            for r in range(topo.racks):
+                racks.append(self.fabric.add_rack(
+                    f"rack{r}",
+                    tor_bandwidth=(topo.tor_bandwidth
+                                   if topo.multi_rack else None)))
+            if topo.multi_rack:
+                self.fabric.set_aggregation(topo.agg_bandwidth)
         for i in range(self.config.n_hosts):
-            machine = PhysicalMachine(f"pm{i}", self.config.host, self.fabric)
+            rack = racks[topo.rack_of_host(i)] if racks else None
+            machine = PhysicalMachine(f"pm{i}", host_cfg, self.fabric,
+                                      rack=rack)
             self.machines.append(machine)
             self.hypervisors[machine.name] = Hypervisor(
                 machine, self.sim, image_store=self.image_store,

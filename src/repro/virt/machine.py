@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.config import HostConfig
 from repro.errors import PlacementError
-from repro.net import HostNet, NetNode, NetworkFabric
+from repro.net import HostNet, NetNode, NetworkFabric, RackNet
 from repro.sim import SharedResource
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,7 +30,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class PhysicalMachine:
     """One host of the testbed (Dell T710 stand-in)."""
 
-    def __init__(self, name: str, config: HostConfig, fabric: NetworkFabric):
+    def __init__(self, name: str, config: HostConfig, fabric: NetworkFabric,
+                 rack: Optional[RackNet] = None):
         self.name = name
         self.config = config
         self.cpu = SharedResource(f"{name}.cpu", float(config.cores))
@@ -38,11 +39,20 @@ class PhysicalMachine:
         self.net: HostNet = fabric.add_host(
             name, nic_bandwidth=config.nic_bandwidth,
             bridge_bandwidth=config.bridge_bandwidth,
-            netback_bandwidth=config.netback_bandwidth)
+            netback_bandwidth=config.netback_bandwidth, rack=rack)
         self.dom0: NetNode = fabric.attach(f"{name}.dom0", self.net,
                                            privileged=True)
         self.vms: dict[str, "VirtualMachine"] = {}
         self._dram_used = 0
+
+    @property
+    def rack(self) -> Optional[RackNet]:
+        """The rack this host lives in (``None`` on flat topologies)."""
+        return self.net.rack
+
+    @property
+    def rack_name(self) -> Optional[str]:
+        return self.net.rack.name if self.net.rack is not None else None
 
     # -- DRAM accounting ---------------------------------------------------
     @property

@@ -14,7 +14,7 @@ from hypothesis import HealthCheck, given, settings
 from repro.chaos import ChaosInjector, Fault, FaultPlan
 from repro.config import HadoopConfig, PlatformConfig
 from repro.mapreduce import LocalJobRunner
-from repro.platform import VHadoopPlatform, cross_domain_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads.wordcount import (line_record_sizeof, lines_as_records,
                                        wordcount_job)
 
@@ -37,7 +37,7 @@ def _make(seed: int, speculation: bool):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed,
                                               trace=True))
     cluster = platform.provision_cluster(
-        "prop", cross_domain_placement(8),
+        "prop", ClusterSpec.packed(8, hosts=2),
         hadoop_config=HadoopConfig(dfs_replication=2,
                                    speculative_execution=speculation))
     platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,

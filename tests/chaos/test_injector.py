@@ -5,7 +5,7 @@ import pytest
 from repro.chaos import ChaosInjector, Fault, FaultPlan
 from repro.config import PlatformConfig
 from repro.errors import ConfigError
-from repro.platform import VHadoopPlatform, cross_domain_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.virt import VMState
 
 
@@ -13,7 +13,7 @@ def make(seed=7, n=8):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed,
                                               trace=True))
     cluster = platform.provision_cluster("chaos",
-                                         cross_domain_placement(n))
+                                         ClusterSpec.packed(n, hosts=2))
     return platform, cluster
 
 

@@ -14,7 +14,7 @@ from repro.chaos import ChaosInjector, Fault, FaultPlan
 from repro.config import HadoopConfig, PlatformConfig
 from repro.errors import VMStateError
 from repro.hdfs.replication import under_replicated
-from repro.platform import VHadoopPlatform, cross_domain_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.platform.faults import crash_worker, rejoin_worker
 from repro.virt import VMState
 from repro.workloads.wordcount import (line_record_sizeof, lines_as_records,
@@ -30,7 +30,7 @@ def make(n=8, seed=11, replication=2):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed,
                                               trace=True))
     cluster = platform.provision_cluster(
-        "rec", cross_domain_placement(n),
+        "rec", ClusterSpec.packed(n, hosts=2),
         hadoop_config=HadoopConfig(dfs_replication=replication))
     platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,
                     timed=False)

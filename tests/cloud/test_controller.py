@@ -14,7 +14,7 @@ from repro.cloud import (AdmissionController, BurstTraffic, CostModel,
                          TenantRegistry)
 from repro.config import PlatformConfig
 from repro.observatory.slo import AlertBook
-from repro.platform import VHadoopPlatform, balanced_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.platform.provisioning import ElasticWorkerPool
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
@@ -128,7 +128,7 @@ def test_two_fresh_processes_agree_byte_for_byte():
 def test_full_fidelity_backend_with_elastic_pool():
     """Real jobs on a warm cluster; the autoscaler boots real VMs."""
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=31))
-    cluster = platform.provision_cluster("svc", balanced_placement(4, 2))
+    cluster = platform.provision_cluster("svc", ClusterSpec.spread(4, hosts=2))
     service = SharedVHadoopService(platform, cluster)
     rngs = platform.datacenter.rng
     tenants = TenantRegistry.synthetic(6, rngs.stream("fleet"),

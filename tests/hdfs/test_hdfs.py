@@ -7,7 +7,7 @@ from repro.config import HadoopConfig, PlatformConfig
 from repro.errors import (BlockNotFound, FileAlreadyExists, FileNotFoundInDfs,
                           HdfsError, ReplicationError)
 from repro.hdfs import Block, BlockStore, DataNode, DfsClient, NameNode
-from repro.platform import VHadoopPlatform, cross_domain_placement, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 
 
 # --- blocks ---------------------------------------------------------------
@@ -36,14 +36,14 @@ def test_block_store_roundtrip():
 @pytest.fixture()
 def cluster16():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=5))
-    cluster = platform.provision_cluster("t", cross_domain_placement(16))
+    cluster = platform.provision_cluster("t", ClusterSpec.packed(16, hosts=2))
     return platform, cluster
 
 
 @pytest.fixture()
 def small_cluster():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=5))
-    cluster = platform.provision_cluster("t", normal_placement(4))
+    cluster = platform.provision_cluster("t", ClusterSpec.single_host(4))
     return platform, cluster
 
 
@@ -94,7 +94,7 @@ def test_write_targets_second_replica_off_host(cluster16):
 
 def test_write_targets_underreplicates_small_cluster():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=5))
-    cluster = platform.provision_cluster("t", normal_placement(2))
+    cluster = platform.provision_cluster("t", ClusterSpec.single_host(2))
     targets = cluster.namenode.choose_write_targets(
         cluster.workers[0].name, 3)
     assert len(targets) == 1  # only one datanode exists
@@ -152,7 +152,7 @@ def test_write_read_roundtrip(small_cluster):
 def test_write_packs_blocks_by_size():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=5))
     config = HadoopConfig(dfs_block_size=1 * C.MiB)
-    cluster = platform.provision_cluster("t", normal_placement(4),
+    cluster = platform.provision_cluster("t", ClusterSpec.single_host(4),
                                          hadoop_config=config)
     records = list(range(40))
     event = cluster.dfs.write_file(cluster.workers[0], "/packed", records,

@@ -1,0 +1,159 @@
+"""Rack-aware placement properties (hypothesis) and the one-rack identity.
+
+Three invariants from the rack tier's contract:
+
+* whenever at least two racks have capacity, every write placement with
+  ``replication >= 2`` spans at least two racks (Hadoop's default policy);
+* a repair sweep after a whole-rack kill restores rack diversity — no
+  block is left with all surviving replicas on one rack while another
+  rack has room;
+* the one-rack degenerate topology (``1x2x8``) reproduces the flat
+  two-host seed cluster's job results bit-for-bit — same simulated
+  elapsed time, same kernel event count, same fair-share counters.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants as C
+from repro.config import HadoopConfig, PlatformConfig, TopologySpec
+from repro.datasets.text import generate_corpus
+from repro.hdfs.replication import ReplicationRepairer, mark_datanode_dead
+from repro.platform import ClusterSpec, VHadoopPlatform
+from repro.workloads.wordcount import (lines_as_records, scaled_line_sizeof,
+                                       wordcount_job)
+
+LINES = ["alpha beta gamma delta"] * 30
+
+
+def racked_platform(spec_str, seed=3, replication=2, upload=False):
+    topo = TopologySpec.parse(spec_str)
+    platform = VHadoopPlatform(PlatformConfig(topology=topo, seed=seed))
+    cluster = platform.provision_cluster(
+        "rp", ClusterSpec.racked(topo),
+        hadoop_config=HadoopConfig(dfs_replication=replication))
+    if upload:
+        platform.upload(cluster, "/in", lines_as_records(LINES),
+                        sizeof=scaled_line_sizeof(1), timed=False)
+    return platform, cluster
+
+
+def rack_of(namenode, dn):
+    return namenode._rack_of(dn)
+
+
+def racks_of(namenode, datanodes):
+    return {rack_of(namenode, dn) for dn in datanodes}
+
+
+# -- property: >=2 racks per placement ---------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(racks=st.integers(2, 4), hosts_per_rack=st.integers(1, 2),
+       vms_per_host=st.integers(1, 2), replication=st.integers(2, 3),
+       writer=st.integers(0, 100), data=st.data())
+def test_write_targets_span_two_racks(racks, hosts_per_rack, vms_per_host,
+                                      replication, writer, data):
+    """Any write with replication >= 2 on a multi-rack pool lands replicas
+    on at least two distinct racks (and never two copies on one node)."""
+    spec = f"{racks}x{hosts_per_rack}x{vms_per_host}"
+    _platform, cluster = racked_platform(spec)
+    nn = cluster.namenode
+    writer_vm = cluster.vms[writer % len(cluster.vms)].name
+    for _ in range(data.draw(st.integers(1, 3))):
+        targets = nn.choose_write_targets(writer_vm, replication)
+        assert len(targets) == min(replication, len(nn.datanodes))
+        assert len(set(targets)) == len(targets)
+        if len(targets) >= 2:
+            assert len(racks_of(nn, targets)) >= 2
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_uploaded_blocks_span_two_racks(seed):
+    """End to end: every block written by a real upload is rack-diverse."""
+    _platform, cluster = racked_platform("3x2x1", seed=seed, upload=True)
+    nn = cluster.namenode
+    assert nn.replicas
+    for holders in nn.replicas.values():
+        assert len(holders) == 2
+        assert len(racks_of(nn, holders)) == 2
+
+
+def test_single_rack_degrades_to_off_host():
+    """With one rack the policy falls back to the flat off-host rule."""
+    _platform, cluster = racked_platform("1x2x2")
+    nn = cluster.namenode
+    targets = nn.choose_write_targets(cluster.vms[0].name, 2)
+    assert len({dn.vm.host for dn in targets}) == 2
+
+
+# -- property: repair restores rack diversity --------------------------------
+
+@settings(max_examples=6, deadline=None)
+@given(victim_rack=st.integers(0, 2), seed=st.integers(0, 20))
+def test_repair_restores_rack_diversity_after_rack_kill(victim_rack, seed):
+    """Kill every datanode on one rack; after the sweep every block is
+    back at full replication with holders spanning >= 2 racks, none on
+    the dead rack."""
+    platform, cluster = racked_platform("3x2x2", seed=seed, replication=3,
+                                        upload=True)
+    nn = cluster.namenode
+    rack_name = f"rack{victim_rack}"
+    victims = [dn for dn in list(nn.datanodes)
+               if dn.vm.host.rack_name == rack_name]
+    assert victims
+    for dn in victims:
+        dn.vm.fail()
+        mark_datanode_dead(nn, dn)
+
+    repairer = ReplicationRepairer(platform.sim, platform.datacenter.fabric,
+                                   nn)
+    done = repairer.repair(3)
+    platform.sim.run_until(done)
+    report = done.value
+
+    assert report.fully_replicated
+    for holders in nn.replicas.values():
+        assert len(holders) == 3
+        holder_racks = {dn.vm.host.rack_name for dn in holders}
+        assert rack_name not in holder_racks
+        assert len(holder_racks) >= 2
+
+
+# -- one-rack degenerate == flat seed, bit for bit ---------------------------
+
+def _wordcount_fingerprint(platform, cluster):
+    lines = generate_corpus(
+        2 * C.MB, rng=platform.datacenter.rng.fresh("datasets/corpus"))
+    platform.upload(cluster, "/in", lines_as_records(lines),
+                    sizeof=scaled_line_sizeof(50), timed=False)
+    job = wordcount_job("/in", "/out", n_reduces=4, volume_scale=50)
+    report = platform.run_job(cluster, job)
+    sim, fss = platform.sim, platform.datacenter.fss
+    return {
+        "elapsed": repr(report.elapsed),
+        "events_processed": sim.events_processed,
+        "rebalance_count": fss.rebalance_count,
+        "flow_visits": fss.flow_visits,
+        "completed_flows": fss.completed_count,
+    }
+
+
+def test_one_rack_topology_is_bit_identical_to_flat_seed():
+    """``topology=1x2x8`` with tor=None racks must replay the flat
+    two-host seed cluster exactly: same RNG draws, same paths, same
+    simulated timeline, same kernel/fair-share counters."""
+    flat = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=7))
+    flat_cluster = flat.provision_cluster(
+        "hvc", ClusterSpec.packed(16, hosts=2))
+
+    topo = TopologySpec.parse("1x2x8")
+    racked = VHadoopPlatform(PlatformConfig(topology=topo, seed=7))
+    racked_c = racked.provision_cluster(
+        "hvc", ClusterSpec.racked(topo, label="cross-domain"))
+
+    assert [vm.host.name for vm in flat_cluster.vms] \
+        == [vm.host.name for vm in racked_c.vms]
+    assert _wordcount_fingerprint(flat, flat_cluster) \
+        == _wordcount_fingerprint(racked, racked_c)

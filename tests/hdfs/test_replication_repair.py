@@ -10,7 +10,7 @@ surviving datanode count.
 from repro.config import HadoopConfig, PlatformConfig
 from repro.hdfs.replication import (ReplicationRepairer, mark_datanode_dead,
                                     under_replicated)
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.platform.faults import fail_worker, repair_cluster
 from repro.workloads.wordcount import line_record_sizeof, lines_as_records
 
@@ -21,7 +21,7 @@ RECORDS = lines_as_records(LINES)
 def make(n=8, seed=17, replication=2):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
     cluster = platform.provision_cluster(
-        "rep", normal_placement(n),
+        "rep", ClusterSpec.single_host(n),
         hadoop_config=HadoopConfig(dfs_replication=replication))
     platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,
                     timed=False)

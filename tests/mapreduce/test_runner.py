@@ -8,8 +8,7 @@ from repro import constants as C
 from repro.config import HadoopConfig, PlatformConfig
 from repro.errors import JobConfigError, TaskFailure
 from repro.mapreduce import Job, LocalJobRunner, Mapper, Reducer
-from repro.platform import (VHadoopPlatform, cross_domain_placement,
-                            normal_placement)
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads.wordcount import (WordCountMapper, WordCountReducer,
                                        lines_as_records, line_record_sizeof,
                                        wordcount_job)
@@ -21,8 +20,8 @@ RECORDS = lines_as_records(LINES)
 
 def make_cluster(n=8, layout="normal", seed=11, hadoop_config=None):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    placement = (normal_placement(n) if layout == "normal"
-                 else cross_domain_placement(n))
+    placement = (ClusterSpec.single_host(n) if layout == "normal"
+                 else ClusterSpec.packed(n, hosts=2))
     cluster = platform.provision_cluster("t", placement,
                                          hadoop_config=hadoop_config)
     return platform, cluster

@@ -6,7 +6,7 @@ import pytest
 
 from repro.config import HadoopConfig, PlatformConfig
 from repro.errors import ConfigError
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
                                        wordcount_job)
 
@@ -18,7 +18,7 @@ EXPECTED = dict(collections.Counter(" ".join(LINES).split()))
 def run_with(speculation: bool, straggler: bool = True, seed=31):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
     cluster = platform.provision_cluster(
-        "spec", normal_placement(8),
+        "spec", ClusterSpec.single_host(8),
         hadoop_config=HadoopConfig(speculative_execution=speculation,
                                    speculative_slowdown=1.3))
     platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,
@@ -81,7 +81,7 @@ REDUCE_EXPECTED = dict(collections.Counter(" ".join(REDUCE_LINES).split()))
 def run_reduces_with(speculation: bool, straggler: bool = True, seed=37):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
     cluster = platform.provision_cluster(
-        "rspec", normal_placement(8),
+        "rspec", ClusterSpec.single_host(8),
         hadoop_config=HadoopConfig(speculative_execution=speculation,
                                    speculative_slowdown=1.3))
     platform.upload(cluster, "/rin", REDUCE_RECORDS,

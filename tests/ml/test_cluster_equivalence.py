@@ -11,7 +11,7 @@ from repro.ml import (CanopyDriver, ClusterExecutor, FuzzyKMeansDriver,
                       KMeansDriver, LocalExecutor, MeanShiftDriver,
                       MinHashDriver, points_as_records)
 from repro.ml.base import stage_points
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 
 
 @pytest.fixture(scope="module")
@@ -22,7 +22,7 @@ def points():
 
 def cluster_executor(points, seed=1):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    cluster = platform.provision_cluster("eq", normal_placement(6))
+    cluster = platform.provision_cluster("eq", ClusterSpec.single_host(6))
     stage_points(platform, cluster, "/in", points)
     return ClusterExecutor(platform.runner(cluster), cluster)
 

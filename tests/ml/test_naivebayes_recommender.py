@@ -7,7 +7,7 @@ from repro.errors import ClusteringError
 from repro.ml import ClusterExecutor, LocalExecutor
 from repro.ml.naivebayes import NaiveBayesDriver, NaiveBayesModel
 from repro.ml.recommender import ItemCooccurrenceRecommender
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 
 TRAIN_DOCS = [
     (0, ("spam", ("buy", "cheap", "pills", "now"))),
@@ -75,7 +75,7 @@ def test_naive_bayes_on_cluster_matches_local():
     local_pred, _ = driver.classify(local_exec, local_model, "/test")
 
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=17))
-    cluster = platform.provision_cluster("nb", normal_placement(4))
+    cluster = platform.provision_cluster("nb", ClusterSpec.single_host(4))
     platform.upload(cluster, "/train", TRAIN_DOCS, timed=False)
     platform.upload(cluster, "/test", TEST_DOCS, timed=False)
     cluster_exec = ClusterExecutor(platform.runner(cluster), cluster)
@@ -129,7 +129,7 @@ def test_recommender_on_cluster_matches_local():
         LocalExecutor({"/prefs": PREFS}), "/prefs")
 
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=19))
-    cluster = platform.provision_cluster("rec", normal_placement(4))
+    cluster = platform.provision_cluster("rec", ClusterSpec.single_host(4))
     platform.upload(cluster, "/prefs", PREFS, timed=False)
     remote = ItemCooccurrenceRecommender(top_n=3).run(
         ClusterExecutor(platform.runner(cluster), cluster), "/prefs")

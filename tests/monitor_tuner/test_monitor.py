@@ -6,14 +6,14 @@ from repro import constants as C
 from repro.config import PlatformConfig
 from repro.errors import MonitorError
 from repro.monitor import NmonAnalyser, NmonMonitor
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
                                        wordcount_job)
 
 
 def make_busy_cluster(seed=12):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    cluster = platform.provision_cluster("m", normal_placement(6))
+    cluster = platform.provision_cluster("m", ClusterSpec.single_host(6))
     lines = ["alpha beta gamma delta " * 20] * 2000
     platform.upload(cluster, "/in", lines_as_records(lines),
                     sizeof=lambda r: (len(r[1]) + 1) * 30, timed=False)

@@ -1,12 +1,12 @@
 """stop() semantics: a stopped monitor leaves nothing parked in the sim."""
 
 from repro.config import PlatformConfig
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 
 
 def make_cluster(seed=7):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    cluster = platform.provision_cluster("stop", normal_placement(4))
+    cluster = platform.provision_cluster("stop", ClusterSpec.single_host(4))
     return platform, cluster
 
 

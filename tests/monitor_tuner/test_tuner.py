@@ -5,8 +5,7 @@ import pytest
 from repro.config import PlatformConfig
 from repro.errors import TunerError
 from repro.monitor import NmonAnalyser, NmonMonitor
-from repro.platform import (VHadoopPlatform, cross_domain_placement,
-                            normal_placement)
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.tuner import (ConsolidateCrossDomainRule, MapReduceTuner,
                          Recommendation, IncreaseSlotsWhenBacklogRule,
                          IncreaseSlotsWhenCpuIdleRule,
@@ -16,8 +15,8 @@ from repro.workloads.wordcount import lines_as_records, wordcount_job
 
 def make(layout="normal", n=6, seed=2):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    placement = (normal_placement(n) if layout == "normal"
-                 else cross_domain_placement(n))
+    placement = (ClusterSpec.single_host(n) if layout == "normal"
+                 else ClusterSpec.packed(n, hosts=2))
     cluster = platform.provision_cluster("tn", placement)
     monitor = NmonMonitor(cluster.vms, interval=1.0)
     analyser = NmonAnalyser(monitor)
@@ -151,7 +150,7 @@ def test_tuner_closed_loop_improves_underprovisioned_cluster():
     def run_once(tune: bool) -> float:
         platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=21))
         cluster = platform.provision_cluster(
-            "loop", normal_placement(4),
+            "loop", ClusterSpec.single_host(4),
             hadoop_config=HadoopConfig(map_tasks_maximum=1))
         lines = ["omega psi chi " * 30] * 1500
         platform.upload(cluster, "/in", lines_as_records(lines),

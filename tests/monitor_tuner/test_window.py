@@ -5,7 +5,7 @@ import pytest
 from repro.config import PlatformConfig
 from repro.monitor.nmon import NmonSample
 from repro.monitor.window import RollingWindow
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 
 
 class StubMonitor:
@@ -108,7 +108,7 @@ def test_empty_summary_is_all_zeros():
 
 def test_facade_reuses_windows_and_feeds_them_from_the_monitor():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=1, seed=0))
-    cluster = platform.provision_cluster("win", normal_placement(2))
+    cluster = platform.provision_cluster("win", ClusterSpec.single_host(2))
     telemetry = cluster.telemetry
     window = telemetry.rolling_window(10.0)
     assert telemetry.rolling_window(10.0) is window

@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import PlatformConfig
 from repro.observatory.attribution import CLASSES, FlowLog, classify
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
                                        wordcount_job)
 
@@ -14,7 +14,7 @@ LINES = ["kappa lambda mu nu xi omicron pi rho"] * 600
 @pytest.fixture(scope="module")
 def run():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=4))
-    cluster = platform.provision_cluster("attr", normal_placement(6))
+    cluster = platform.provision_cluster("attr", ClusterSpec.single_host(6))
     cluster.telemetry.enable_flow_log()
     platform.upload(cluster, "/in", lines_as_records(LINES),
                     sizeof=line_record_sizeof, timed=False)

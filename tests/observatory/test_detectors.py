@@ -9,7 +9,7 @@ import pytest
 from repro.config import PlatformConfig
 from repro.observatory.detectors import (NodeLivenessDetector, SkewDetector,
                                          StragglerDetector)
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.sim.trace import TraceEvent
 from repro.telemetry import events as EV
 
@@ -17,7 +17,7 @@ from repro.telemetry import events as EV
 @pytest.fixture()
 def obs():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=3))
-    cluster = platform.provision_cluster("det", normal_placement(4))
+    cluster = platform.provision_cluster("det", ClusterSpec.single_host(4))
     # Built but never started: tests drive on_event/tick by hand.
     return cluster.observatory(interval=1.0)
 

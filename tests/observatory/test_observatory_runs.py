@@ -17,7 +17,7 @@ import pytest
 from repro.config import PlatformConfig
 from repro.errors import MonitorError
 from repro.experiments import observatory as obs_experiment
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
                                        wordcount_job)
 
@@ -26,7 +26,7 @@ LINES = ["sigma tau upsilon phi chi psi omega"] * 500
 
 def run_wordcount(with_observatory: bool):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=6))
-    cluster = platform.provision_cluster("ro", normal_placement(6))
+    cluster = platform.provision_cluster("ro", ClusterSpec.single_host(6))
     platform.upload(cluster, "/in", lines_as_records(LINES),
                     sizeof=line_record_sizeof, timed=False)
     obs = cluster.observatory(interval=2.0).start() if with_observatory \
@@ -52,7 +52,7 @@ def test_detectors_on_run_is_bit_identical():
 
 def test_lifecycle_and_validation():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=6))
-    cluster = platform.provision_cluster("life", normal_placement(4))
+    cluster = platform.provision_cluster("life", ClusterSpec.single_host(4))
     with pytest.raises(MonitorError):
         cluster.observatory(interval=0.0)
     obs = cluster.observatory(interval=1.0)

@@ -1,14 +1,14 @@
 """Alert-driven tuner rules: observatory alerts become applied knobs."""
 
 from repro.config import PlatformConfig
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.tuner import (MapReduceTuner, MigrateOffHotHostRule,
                          SpeculateOnStragglersRule)
 
 
 def make(n=6, seed=2):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    cluster = platform.provision_cluster("alert-tn", normal_placement(n))
+    cluster = platform.provision_cluster("alert-tn", ClusterSpec.single_host(n))
     obs = cluster.observatory(interval=1.0)   # built, never started
     cluster.telemetry.monitor.sample_now(platform.sim.now)
     return platform, cluster, obs

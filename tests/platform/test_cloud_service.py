@@ -149,10 +149,10 @@ def test_request_validation():
 
 def test_shared_service_runs_tenants_on_one_warm_cluster():
     from repro.cloud import SharedVHadoopService
-    from repro.platform import normal_placement
+    from repro.platform import ClusterSpec
 
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=23))
-    cluster = platform.provision_cluster("warm", normal_placement(6))
+    cluster = platform.provision_cluster("warm", ClusterSpec.single_host(6))
     service = SharedVHadoopService(platform, cluster)
     events = [service.submit(wc_request("a"), pool="tenant-a"),
               service.submit(wc_request("b"), pool="tenant-b")]

@@ -5,7 +5,7 @@ import pytest
 from repro.cloud import SharedVHadoopService
 from repro.config import PlatformConfig
 from repro.errors import ConfigError
-from repro.platform import VHadoopPlatform, balanced_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.platform.provisioning import ElasticWorkerPool
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
                                        wordcount_job)
@@ -15,7 +15,7 @@ LINES = ["rho sigma tau", "sigma tau", "tau"] * 6
 
 def make_pool(seed=29, max_size=4, **kw):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    cluster = platform.provision_cluster("ep", balanced_placement(4, 2))
+    cluster = platform.provision_cluster("ep", ClusterSpec.spread(4, hosts=2))
     service = SharedVHadoopService(platform, cluster)
     pool = ElasticWorkerPool(cluster, service.scheduler,
                              max_size=max_size, **kw)

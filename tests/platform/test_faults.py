@@ -12,7 +12,7 @@ import pytest
 from repro.config import HadoopConfig, PlatformConfig
 from repro.errors import VMStateError
 from repro.hdfs.replication import under_replicated
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.platform.faults import (alive_workers, fail_worker,
                                    repair_cluster)
 from repro.virt import VMState
@@ -27,7 +27,7 @@ EXPECTED = dict(collections.Counter(" ".join(LINES).split()))
 def make(n=8, seed=13, replication=2):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
     cluster = platform.provision_cluster(
-        "f", normal_placement(n),
+        "f", ClusterSpec.single_host(n),
         hadoop_config=HadoopConfig(dfs_replication=replication))
     platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,
                     timed=False)

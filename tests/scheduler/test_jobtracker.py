@@ -7,7 +7,7 @@ import pytest
 from repro.config import PlatformConfig
 from repro.errors import SimulationError
 from repro.mapreduce import Job, LocalJobRunner, Mapper
-from repro.platform import VHadoopPlatform, balanced_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.scheduler import (CapacityScheduler, FairScheduler, FifoScheduler,
                              JobScheduler, PoolConfig, QueueConfig)
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
@@ -22,7 +22,7 @@ EXPECTED = dict(collections.Counter(" ".join(LINES).split()))
 def make_cluster(seed=5, n=8, hadoop_config=None):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
     cluster = platform.provision_cluster(
-        "sch", balanced_placement(n, n_hosts=2), hadoop_config=hadoop_config)
+        "sch", ClusterSpec.spread(n, hosts=2), hadoop_config=hadoop_config)
     platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,
                     timed=False)
     return platform, cluster

@@ -5,7 +5,7 @@ import collections
 
 from repro.config import PlatformConfig
 from repro.mapreduce import LocalJobRunner
-from repro.platform import VHadoopPlatform, balanced_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.scheduler import FairScheduler, JobScheduler, PoolConfig
 from repro.workloads.mrbench import mrbench_input, mrbench_job, mrbench_sizeof
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
@@ -20,7 +20,7 @@ def run_contended(preemption_timeout=4.0, n_small=2, seed=7):
     """A slot-hogging batch job, then small jobs into a min-share pool."""
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
     cluster = platform.provision_cluster("pre",
-                                         balanced_placement(8, n_hosts=2))
+                                         ClusterSpec.spread(8, hosts=2))
     platform.upload(cluster, "/batch/in", RECORDS, sizeof=line_record_sizeof,
                     timed=False)
     platform.upload(cluster, "/small/in", SMALL_RECORDS,

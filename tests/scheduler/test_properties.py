@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro.config import PlatformConfig
 from repro.mapreduce import LocalJobRunner
-from repro.platform import VHadoopPlatform, balanced_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.scheduler import (CapacityScheduler, FairScheduler, FifoScheduler,
                              PoolConfig, QueueConfig)
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
@@ -32,7 +32,7 @@ EXPECTED = dict(collections.Counter(" ".join(LINES).split()))
 def make_platform(seed):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
     cluster = platform.provision_cluster("prop",
-                                        balanced_placement(6, n_hosts=2))
+                                        ClusterSpec.spread(6, hosts=2))
     platform.upload(cluster, "/in", RECORDS, sizeof=line_record_sizeof,
                     timed=False)
     return platform, cluster

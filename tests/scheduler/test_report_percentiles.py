@@ -4,7 +4,7 @@ SchedulerReport, plus the nearest-rank percentile helper itself."""
 import pytest
 
 from repro.config import PlatformConfig
-from repro.platform import VHadoopPlatform, balanced_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.scheduler import FairScheduler, PoolConfig
 from repro.scheduler.report import PoolStats, percentile
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
@@ -38,7 +38,7 @@ def test_pool_stats_percentiles_from_samples():
 
 def test_scheduler_report_collects_per_pool_samples():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=17))
-    cluster = platform.provision_cluster("sch", balanced_placement(6, 2))
+    cluster = platform.provision_cluster("sch", ClusterSpec.spread(6, hosts=2))
     platform.upload(cluster, "/in", lines_as_records(LINES),
                     sizeof=line_record_sizeof, timed=False)
 

@@ -2,7 +2,7 @@
 from point events, and migration/scheduler runs stay within the registry."""
 
 from repro.config import PlatformConfig
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.telemetry import events as EV
 
 
@@ -28,7 +28,7 @@ def test_category_fallback():
 
 def test_migration_run_emits_only_registered_kinds():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=3))
-    cluster = platform.provision_cluster("ev", normal_placement(4),
+    cluster = platform.provision_cluster("ev", ClusterSpec.single_host(4),
                                          boot=True)
     dc = platform.datacenter
     vm = cluster.workers[0]

@@ -7,14 +7,14 @@ import pytest
 from repro.config import PlatformConfig
 from repro.errors import MonitorError, TunerError
 from repro.monitor import NmonAnalyser, NmonMonitor
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.telemetry import Telemetry
 from repro.tuner import IncreaseSlotsWhenCpuIdleRule, MapReduceTuner
 
 
 def make(seed=5, n=4):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    cluster = platform.provision_cluster("fac", normal_placement(n))
+    cluster = platform.provision_cluster("fac", ClusterSpec.single_host(n))
     return platform, cluster
 
 

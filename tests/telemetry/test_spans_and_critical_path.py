@@ -8,7 +8,7 @@ import pytest
 
 from repro.config import PlatformConfig
 from repro.errors import MonitorError
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.telemetry import build_timeline, events as EV
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
                                        wordcount_job)
@@ -19,7 +19,7 @@ LINES = ["alpha beta gamma delta epsilon"] * 300
 @pytest.fixture(scope="module")
 def run():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=9))
-    cluster = platform.provision_cluster("spans", normal_placement(6),
+    cluster = platform.provision_cluster("spans", ClusterSpec.single_host(6),
                                          boot=True)
     platform.upload(cluster, "/in", lines_as_records(LINES),
                     sizeof=line_record_sizeof, timed=False)

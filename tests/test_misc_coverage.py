@@ -7,8 +7,7 @@ from repro.config import PlatformConfig
 from repro.hdfs import Block, DfsFile, FileSplit
 from repro.mapreduce.runner import JobReport, TaskAttempt
 from repro.ml.base import ClusterModel, ClusteringResult
-from repro.platform import (VHadoopPlatform, cross_domain_placement,
-                            normal_placement)
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.virt.virtlm import ClusterMigrationReport
 from repro.virt.migration import MigrationRecord
 
@@ -24,7 +23,7 @@ def test_dfsfile_aggregates():
 
 def test_namenode_splits():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=0))
-    cluster = platform.provision_cluster("s", normal_placement(3))
+    cluster = platform.provision_cluster("s", ClusterSpec.single_host(3))
     platform.upload(cluster, "/f", list(range(10)), timed=False)
     splits = cluster.namenode.splits("/f")
     assert len(splits) >= 1
@@ -70,7 +69,7 @@ def test_migration_report_edge_cases():
 
 
 def test_placement_accessors():
-    placement = cross_domain_placement(6)
+    placement = ClusterSpec.packed(6, hosts=2).placement(2)
     assert placement.host_of(0) == 0
     assert placement.host_of(5) == 1
     assert placement.n_vms == 6
@@ -78,7 +77,7 @@ def test_placement_accessors():
 
 def test_tracker_lookup_and_hosts():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=0))
-    cluster = platform.provision_cluster("t", normal_placement(3))
+    cluster = platform.provision_cluster("t", ClusterSpec.single_host(3))
     tracker = cluster.tracker_of(cluster.workers[0].name)
     assert tracker is not None and tracker.vm is cluster.workers[0]
     assert cluster.tracker_of("nope") is None

@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 from repro.config import PlatformConfig
 from repro.mapreduce import LocalJobRunner, stable_hash
 from repro.mapreduce.api import HashPartitioner, group_by_key
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.sim import FairShareSystem, SharedResource, Simulator
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
                                        wordcount_job)
@@ -119,7 +119,7 @@ def test_cluster_wordcount_equals_local(lines, n_reduces):
     local = sorted(LocalJobRunner().run(job, records))
 
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=0))
-    cluster = platform.provision_cluster("p", normal_placement(5))
+    cluster = platform.provision_cluster("p", ClusterSpec.single_host(5))
     platform.upload(cluster, "/in", records, sizeof=line_record_sizeof,
                     timed=False)
     report = platform.run_job(cluster, job)
@@ -130,7 +130,7 @@ def test_cluster_wordcount_equals_local(lines, n_reduces):
 
 def _run_once(seed):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    cluster = platform.provision_cluster("d", normal_placement(8))
+    cluster = platform.provision_cluster("d", ClusterSpec.single_host(8))
     lines = ["alpha beta gamma delta"] * 500
     platform.upload(cluster, "/in", lines_as_records(lines),
                     sizeof=lambda r: (len(r[1]) + 1) * 100, timed=False)

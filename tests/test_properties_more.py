@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro import constants as C
 from repro.config import HadoopConfig, PlatformConfig
 from repro.mapreduce import Job, LocalJobRunner, Mapper, Reducer
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
                                        wordcount_job)
 
@@ -24,7 +24,7 @@ _SLOW = dict(deadline=None,
 def test_block_packing_preserves_records_and_caps_size(record_sizes):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=0))
     cluster = platform.provision_cluster(
-        "pack", normal_placement(3),
+        "pack", ClusterSpec.single_host(3),
         hadoop_config=HadoopConfig(dfs_block_size=1 * C.MiB))
     records = list(range(len(record_sizes)))
     sizes = dict(zip(records, record_sizes))
@@ -67,7 +67,7 @@ def test_generic_job_cluster_equals_local(values, modulus, n_reduces):
     local = sorted(LocalJobRunner().run(job, records))
 
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=1))
-    cluster = platform.provision_cluster("g", normal_placement(4))
+    cluster = platform.provision_cluster("g", ClusterSpec.single_host(4))
     platform.upload(cluster, "/in", records, timed=False)
     report = platform.run_job(cluster, job)
     assert sorted(platform.collect(cluster, report)) == local
@@ -85,7 +85,7 @@ def test_job_finishes_correctly_while_cluster_migrates():
     """The paper's point: despite migration downtime, 'the MapReduce
     workloads can be successfully finished'."""
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=6))
-    cluster = platform.provision_cluster("mig", normal_placement(8))
+    cluster = platform.provision_cluster("mig", ClusterSpec.single_host(8))
     lines = ["mu nu xi omicron pi " * 10] * 2000
     platform.upload(cluster, "/in", lines_as_records(lines),
                     sizeof=lambda r: (len(r[1]) + 1) * 60, timed=False)
@@ -106,7 +106,7 @@ def test_job_finishes_correctly_while_cluster_migrates():
 def test_migrating_cluster_job_slower_than_undisturbed():
     def run(migrate: bool) -> float:
         platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=6))
-        cluster = platform.provision_cluster("m2", normal_placement(8))
+        cluster = platform.provision_cluster("m2", ClusterSpec.single_host(8))
         lines = ["rho sigma tau " * 20] * 2000
         platform.upload(cluster, "/in", lines_as_records(lines),
                         sizeof=lambda r: (len(r[1]) + 1) * 80, timed=False)

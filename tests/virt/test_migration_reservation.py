@@ -6,7 +6,7 @@ import pytest
 from repro import constants as C
 from repro.config import PlatformConfig, VMConfig
 from repro.errors import MigrationError
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.virt import Datacenter
 from repro.workloads.wordcount import (lines_as_records, line_record_sizeof,
                                        wordcount_job)
@@ -42,7 +42,7 @@ def test_reservation_reduces_job_interference():
 
     def run(rate_cap):
         platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=9))
-        cluster = platform.provision_cluster("r", normal_placement(8))
+        cluster = platform.provision_cluster("r", ClusterSpec.single_host(8))
         lines = ["ups downs lefts rights " * 15] * 3000
         platform.upload(cluster, "/in", lines_as_records(lines),
                         sizeof=lambda r: (len(r[1]) + 1) * 80, timed=False)
@@ -66,7 +66,7 @@ def test_reservation_reduces_job_interference():
 
 def test_capped_cluster_migration_still_correct():
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=2))
-    cluster = platform.provision_cluster("c", normal_placement(4))
+    cluster = platform.provision_cluster("c", ClusterSpec.single_host(4))
     dc = platform.datacenter
     event = dc.virtlm.migrate_cluster(cluster.vms, dc.machine(1),
                                       rate_cap_bps=40e6)

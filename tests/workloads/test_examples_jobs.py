@@ -10,7 +10,7 @@ from repro.errors import MonitorError
 from repro.monitor import NmonMonitor
 from repro.monitor.graphics import (render_cluster_heatmap,
                                     render_node_timeline, sparkline)
-from repro.platform import VHadoopPlatform, normal_placement
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads.examples_jobs import (estimate_pi, grep_jobs, pi_input,
                                            pi_job, run_grep)
 from repro.workloads.wordcount import lines_as_records, line_record_sizeof
@@ -21,7 +21,7 @@ LINES = ["error: disk full", "warning: retry", "error: timeout",
 
 def make(n=6, seed=3):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    cluster = platform.provision_cluster("x", normal_placement(n))
+    cluster = platform.provision_cluster("x", ClusterSpec.single_host(n))
     return platform, cluster
 
 

@@ -4,8 +4,7 @@
 
 from repro import constants as C
 from repro.config import PlatformConfig
-from repro.platform import (VHadoopPlatform, cross_domain_placement,
-                            normal_placement)
+from repro.platform import ClusterSpec, VHadoopPlatform
 from repro.workloads import (run_dfsio, run_mrbench, run_terasort,
                              teravalidate, wordcount_job)
 from repro.workloads.mrbench import mrbench_input, mrbench_sizeof
@@ -14,8 +13,8 @@ from repro.workloads.wordcount import lines_as_records, line_record_sizeof
 
 def make(n=8, layout="normal", seed=4):
     platform = VHadoopPlatform(PlatformConfig(n_hosts=2, seed=seed))
-    placement = (normal_placement(n) if layout == "normal"
-                 else cross_domain_placement(n))
+    placement = (ClusterSpec.single_host(n) if layout == "normal"
+                 else ClusterSpec.packed(n, hosts=2))
     cluster = platform.provision_cluster("w", placement)
     return platform, cluster
 

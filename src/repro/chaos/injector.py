@@ -80,6 +80,10 @@ class ChaosInjector:
 
     # -- plan execution ---------------------------------------------------
     def _run(self):
+        # Re-validate at injection start: the fault list may have been
+        # built (or grown) directly on ``plan.faults``, bypassing the
+        # validation in ``add()`` and the one at construction time.
+        self.plan.validate()
         self.report.started_at = self.sim.now
         self.tracer.emit(self.sim.now, EV.CHAOS_PLAN_START, self.plan.name,
                          faults=len(self.plan), digest=self.plan.digest())
@@ -121,6 +125,12 @@ class ChaosInjector:
     # -- handlers ---------------------------------------------------------
     def _vm_crash(self, fault: Fault) -> None:
         vm = self._worker(fault.target)
+        if vm.state not in (VMState.RUNNING, VMState.MIGRATING):
+            # Overlapping plans are legal: crashing a VM that is already
+            # down changes nothing, so the whole fault — its heal
+            # included — is a recorded no-op rather than an error.
+            self.report.record(self.sim.now, "vm.crash.noop", vm.name)
+            return
         crash_worker(self.cluster, vm)
         self.tracer.emit(self.sim.now, EV.CHAOS_VM_CRASH, vm.name,
                          rejoin_in=fault.duration or None)
@@ -134,10 +144,15 @@ class ChaosInjector:
                    if vm.host is not None
                    and vm.host.name == fault.target
                    and vm.state in (VMState.RUNNING, VMState.MIGRATING)]
-        if not victims:
+        if fault.target not in self.cluster.datacenter.fabric.hosts:
             raise ConfigError(
-                f"host {fault.target!r} hosts no running worker of "
-                f"{self.cluster.name}")
+                f"fault target {fault.target!r} is not a host")
+        if not victims:
+            # Every worker on the host is already down (an earlier fault
+            # got there first): nothing to crash, nothing to heal.
+            self.report.record(self.sim.now, "host.crash.noop",
+                               fault.target)
+            return
         for vm in victims:
             crash_worker(self.cluster, vm)
         self.tracer.emit(self.sim.now, EV.CHAOS_HOST_CRASH, fault.target,

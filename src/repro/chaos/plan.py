@@ -32,6 +32,7 @@ Fault kinds
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -65,11 +66,25 @@ class Fault:
             raise ConfigError(
                 f"unknown fault kind {self.kind!r}; "
                 f"expected one of {sorted(FAULT_KINDS)}")
+        # Non-finite values must be rejected explicitly: NaN compares False
+        # against every bound (so ``at < 0`` lets it through), then poisons
+        # ordered()'s sort and key()'s fixed-width digest formatting.
+        for name in ("at", "duration", "factor"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ConfigError(
+                    f"fault {name} must be a number, got {value!r}")
+            if not math.isfinite(value):
+                raise ConfigError(f"fault {name} must be finite, got {value}")
         if self.at < 0:
             raise ConfigError(f"fault time must be >= 0, got {self.at}")
         if self.duration < 0:
             raise ConfigError(
                 f"fault duration must be >= 0, got {self.duration}")
+        if self.kind == "rejoin" and self.duration > 0:
+            raise ConfigError(
+                "rejoin is instantaneous (duration must be 0); schedule a "
+                "later rejoin by giving the crash fault a duration instead")
         if not self.target:
             raise ConfigError(f"fault {self.kind!r} needs a target")
         if self.kind in _FACTOR_KINDS and self.factor <= 1.0:
@@ -109,9 +124,17 @@ class FaultPlan:
         return max((f.at + f.duration for f in self.faults), default=0.0)
 
     def digest(self) -> str:
-        """Deterministic content hash of the plan."""
+        """Deterministic content hash of the plan.
+
+        The name is length-prefixed so a crafted name embedding the
+        ``\\n``/``|`` separators (e.g. ``"p\\n0.000000|vm.crash|..."``)
+        cannot collide with a different plan whose faults spell out the
+        same byte stream.
+        """
         h = hashlib.sha256()
-        h.update(self.name.encode())
+        name = self.name.encode()
+        h.update(f"{len(name)}:".encode())
+        h.update(name)
         for fault in self.ordered():
             h.update(b"\n")
             h.update(fault.key().encode())

@@ -21,8 +21,9 @@ from repro.experiments import (chaos_faults, fig2_wordcount, fig3_mrbench,
                                fig4_terasort_dfsio, fig5_migration,
                                fig6_synthetic_control,
                                fig7_display_clustering, fig8_cluster_visuals,
-                               observatory, scale_wordcount, sched_policies,
-                               service, table1_benchmarks, telemetry_demo)
+                               fuzz_campaign, observatory, scale_wordcount,
+                               sched_policies, service, table1_benchmarks,
+                               telemetry_demo)
 from repro.experiments.common import add_topology_argument
 
 
@@ -103,6 +104,17 @@ def _run_scale(args) -> list:
                                 topology=args.topology)]
 
 
+def _run_fuzz(args) -> list:
+    if args.replay:
+        return [fuzz_campaign.replay(args.replay)]
+    if args.seed_range:
+        seeds = fuzz_campaign.parse_seed_range(args.seed_range)
+    else:
+        seeds = (fuzz_campaign.QUICK_SEEDS if args.quick
+                 else fuzz_campaign.DEFAULT_SEEDS)
+    return [fuzz_campaign.run(seeds=seeds)]
+
+
 _EXPERIMENTS: dict[str, Callable] = {
     "table1": _run_table1,
     "fig2": _run_fig2,
@@ -119,6 +131,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "observatory": _run_observatory,
     "service": _run_service,
     "scale": _run_scale,
+    "fuzz": _run_fuzz,
 }
 
 
@@ -136,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="smaller sweeps for a fast pass")
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="also write results as CSV/JSON into DIR")
+    parser.add_argument("--seed-range", metavar="LO:HI", default=None,
+                        help="fuzz only: half-open seed window to campaign "
+                             "over (e.g. 0:500)")
+    parser.add_argument("--replay", metavar="PATH", default=None,
+                        help="fuzz only: replay one shrunk repro file "
+                             "instead of running a campaign")
     add_topology_argument(parser)
     return parser
 

@@ -22,6 +22,10 @@ Three service shapes on top of the platform:
   monitor → decide → actuate loop.
 """
 
+from repro.cloud.adversaries import (ADVERSARY_KINDS, AdversarySpec,
+                                     BatchSpamTraffic, HotKeyFloodTraffic,
+                                     StragglerSkewTraffic,
+                                     make_adversary_traffic)
 from repro.cloud.admission import (ADMIT, DEFER, REJECT_IMPOSSIBLE,
                                    REJECT_OVERLOAD, REJECT_QUOTA,
                                    AdmissionController, AdmissionDecision,
@@ -39,10 +43,13 @@ from repro.cloud.traffic import (Arrival, BurstTraffic, DiurnalTraffic,
                                  PoissonTraffic, TraceReplay, trace_digest)
 
 __all__ = [
-    "ADMIT", "DEFER", "REJECT_IMPOSSIBLE", "REJECT_OVERLOAD",
-    "REJECT_QUOTA",
-    "AdmissionController", "AdmissionDecision", "AgingFifoGate",
-    "AlertCursor", "Arrival", "BurstTraffic", "CostModel",
+    "ADMIT", "ADVERSARY_KINDS", "DEFER", "REJECT_IMPOSSIBLE",
+    "REJECT_OVERLOAD", "REJECT_QUOTA",
+    "AdmissionController", "AdmissionDecision", "AdversarySpec",
+    "AgingFifoGate",
+    "AlertCursor", "Arrival", "BatchSpamTraffic", "BurstTraffic",
+    "CostModel", "HotKeyFloodTraffic", "StragglerSkewTraffic",
+    "make_adversary_traffic",
     "DiurnalTraffic", "ElasticAutoscaler", "LatencyHistogram",
     "OnDemandVHadoopService", "PoissonTraffic", "ScalingAction",
     "ServiceController", "ServiceOutcome", "ServiceReport",

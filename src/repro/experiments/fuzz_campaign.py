@@ -1,0 +1,92 @@
+"""Fuzz campaign — the adversarial autopilot as a CLI experiment.
+
+Expands a contiguous seed range into scenarios, runs each against the
+platform, and judges every run with the
+:class:`~repro.fuzz.invariants.InvariantSuite`.  The table lists only
+the failing seeds (an empty table is the goal); the notes carry the
+aggregate verdict plus two content digests:
+
+``corpus digest``
+    Hash of the generated scenarios — pins the generator itself, so a
+    generator change that silently re-maps seeds is caught even when
+    every run still passes.
+
+``campaign digest``
+    Hash over every run's trace-derived ``run_digest`` — pins platform
+    *behaviour* across the whole campaign.  CI gates on these digests,
+    never on wall time.
+
+``--replay PATH`` runs a single shrunk repro file instead (the format
+written by :func:`repro.fuzz.write_repro`), reporting whether the
+pinned invariant still fires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentResult
+from repro.fuzz import (corpus_digest, generate_scenario, load_repro,
+                        replay_repro, run_scenario, summarize)
+
+#: Default seed window for ``vhadoop fuzz`` / ``vhadoop all``.
+DEFAULT_SEEDS = (0, 50)
+QUICK_SEEDS = (0, 10)
+
+
+def parse_seed_range(text: str) -> tuple[int, int]:
+    """``"A:B"`` → ``(A, B)``, the half-open seed window."""
+    try:
+        lo_s, hi_s = text.split(":", 1)
+        lo, hi = int(lo_s), int(hi_s)
+    except ValueError:
+        raise ConfigError(
+            f"--seed-range wants 'LO:HI' (half-open), got {text!r}") from None
+    if lo < 0 or hi <= lo:
+        raise ConfigError(f"seed range {text!r} is empty or negative")
+    return lo, hi
+
+
+def run(seeds: tuple[int, int] = DEFAULT_SEEDS) -> ExperimentResult:
+    """Run the campaign over ``[lo, hi)`` and tabulate any violations."""
+    lo, hi = seeds
+    result = ExperimentResult(
+        experiment_id="fuzz",
+        title=f"Fuzz campaign: seeds {lo}..{hi} vs the invariant suite",
+        columns=("seed", "jobs", "faults", "advs", "violations"))
+    scenarios = [generate_scenario(seed) for seed in range(lo, hi)]
+    campaign = hashlib.sha256()
+    failing = 0
+    for seed, scenario in zip(range(lo, hi), scenarios):
+        run_result = run_scenario(scenario)
+        campaign.update(f"{seed}:{run_result.run_digest}\n".encode())
+        if not run_result.ok:
+            failing += 1
+            result.add(seed, len(scenario.jobs), len(scenario.faults),
+                       len(scenario.adversaries),
+                       "; ".join(sorted({v.invariant
+                                         for v in run_result.violations})))
+    result.note(f"{hi - lo} scenarios, {failing} with violations"
+                + ("" if failing else " — all invariants held"))
+    result.note(f"corpus digest: {corpus_digest(scenarios)}")
+    result.note(f"campaign digest: {campaign.hexdigest()[:16]}")
+    return result
+
+
+def replay(path: str) -> ExperimentResult:
+    """Replay one shrunk repro file and report on its pinned invariant."""
+    scenario, pinned = load_repro(path)
+    run_result = replay_repro(path)
+    result = ExperimentResult(
+        experiment_id="fuzz",
+        title=f"Repro replay: {path}",
+        columns=("digest", "jobs", "faults", "pinned invariant", "verdict"))
+    violated = {v.invariant for v in run_result.violations}
+    verdict = ("STILL FAILING" if pinned.invariant in violated
+               else "fixed (pinned invariant holds)")
+    result.add(scenario.digest(), len(scenario.jobs), len(scenario.faults),
+               pinned.invariant, verdict)
+    result.note(f"run: {summarize(run_result.violations)}")
+    result.note(f"run digest: {run_result.run_digest}")
+    return result

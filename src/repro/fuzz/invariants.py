@@ -1,0 +1,224 @@
+"""The fuzzer's invariant suite: what must hold after *every* run.
+
+Each invariant has a stable name (the shrinker minimizes scenarios while
+preserving the violated invariant's name, not its detail text):
+
+``crash``
+    No exception escapes the platform while a scenario runs.
+``liveness``
+    Every submitted job completes before the scenario deadline.
+``counters``
+    Exactly-once execution: per-job record counters match the
+    pure-functional :class:`~repro.mapreduce.local.LocalJobRunner`
+    oracle (map inputs seen once, map outputs produced once, reduce
+    outputs produced once) no matter what faults fired mid-run.
+``output``
+    The cluster's output records equal the fault-free oracle's, exactly
+    for integer workloads and to float tolerance for ML workloads (the
+    combiner legitimately reorders float summation).
+``replication``
+    Recovery convergence, part 1: at quiescence no block is left
+    under-replicated (the re-replication monitor finished its job).
+``rejoin``
+    Recovery convergence, part 2: at quiescence every worker the
+    scenario did not permanently crash is RUNNING again.
+``fairshare``
+    Scheduler accounting conservation: per-job, per-pool and
+    cluster-wide busy slot-seconds all agree.
+``clean-alerts``
+    A run with no faults and no adversaries raises zero observatory
+    alerts — detectors must not cry wolf on a healthy cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+#: Relative tolerance for float workload outputs (combiner reorders sums).
+FLOAT_RTOL = 1e-6
+#: Absolute slack for slot-second conservation (accrual rounding).
+SLOT_SECONDS_ATOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found by a run."""
+
+    invariant: str       # stable name (shrink target)
+    detail: str          # human diagnosis
+    job: Optional[str] = None
+
+    def key(self) -> str:
+        return self.invariant if self.job is None \
+            else f"{self.invariant}@{self.job}"
+
+
+@dataclass
+class JobOutcome:
+    """One job's observed vs expected behaviour."""
+
+    name: str
+    kind: str                      # FuzzJob kind or adversary kind
+    pool: str
+    n_records: int                 # uploaded input records
+    report: Any = None             # JobReport (None if the run crashed)
+    output: Optional[list] = None  # cluster output records
+    oracle_output: Optional[list] = None
+    oracle_counters: Optional[Any] = None
+    float_outputs: bool = False    # compare values with tolerance
+
+
+@dataclass
+class RunContext:
+    """Everything the invariant suite looks at after a run."""
+
+    scenario: Any                            # fuzz.scenario.Scenario
+    jobs: list[JobOutcome] = field(default_factory=list)
+    crash: Optional[str] = None              # repr of escaped exception
+    deadline_hit: bool = False
+    sched_report: Any = None                 # SchedulerReport or None
+    under_replicated: list = field(default_factory=list)
+    worker_states: dict[str, str] = field(default_factory=dict)
+    expected_failed: frozenset = frozenset()  # worker names left crashed
+    alert_count: int = 0
+    chaos_digest: str = ""
+    elapsed_s: float = 0.0
+
+
+def _values_close(a: Any, b: Any) -> bool:
+    """Float-tolerant structural equality for ML outputs."""
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return len(a) == len(b) and all(
+            _values_close(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) or isinstance(b, float):
+        try:
+            return math.isclose(float(a), float(b),
+                                rel_tol=FLOAT_RTOL, abs_tol=1e-9)
+        except (TypeError, ValueError):
+            return a == b
+    return a == b
+
+
+class InvariantSuite:
+    """Checks every invariant against one :class:`RunContext`."""
+
+    def check(self, ctx: RunContext) -> list[Violation]:
+        violations: list[Violation] = []
+        if ctx.crash is not None:
+            violations.append(Violation("crash", ctx.crash))
+            return violations  # downstream state is undefined
+        if ctx.deadline_hit:
+            unfinished = [j.name for j in ctx.jobs
+                          if j.report is None]
+            violations.append(Violation(
+                "liveness",
+                f"deadline hit with unfinished jobs: {unfinished}"))
+            return violations
+        for job in ctx.jobs:
+            violations.extend(self._check_job(job))
+        violations.extend(self._check_recovery(ctx))
+        violations.extend(self._check_fairshare(ctx))
+        violations.extend(self._check_clean_alerts(ctx))
+        return violations
+
+    # -- exactly-once + correctness ---------------------------------------
+    def _check_job(self, job: JobOutcome) -> list[Violation]:
+        out: list[Violation] = []
+        if job.report is None or job.oracle_counters is None:
+            return out
+        got = job.report.counters
+        want = job.oracle_counters
+        checks = (
+            ("map_input_records", job.n_records),
+            ("map_output_records", want.get("job", "map_output_records")),
+            ("reduce_output_records",
+             want.get("job", "reduce_output_records")),
+        )
+        for counter, expected in checks:
+            actual = got.get("job", counter)
+            if actual != expected:
+                out.append(Violation(
+                    "counters",
+                    f"{counter}: cluster={actual} oracle={expected}",
+                    job=job.name))
+        if job.output is not None and job.oracle_output is not None:
+            if not self._outputs_equal(job):
+                out.append(Violation(
+                    "output",
+                    f"cluster output ({len(job.output)} records) differs "
+                    f"from oracle ({len(job.oracle_output)} records)",
+                    job=job.name))
+        return out
+
+    def _outputs_equal(self, job: JobOutcome) -> bool:
+        got, want = job.output, job.oracle_output
+        if len(got) != len(want):
+            return False
+        if not job.float_outputs:
+            return got == want
+        return all(gk == wk and _values_close(gv, wv)
+                   for (gk, gv), (wk, wv) in zip(got, want))
+
+    # -- recovery convergence ---------------------------------------------
+    def _check_recovery(self, ctx: RunContext) -> list[Violation]:
+        out: list[Violation] = []
+        if ctx.under_replicated:
+            sample = [(block.block_id, live)
+                      for block, live in ctx.under_replicated[:4]]
+            out.append(Violation(
+                "replication",
+                f"{len(ctx.under_replicated)} blocks under-replicated at "
+                f"quiescence, e.g. {sample}"))
+        stuck = sorted(
+            name for name, state in ctx.worker_states.items()
+            if state != "RUNNING" and name not in ctx.expected_failed)
+        if stuck:
+            out.append(Violation(
+                "rejoin",
+                f"workers not RUNNING at quiescence: "
+                f"{[(n, ctx.worker_states[n]) for n in stuck]}"))
+        return out
+
+    # -- scheduler accounting conservation --------------------------------
+    def _check_fairshare(self, ctx: RunContext) -> list[Violation]:
+        report = ctx.sched_report
+        if report is None:
+            return []
+        job_total = sum(stats.slot_seconds for stats in report.jobs)
+        pool_total = sum(p.slot_seconds for p in report.pools.values())
+        busy = report.busy_slot_seconds
+        atol = SLOT_SECONDS_ATOL + 1e-9 * max(1.0, busy)
+        out: list[Violation] = []
+        if abs(job_total - pool_total) > atol:
+            out.append(Violation(
+                "fairshare",
+                f"slot-second conservation broken: jobs={job_total:.6f} "
+                f"pools={pool_total:.6f}"))
+        if abs(job_total - busy) > atol:
+            out.append(Violation(
+                "fairshare",
+                f"slot-second conservation broken: jobs={job_total:.6f} "
+                f"cluster busy={busy:.6f}"))
+        return out
+
+    # -- healthy clusters stay quiet --------------------------------------
+    def _check_clean_alerts(self, ctx: RunContext) -> list[Violation]:
+        scenario = ctx.scenario
+        if scenario.faults or scenario.adversaries:
+            return []
+        if ctx.alert_count:
+            return [Violation(
+                "clean-alerts",
+                f"{ctx.alert_count} observatory alerts on a clean run "
+                "(no faults, no adversaries)")]
+        return []
+
+
+def summarize(violations: Sequence[Violation]) -> str:
+    """One-line summary used by logs and the CLI."""
+    if not violations:
+        return "ok"
+    names = sorted({v.invariant for v in violations})
+    return f"{len(violations)} violations ({', '.join(names)})"

@@ -199,6 +199,11 @@ class JobReport:
 class MapReduceRunner:
     """Job engine bound to one :class:`HadoopVirtualCluster`."""
 
+    #: Heartbeats a requeued task waits through a total tracker outage
+    #: before the job is declared dead (recovery rejoins usually land
+    #: within a fault's duration; the cap keeps dead clusters finite).
+    MAX_TRACKER_WAITS = 600
+
     def __init__(self, cluster: "HadoopVirtualCluster"):
         self.cluster = cluster
         self.sim = cluster.sim
@@ -369,7 +374,8 @@ class MapReduceRunner:
             name=f"{job.name}:retry:{task_id}")
 
     def _requeue_proc(self, job: Job, kind: str, state: dict, item,
-                      delay: float, all_done: Event, on_requeue):
+                      delay: float, all_done: Event, on_requeue,
+                      parked: int = 0):
         if delay > 0:
             yield self.sim.timeout(delay)
         state["retrying"]["n"] -= 1
@@ -380,7 +386,19 @@ class MapReduceRunner:
                   if not self._is_blacklisted(job, t)] or live
         if not usable:
             task_id = item.task_id if kind == "map" else f"r-{item:05d}"
-            all_done.fail(TaskFailure(task_id, "no live trackers left"))
+            if parked >= self.MAX_TRACKER_WAITS:
+                all_done.fail(TaskFailure(task_id, "no live trackers left"))
+                return
+            # A transient total tracker outage (say, the lone worker host
+            # crashed with a rejoin already scheduled) must not kill the
+            # job: park for a heartbeat and look again.  The wait is
+            # bounded so a cluster that never recovers still terminates.
+            state["retrying"]["n"] += 1
+            self.sim.process(
+                self._requeue_proc(job, kind, state, item,
+                                   self.cluster.config.heartbeat_s,
+                                   all_done, on_requeue, parked + 1),
+                name=f"{job.name}:park:{task_id}")
             return
         if kind == "map":
             # Refresh the replica holders: a retried attempt must not try
@@ -660,7 +678,7 @@ class MapReduceRunner:
                 attempt_span = self.tracer.begin_span(
                     start, EV.TASK_MAP, spec.task_id, parent=state["span"],
                     tracker=tracker.name, locality=locality,
-                    speculative=speculative)
+                    speculative=speculative, job=job.name)
                 gen = self._run_map_task(job, tracker, spec, locality,
                                          report)
                 failure = None
@@ -858,7 +876,7 @@ class MapReduceRunner:
                 attempt_span = self.tracer.begin_span(
                     start, EV.TASK_REDUCE, f"r-{partition:05d}",
                     parent=state["span"], tracker=tracker.name,
-                    speculative=speculative)
+                    speculative=speculative, job=job.name)
                 gen = self._run_reduce_task(
                     job, tracker, partition, map_outputs, report, state,
                     token, attempt_span)
@@ -926,7 +944,8 @@ class MapReduceRunner:
         fetch_sem = Resource(self.sim, config.shuffle_parallel_copies,
                              name=f"{vm.name}.fetchers")
         fetches = [self.sim.process(
-            self._fetch(output, partition, vm, fetch_sem, attempt_span),
+            self._fetch(output, partition, vm, fetch_sem, attempt_span,
+                        job_name=job.name),
             name=f"fetch:{output.spec.task_id}:r{partition}")
             for output in map_outputs
             if output.partition_bytes.get(partition, 0.0) > 0]
@@ -976,7 +995,7 @@ class MapReduceRunner:
         return nbytes_in, float(f.size)
 
     def _fetch(self, output: _MapOutput, partition: int, to_vm, sem: Resource,
-               parent_span: Optional[Span] = None):
+               parent_span: Optional[Span] = None, job_name: str = ""):
         """One shuffle fetch, bounded by the reduce's parallel-copy limit.
 
         If the map's VM died since the map ran, its intermediate output is
@@ -1001,7 +1020,8 @@ class MapReduceRunner:
                     self.sim.now, EV.SHUFFLE_FETCH,
                     f"{output.spec.task_id}:r{partition}",
                     parent=parent_span, tracker=to_vm.name,
-                    src=output.tracker.vm.name, nbytes=nbytes)
+                    src=output.tracker.vm.name, nbytes=nbytes,
+                    job=job_name)
                 try:
                     yield self.sim.timeout(C.SHUFFLE_FETCH_OVERHEAD_S)
                     pending = [output.tracker.vm.disk_io(

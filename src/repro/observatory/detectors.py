@@ -78,27 +78,33 @@ class StragglerDetector(Detector):
 
     def __init__(self, obs: "Observatory"):
         super().__init__(obs)
-        self._running: dict[int, tuple[str, str, float]] = {}
-        self._finished: dict[str, list[float]] = {}    # kind → runtimes
+        #: span id → ((kind, job), alert target, start time)
+        self._running: dict[int, tuple[tuple[str, str], str, float]] = {}
+        #: (kind, job) → finished runtimes.  Baselines are per *job*: a
+        #: heavy job's normal attempts are not stragglers just because a
+        #: concurrent tiny job finishes its own attempts faster.
+        self._finished: dict[tuple[str, str], list[float]] = {}
 
     def on_event(self, event) -> None:
         span_id = event.attrs.get("span")
         kind = event.kind.rsplit(".", 1)[0]
+        job = str(event.attrs.get("job", ""))
         if event.kind.endswith(".start"):
-            self._running[span_id] = (kind, event.source, event.time)
+            target = f"{job}:{event.source}" if job else event.source
+            self._running[span_id] = ((kind, job), target, event.time)
             return
         started = self._running.pop(span_id, None)
         if started is None:
             return
-        _, name, start = started
-        self.book.resolve("straggler-task", name)
+        group, target, start = started
+        self.book.resolve("straggler-task", target)
         if not event.attrs.get("failed"):
-            self._finished.setdefault(kind, []).append(event.time - start)
+            self._finished.setdefault(group, []).append(event.time - start)
 
     def tick(self, now: float) -> None:
         spec = self.book.spec("straggler-task")
-        for kind, name, start in self._running.values():
-            runtimes = self._finished.get(kind, ())
+        for group, target, start in self._running.values():
+            runtimes = self._finished.get(group, ())
             if len(runtimes) < self.MIN_SAMPLES:
                 continue
             med = _median(list(runtimes))
@@ -107,8 +113,8 @@ class StragglerDetector(Detector):
             score = (age - med) / max(_MAD_SIGMA * mad, _EPS)
             if spec.violated_by(score) and age >= self.MIN_RATIO * med:
                 self.book.fire(
-                    "straggler-task", name, score, "node",
-                    detail=f"{kind} running {age:.1f}s vs median "
+                    "straggler-task", target, score, "node",
+                    detail=f"{group[0]} running {age:.1f}s vs median "
                            f"{med:.1f}s")
 
 
@@ -121,39 +127,53 @@ class SkewDetector(Detector):
     this near 1, a hot key drives it up.
     """
 
-    prefixes = ("shuffle.fetch.start", EV.JOB_SUBMIT)
+    prefixes = ("shuffle.fetch.start", EV.JOB_SUBMIT, EV.JOB_DONE)
     MIN_PARTITIONS = 4
     MIN_BYTES = 1 << 20
 
     def __init__(self, obs: "Observatory"):
         super().__init__(obs)
-        self._bytes: dict[str, float] = {}     # "r5" → bytes
+        self._bytes: dict[tuple[str, str], float] = {}  # (job, "r5") → bytes
 
     def on_event(self, event) -> None:
-        if event.kind == EV.JOB_SUBMIT:
-            # Partition tokens are reused across jobs; start fresh.
-            self._bytes.clear()
+        if event.kind in (EV.JOB_SUBMIT, EV.JOB_DONE):
+            # A resubmitted job reuses its partition tokens, and a
+            # finished job's shuffle shape is history — either way drop
+            # only *its* buckets.  Clearing everything punished
+            # concurrent tenants: jobs with different reduce counts
+            # pooled their bytes and a healthy mix looked hot.
+            job = event.source
+            for key in [k for k in self._bytes if k[0] == job]:
+                del self._bytes[key]
             return
         token = event.source.rsplit(":", 1)[-1]
-        self._bytes[token] = (self._bytes.get(token, 0.0)
-                              + float(event.attrs.get("nbytes", 0.0)))
+        key = (str(event.attrs.get("job", "")), token)
+        self._bytes[key] = (self._bytes.get(key, 0.0)
+                            + float(event.attrs.get("nbytes", 0.0)))
 
     def tick(self, now: float) -> None:
-        if len(self._bytes) < self.MIN_PARTITIONS:
-            return
         spec = self.book.spec("reducer-skew")
-        med = _median(list(self._bytes.values()))
-        if med < self.MIN_BYTES:
-            return
-        worst = max(sorted(self._bytes), key=lambda k: self._bytes[k])
-        ratio = self._bytes[worst] / med
-        if spec.violated_by(ratio):
-            self.book.fire(
-                "reducer-skew", worst, ratio, "data",
-                detail=f"partition holds {ratio:.1f}x the median "
-                       f"shuffle bytes")
-        else:
-            self.book.resolve("reducer-skew", worst)
+        jobs: dict[str, list[tuple[str, str]]] = {}
+        for key in self._bytes:
+            jobs.setdefault(key[0], []).append(key)
+        for job, keys in sorted(jobs.items()):
+            # Skew is a per-job property: each job's partitions are
+            # compared only against that job's own median.
+            if len(keys) < self.MIN_PARTITIONS:
+                continue
+            med = _median([self._bytes[k] for k in keys])
+            if med < self.MIN_BYTES:
+                continue
+            worst = max(sorted(keys), key=lambda k: self._bytes[k])
+            ratio = self._bytes[worst] / med
+            target = f"{job}:{worst[1]}" if job else worst[1]
+            if spec.violated_by(ratio):
+                self.book.fire(
+                    "reducer-skew", target, ratio, "data",
+                    detail=f"partition holds {ratio:.1f}x the median "
+                           f"shuffle bytes")
+            else:
+                self.book.resolve("reducer-skew", target)
 
 
 class HostLoadDetector(Detector):

@@ -423,7 +423,7 @@ class JobScheduler:
             attempt_span = self.tracer.begin_span(
                 start, EV.TASK_MAP, spec.task_id, parent=ex.map_span,
                 tracker=tracker.name, locality=locality,
-                speculative=speculative)
+                speculative=speculative, job=ex.job.name)
             gen = self.runner._run_map_task(ex.job, tracker, spec, locality,
                                             ex.report)
             # The attempt stops early on a preemption kill *or* its own
@@ -478,7 +478,6 @@ class JobScheduler:
                 self._running_maps.remove(record)
             self._accrue()
             ex.running["map"] -= 1
-            ex.report.slot_seconds += self.sim.now - claimed
             tracker.vm.activity -= 1
             tracker.map_slots.release()
 
@@ -533,7 +532,7 @@ class JobScheduler:
             attempt_span = self.tracer.begin_span(
                 start, EV.TASK_REDUCE, f"r-{partition:05d}",
                 parent=ex.reduce_span, tracker=tracker.name,
-                speculative=speculative)
+                speculative=speculative, job=ex.job.name)
             gen = self.runner._run_reduce_task(
                 ex.job, tracker, partition, ex.map_outputs, ex.report,
                 state, token, attempt_span)
@@ -591,7 +590,6 @@ class JobScheduler:
         finally:
             self._accrue()
             ex.running["reduce"] -= 1
-            ex.report.slot_seconds += self.sim.now - claimed
             tracker.vm.activity -= 1
             tracker.reduce_slots.release()
 
@@ -702,7 +700,18 @@ class JobScheduler:
         if dt <= 0 or not self._jobs:
             return
         active = self._active
-        busy = sum(ex.running["map"] + ex.running["reduce"] for ex in active)
+        busy = 0
+        for ex in active:
+            running = ex.running["map"] + ex.running["reduce"]
+            busy += running
+            # Accrue per-job slot occupancy from the same integral that
+            # feeds busy_slot_seconds, so job, pool and cluster-wide
+            # accounting agree by construction.  (Charging attempts as a
+            # lump sum in the slot workers' ``finally`` broke
+            # conservation: a speculative loser still running when its
+            # job finishes landed its slot time *after* the JobStats
+            # snapshot, so per-pool totals silently under-counted.)
+            ex.report.slot_seconds += running * dt
         self.report.busy_slot_seconds += busy * dt
         n_running_jobs = sum(
             1 for ex in active

@@ -79,7 +79,7 @@ _MIN_DT = 1e-9
 class SharedResource:
     """A capacity shared max-min fairly among the flows crossing it."""
 
-    __slots__ = ("name", "capacity", "_flows", "current_load",
+    __slots__ = ("name", "capacity", "nominal", "_flows", "current_load",
                  "_busy_integral", "_moved_integral", "_last_change",
                  "_comp")
 
@@ -89,6 +89,11 @@ class SharedResource:
                                 f"got {capacity}")
         self.name = name
         self.capacity = float(capacity)
+        #: Design capacity.  ``set_capacity`` (fault injection) moves only
+        #: ``capacity``; rate caps derived from device speed must use the
+        #: nominal value so a transient degradation is never frozen into a
+        #: flow's lifetime cap.
+        self.nominal = float(capacity)
         self._flows: set["FluidFlow"] = set()
         #: Union-find component this resource currently belongs to (None
         #: while no live flow has ever crossed it, or after a lazy split

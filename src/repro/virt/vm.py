@@ -263,15 +263,19 @@ class VirtualMachine:
                                 or path[1] is not self.nfs_backend):
                             path = self._nfs_path = (self.host.net.nic,
                                                      self.nfs_backend)
+                        # Cap from *nominal* device speed: a concurrent
+                        # net fault lowers ``capacity`` transiently, and
+                        # baking that into the flow's lifetime cap would
+                        # keep it crawling long after the fault heals.
                         cap = (None if slow == 1.0 else
-                               min(r.capacity for r in path) / slow)
+                               min(r.nominal for r in path) / slow)
                         flow = self.fss.open(path, size=float(missed),
                                              cap=cap,
                                              name=f"{self.name}:{name}")
                         yield flow.done
                 else:
                     cap = (None if slow == 1.0 else
-                           self.host.disk.capacity / slow)
+                           self.host.disk.nominal / slow)
                     flow = self.fss.open([self.host.disk],
                                          size=float(nbytes), cap=cap,
                                          name=f"{self.name}:{name}")

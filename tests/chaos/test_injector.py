@@ -59,16 +59,42 @@ def test_host_crash_kills_every_resident_worker():
     assert injector.report.timeline == [(1.0, "host.crash", doomed)]
 
 
-def test_host_crash_without_residents_rejected():
+def test_host_crash_without_residents_is_recorded_noop():
+    # Overlapping plans are legal: crashing a host whose workers are all
+    # already down changes nothing and must not error out mid-run.
     platform, cluster = make()
     doomed = cluster.datacenter.machines[-1].name
     for vm in list(cluster.workers):
         if vm.host.name == doomed:
             vm.fail()
+    injector = ChaosInjector(cluster, FaultPlan().add(
+        Fault(at=1.0, kind="host.crash", target=doomed)))
+    platform.sim.run_until(injector.start())
+    assert [(kind, target) for _, kind, target in injector.report.timeline
+            ] == [("host.crash.noop", doomed)]
+
+
+def test_host_crash_on_unknown_host_rejected():
+    platform, cluster = make()
     done = ChaosInjector(cluster, FaultPlan().add(
-        Fault(at=1.0, kind="host.crash", target=doomed))).start()
+        Fault(at=1.0, kind="host.crash", target="no-such-host"))).start()
     with pytest.raises(ConfigError):
         platform.sim.run_until(done)
+
+
+def test_vm_crash_on_already_failed_vm_is_recorded_noop():
+    platform, cluster = make()
+    victim = cluster.workers[0]
+    victim.fail()
+    injector = ChaosInjector(cluster, FaultPlan().add(
+        Fault(at=1.0, kind="vm.crash", target=victim.name, duration=5.0)))
+    platform.sim.run_until(injector.start())
+    assert [(kind, target) for _, kind, target in injector.report.timeline
+            ] == [("vm.crash.noop", victim.name)]
+    # The no-op schedules no heal: the VM stays down.
+    platform.sim.run(until=platform.sim.now + 30.0)
+    assert victim.name not in [vm.name for vm in cluster.workers
+                               if vm.state.name == "RUNNING"]
 
 
 def test_unknown_worker_target_rejected():
@@ -145,3 +171,18 @@ def test_report_digest_deterministic_across_runs():
     assert one.timeline == two.timeline
     assert one.digest() == two.digest()
     assert one.plan_digest == two.plan_digest
+
+
+def test_injector_validates_directly_built_plan_at_start():
+    """A plan whose fault list was built directly (bypassing ``add()``'s
+    validation) — or grown after the injector was constructed — must be
+    rejected when injection starts, not trusted (regression: satellite
+    fix, PR 8)."""
+    platform, cluster = make()
+    plan = FaultPlan(name="sneaky")
+    injector = ChaosInjector(cluster, plan)
+    plan.faults.append(Fault(at=float("nan"), kind="vm.crash",
+                             target=cluster.workers[0].name))
+    injector.start()
+    with pytest.raises(ConfigError):
+        platform.sim.run(until=1.0)

@@ -78,3 +78,48 @@ def test_plan_digest_is_content_addressed():
     assert grown.digest() != _reference_plan().digest()
     renamed = FaultPlan(name="e", faults=list(_reference_plan().faults))
     assert renamed.digest() != _reference_plan().digest()
+
+
+def test_fault_rejects_non_finite_values():
+    """NaN passes every ``< 0`` bound check, then poisons ordered()'s
+    sort and key()'s digest formatting — all non-finite numerics must be
+    rejected up front (regression: satellite fix, PR 8)."""
+    nan, inf = float("nan"), float("inf")
+    for bad in (nan, inf, -inf):
+        with pytest.raises(ConfigError):
+            Fault(at=bad, kind="vm.crash", target="a").validate()
+        with pytest.raises(ConfigError):
+            Fault(at=0.0, kind="vm.crash", target="a",
+                  duration=bad).validate()
+        with pytest.raises(ConfigError):
+            Fault(at=0.0, kind="disk.slow", target="a",
+                  factor=bad).validate()
+    with pytest.raises(ConfigError):
+        Fault(at="soon", kind="vm.crash", target="a").validate()
+    with pytest.raises(ConfigError):
+        Fault(at=True, kind="vm.crash", target="a").validate()
+
+
+def test_rejoin_rejects_positive_duration():
+    """A rejoin is instantaneous; delayed rejoins belong to the crash
+    fault's ``duration``."""
+    Fault(at=1.0, kind="rejoin", target="a").validate()
+    with pytest.raises(ConfigError):
+        Fault(at=1.0, kind="rejoin", target="a", duration=5.0).validate()
+
+
+def test_digest_name_cannot_forge_fault_separators():
+    """The plan name is length-prefixed in the digest, so a crafted name
+    containing the ``\\n``/``|`` separators cannot collide with a plan
+    whose first fault spells the same bytes."""
+    fault = Fault(at=0.0, kind="vm.crash", target="x")
+    crafted = FaultPlan(name="p\n" + fault.key())
+    honest = FaultPlan(name="p", faults=[fault])
+    assert crafted.digest() != honest.digest()
+
+
+def test_plan_validate_catches_directly_built_faults():
+    plan = FaultPlan(name="direct")
+    plan.faults.append(Fault(at=float("nan"), kind="vm.crash", target="a"))
+    with pytest.raises(ConfigError):
+        plan.validate()

@@ -1,0 +1,53 @@
+"""The regression corpus: every shrunk repro the fuzzer produced replays
+clean against the fixed platform.
+
+Each ``.json`` file under ``regressions/`` is a minimized scenario that
+used to violate the invariant recorded inside it.  The test replays the
+scenario and asserts the pinned invariant no longer fires — so none of
+the fixed bugs can silently return.
+
+``RESIDUALS`` documents violations that are *expected by design* on a
+repro's scenario even after the fix: the requeue repro deliberately
+crashes every worker on a packed host, and data whose every replica died
+stays lost (replication is then a property of the scenario, not a bug).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_repro, replay_repro
+
+CORPUS = sorted((Path(__file__).parent / "regressions").glob("*.json"))
+
+#: repro stem → invariants legitimately still violated after the fix.
+RESIDUALS = {
+    "requeue-total-outage": {"replication"},
+}
+
+
+def test_corpus_is_present():
+    # The PR's bug hunt produced at least these five shrunk repros.
+    assert len(CORPUS) >= 5
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_repro_replays_clean(path):
+    scenario, pinned = load_repro(path)
+    result = replay_repro(path)
+    violated = {v.invariant for v in result.violations}
+    assert pinned.invariant not in violated, (
+        f"{path.stem}: fixed bug came back: {result.violations}")
+    residual = RESIDUALS.get(path.stem, set())
+    unexpected = violated - residual
+    assert not unexpected, (
+        f"{path.stem}: new violations on a pinned repro: "
+        f"{[v for v in result.violations if v.invariant in unexpected]}")
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_repro_scenarios_are_minimal(path):
+    scenario, _ = load_repro(path)
+    # The shrinker's contract for the corpus: small enough to debug by eye.
+    assert len(scenario.faults) <= 3
+    assert len(scenario.jobs) <= 2

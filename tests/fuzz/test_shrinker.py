@@ -1,0 +1,99 @@
+"""Shrinker properties: minimization preserves the violation, repro files
+round-trip, and the budget bounds work.
+
+A stubbed runner keeps these tests fast: the "platform bug" is a
+predicate over the scenario, so the shrinker's search behaviour can be
+pinned without simulating anything.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fuzz import (FuzzRunResult, ShrinkResult, Shrinker, Violation,
+                        generate_scenario, load_repro, write_repro)
+from repro.fuzz.invariants import RunContext
+
+
+def fake_runner(predicate, invariant="crash"):
+    """A run_scenario stand-in: violates ``invariant`` iff predicate."""
+    def run(scenario):
+        violations = []
+        if predicate(scenario):
+            violations.append(Violation(invariant, "stub detail"))
+        return FuzzRunResult(scenario=scenario, violations=violations,
+                             context=RunContext(scenario=scenario),
+                             run_digest="0" * 16)
+    return run
+
+
+def find_seed_with(predicate, start=0):
+    for seed in range(start, start + 500):
+        s = generate_scenario(seed)
+        if predicate(s):
+            return s
+    raise AssertionError("no matching seed in range")
+
+
+class TestShrink:
+    def test_preserves_violation_and_minimizes(self):
+        # "Bug": any scenario with at least one fault fails.
+        scenario = find_seed_with(lambda s: len(s.faults) >= 2
+                                  and len(s.jobs) >= 2)
+        runner = fake_runner(lambda s: len(s.faults) >= 1)
+        result = Shrinker(runner=runner).shrink(
+            scenario, Violation("crash", "seed violation"))
+        assert result.violation.invariant == "crash"
+        # Minimal: can't drop the last fault, and jobs shrink to one.
+        assert len(result.scenario.faults) == 1
+        assert len(result.scenario.jobs) == 1
+        assert runner(result.scenario).violations
+
+    def test_result_scenario_always_validates(self):
+        scenario = find_seed_with(lambda s: s.faults and s.n_vms > 3)
+        runner = fake_runner(lambda s: True)
+        result = Shrinker(runner=runner).shrink(
+            scenario, Violation("crash", "x"))
+        result.scenario.validate()  # shrunk repro must stay executable
+
+    def test_different_invariant_does_not_count(self):
+        scenario = generate_scenario(0)
+        runner = fake_runner(lambda s: True, invariant="output")
+        result = Shrinker(runner=runner).shrink(
+            scenario, Violation("crash", "x"))
+        # Nothing matched the target name: the scenario is unchanged.
+        assert result.scenario == scenario
+
+    def test_budget_bounds_candidate_runs(self):
+        scenario = find_seed_with(lambda s: len(s.faults) >= 2)
+        calls = []
+        base = fake_runner(lambda s: True)
+
+        def counting(s):
+            calls.append(1)
+            return base(s)
+        shrinker = Shrinker(budget=5, runner=counting)
+        shrinker.shrink(scenario, Violation("crash", "x"))
+        assert len(calls) <= 5
+
+
+class TestReproFiles:
+    def make_result(self):
+        scenario = generate_scenario(7)
+        return ShrinkResult(scenario=scenario,
+                            violation=Violation("output", "detail",
+                                                job="wordcount-0"))
+
+    def test_write_then_load_roundtrip(self, tmp_path):
+        result = self.make_result()
+        path = write_repro(result, tmp_path / "repro.json")
+        scenario, violation = load_repro(path)
+        assert scenario == result.scenario
+        assert violation == result.violation
+
+    def test_corrupt_digest_rejected(self, tmp_path):
+        result = self.make_result()
+        path = write_repro(result, tmp_path / "repro.json")
+        text = path.read_text().replace('"n_vms": ', '"n_vms": 1')
+        path.write_text(text)
+        with pytest.raises(ConfigError):
+            load_repro(path)

@@ -80,10 +80,10 @@ class TestStraggler:
 
 
 class TestSkew:
-    def fetch(self, det, partition, nbytes, t=1.0):
+    def fetch(self, det, partition, nbytes, t=1.0, job="job1"):
         det.on_event(TraceEvent(
             t, "shuffle.fetch.start", f"m-00000:{partition}",
-            {"nbytes": nbytes}))
+            {"nbytes": nbytes, "job": job}))
 
     def test_fires_on_hot_partition(self, obs):
         det = detector(obs, SkewDetector)
@@ -92,7 +92,7 @@ class TestSkew:
         self.fetch(det, "r0", 16 << 20)
         det.tick(2.0)
         (alert,) = obs.active_alerts("reducer-skew")
-        assert alert.target == "r0" and alert.attribution == "data"
+        assert alert.target == "job1:r0" and alert.attribution == "data"
         assert alert.value == pytest.approx(5.0)
 
     def test_quiet_below_min_partitions_or_bytes(self, obs):
@@ -113,10 +113,31 @@ class TestSkew:
         for i in range(4):
             self.fetch(det, f"r{i}", 4 << 20)
         self.fetch(det, "r0", 64 << 20)
-        det.on_event(TraceEvent(5.0, EV.JOB_SUBMIT, "job2"))
+        det.on_event(TraceEvent(5.0, EV.JOB_SUBMIT, "job1"))
         det.tick(6.0)
         assert det._bytes == {}
         assert obs.alerts("reducer-skew") == []
+
+    def test_concurrent_jobs_do_not_pool_partitions(self, obs):
+        # Fuzzer regression: balanced shuffles from jobs with different
+        # reduce counts must not be judged against each other's median.
+        det = detector(obs, SkewDetector)
+        for i in range(4):
+            self.fetch(det, f"r{i}", 8 << 20, job="tera")
+        for i in range(4):
+            self.fetch(det, f"r{i}", 2 << 20, job="wc")
+        det.tick(2.0)
+        assert obs.alerts("reducer-skew") == []
+
+    def test_job_submit_keeps_other_jobs_buckets(self, obs):
+        det = detector(obs, SkewDetector)
+        for i in range(4):
+            self.fetch(det, f"r{i}", 4 << 20, job="keep")
+        self.fetch(det, "r0", 16 << 20, job="keep")
+        det.on_event(TraceEvent(5.0, EV.JOB_SUBMIT, "other"))
+        det.tick(6.0)
+        (alert,) = obs.active_alerts("reducer-skew")
+        assert alert.target == "keep:r0"
 
 
 class TestNodeLiveness:

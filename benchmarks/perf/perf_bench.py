@@ -41,6 +41,15 @@ emulation.
 kernel events, rebalances, flow visits, completions, chaos digest) against
 a checked-in baseline file and exits non-zero on any mismatch; wall-clock
 is never checked (warn-only), machines differ.
+
+``--scale`` climbs the 16/100/500/1,000-VM rack-topology ladder, one
+fresh worker process per rung via the parallel fabric
+(``repro.parallel.run_sharded`` with ``tasks_per_worker=1``); ``--jobs N``
+runs rungs concurrently, with bit-identical results either way.
+``--parallel`` runs the same fuzz campaign serial and sharded, asserts
+the corpus and campaign digests are byte-identical, and records the wall
+speedup in ``BENCH_parallel.json`` — the speedup is reported, never
+gated (machines differ; CI gates the digests).
 """
 
 from __future__ import annotations
@@ -81,6 +90,10 @@ except ImportError:  # pragma: no cover - pre-rack --baseline-tree probe
         @staticmethod
         def spread(n_vms, hosts=None):
             return balanced_placement(n_vms, n_hosts=hosts)
+try:
+    from repro.parallel import run_sharded
+except ImportError:  # pragma: no cover - pre-parallel --baseline-tree probe
+    run_sharded = None  # probes only run WORKLOADS, never the ladder
 from repro.sim.fairshare import _EPS, _MIN_DT, FairShareSystem
 from repro.workloads import wordcount as wc_mod
 from repro.workloads.terasort import run_terasort
@@ -267,6 +280,7 @@ def _counters(platform, wall_s):
         "timer_cancellations": getattr(fss, "timer_cancellations", None),
         "max_component_flows": getattr(fss, "max_component_flows", None),
         "completed_flows": getattr(fss, "completed_count", None),
+        "rack_splits": getattr(fss, "rack_splits", None),
     }
 
 
@@ -392,8 +406,11 @@ def scale_rung(rung: dict) -> dict:
         "n_vms": topo.n_vms,
         "racks": topo.racks,
         "placement_digest": placement_digest,
-        "sim_elapsed": repr((wc_report.elapsed,
-                             tera.generation_time_s + tera.sort_time_s)),
+        # Two-element array [wordcount, terasort], JSON round-trip exact;
+        # earlier versions stringified the tuple via repr(), which made
+        # the baselines grep-hostile and locked consumers to Python.
+        "sim_elapsed": [wc_report.elapsed,
+                        tera.generation_time_s + tera.sort_time_s],
         "wall_s": counters["wall_s"],
         "events_per_sec": int(counters["events_processed"] / max(wall, 1e-9)),
         "peak_rss_mb": round(peak_rss_mb, 1),
@@ -411,20 +428,41 @@ def _rung_by_name(name: str) -> dict:
                      f"have {[r['name'] for r in SCALE_RUNGS]}")
 
 
-def run_scale_ladder(quick: bool) -> dict:
-    """Climb the ladder, one subprocess per rung (clean peak RSS)."""
+def _ladder_rung_worker(name: str) -> dict:
+    """Module-level worker for :func:`repro.parallel.run_sharded`.
+
+    ``SystemExit`` (TeraValidate failure) is converted to a plain
+    exception so the fabric records it as an item failure instead of a
+    dead worker.
+    """
+    try:
+        return scale_rung(_rung_by_name(name))
+    except SystemExit as exc:
+        raise RuntimeError(str(exc)) from None
+
+
+def run_scale_ladder(quick: bool, jobs: int = 1) -> dict:
+    """Climb the ladder, one worker process per rung (clean peak RSS).
+
+    Rungs are independent seeded simulations, so they shard over the
+    parallel fabric; ``tasks_per_worker=1`` keeps the fresh-process-per-
+    rung property the old subprocess loop had, making each rung's peak
+    RSS attributable.  With ``jobs>1`` rungs run concurrently — results
+    and their merge order are identical regardless (pinned by the scale
+    baselines).
+    """
     rungs = SCALE_RUNGS[:2] if quick else SCALE_RUNGS
     out = {"generated_by": "benchmarks/perf/perf_bench.py --scale",
            "mode": "quick" if quick else "full",
            "rungs": {}}
+    sharded = run_sharded([r["name"] for r in rungs], _ladder_rung_worker,
+                          jobs=jobs, tasks_per_worker=1)
+    by_name = {item.key: item for item in sharded.results}
     for rung in rungs:
-        probe_file = Path(f"BENCH_scale.{rung['name']}.probe.json")
-        cmd = [sys.executable, os.path.abspath(__file__),
-               "--scale-rung", rung["name"],
-               "--scale-probe", str(probe_file)]
-        subprocess.run(cmd, check=True)
-        entry = json.loads(probe_file.read_text(encoding="utf-8"))
-        probe_file.unlink()
+        item = by_name[rung["name"]]
+        if not item.ok:
+            raise SystemExit(f"scale rung {rung['name']}: {item.error}")
+        entry = item.value
         print(f"[scale:{rung['name']}] {entry['topology']}: "
               f"wall {entry['wall_s']}s, "
               f"{entry['events_per_sec']} events/s, "
@@ -478,6 +516,66 @@ def to_scale_baselines(results: dict) -> dict:
             "counters": {k: entry["counters"][k]
                          for k in SCALE_CHECKED_KEYS}}
     return slim
+
+
+# -- parallel campaign fabric ------------------------------------------------
+
+#: The wall-clock target a 4+-core runner is expected to hit with 4 jobs;
+#: recorded alongside the measurement, never gated (CI gates the digests).
+PARALLEL_SPEEDUP_TARGET = 3.0
+
+
+def _campaign_digests(result) -> dict:
+    digests = {}
+    for note in result.notes:
+        for key in ("corpus digest", "campaign digest"):
+            if note.startswith(key + ": "):
+                digests[key.replace(" ", "_")] = note.split(": ", 1)[1]
+    return digests
+
+
+def run_parallel_bench(quick: bool, jobs: int = 4) -> dict:
+    """The same fuzz campaign serial and sharded: digests must be
+    byte-identical (the fabric's merge contract); the speedup is reported
+    against however many cores this machine actually has."""
+    from repro.experiments import fuzz_campaign
+
+    seeds = (0, 25) if quick else (0, 100)
+    runs = {}
+    for label, n_jobs in (("serial", 1), ("sharded", jobs)):
+        t0 = time.time()
+        result = fuzz_campaign.run(seeds=seeds, jobs=n_jobs)
+        wall = time.time() - t0
+        runs[label] = {"jobs": n_jobs, "wall_s": round(wall, 3),
+                       "failing_seeds": len(result.rows),
+                       **_campaign_digests(result)}
+        print(f"[parallel:{label}] jobs={n_jobs} wall {wall:.1f}s "
+              f"campaign digest {runs[label].get('campaign_digest')}")
+    for key in ("corpus_digest", "campaign_digest"):
+        if runs["serial"].get(key) != runs["sharded"].get(key):
+            raise SystemExit(
+                f"parallel bench: {key} diverged between jobs=1 and "
+                f"jobs={jobs}: {runs['serial'].get(key)} != "
+                f"{runs['sharded'].get(key)}")
+    speedup = round(runs["serial"]["wall_s"]
+                    / max(runs["sharded"]["wall_s"], 1e-9), 2)
+    cores = os.cpu_count() or 1
+    status = ("meets" if speedup >= PARALLEL_SPEEDUP_TARGET else
+              "below (expected on few-core machines)")
+    print(f"[parallel] speedup {speedup}x with {jobs} jobs on {cores} "
+          f"core(s) — {status} the {PARALLEL_SPEEDUP_TARGET}x "
+          f"4-core target; digests byte-identical")
+    return {
+        "generated_by": "benchmarks/perf/perf_bench.py --parallel",
+        "mode": "quick" if quick else "full",
+        "seed_range": f"{seeds[0]}:{seeds[1]}",
+        "cores": cores,
+        "serial": runs["serial"],
+        "sharded": runs["sharded"],
+        "wall_speedup": speedup,
+        "speedup_target_on_4_cores": PARALLEL_SPEEDUP_TARGET,
+        "digests_identical": True,
+    }
 
 
 # -- observatory overhead ----------------------------------------------------
@@ -758,6 +856,13 @@ def main(argv=None) -> int:
                         help=argparse.SUPPRESS)  # internal subprocess entry
     parser.add_argument("--scale-probe", metavar="FILE",
                         help=argparse.SUPPRESS)
+    parser.add_argument("--parallel", action="store_true",
+                        help="measure the parallel campaign fabric instead: "
+                             "the same fuzz campaign serial and sharded, "
+                             "digest-compared (writes BENCH_parallel.json)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for --scale (default 1) and "
+                             "the sharded half of --parallel (default 4)")
     parser.add_argument("--out", default=None,
                         help="result file (default: BENCH_fairshare.json, "
                              "or BENCH_observatory.json with --observatory)")
@@ -782,8 +887,16 @@ def main(argv=None) -> int:
             json.dumps(entry, indent=2) + "\n", encoding="utf-8")
         return 0
 
+    if args.parallel:
+        results = run_parallel_bench(quick=args.quick, jobs=args.jobs or 4)
+        out = args.out or "BENCH_parallel.json"
+        Path(out).write_text(json.dumps(results, indent=2) + "\n",
+                             encoding="utf-8")
+        print(f"wrote {out}")
+        return 0
+
     if args.scale:
-        results = run_scale_ladder(quick=args.quick)
+        results = run_scale_ladder(quick=args.quick, jobs=args.jobs or 1)
         out = args.out or "BENCH_scale.json"
         Path(out).write_text(json.dumps(results, indent=2) + "\n",
                              encoding="utf-8")

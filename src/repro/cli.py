@@ -112,7 +112,8 @@ def _run_fuzz(args) -> list:
     else:
         seeds = (fuzz_campaign.QUICK_SEEDS if args.quick
                  else fuzz_campaign.DEFAULT_SEEDS)
-    return [fuzz_campaign.run(seeds=seeds)]
+    return [fuzz_campaign.run(seeds=seeds, jobs=args.jobs,
+                              journal=args.journal)]
 
 
 _EXPERIMENTS: dict[str, Callable] = {
@@ -155,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--replay", metavar="PATH", default=None,
                         help="fuzz only: replay one shrunk repro file "
                              "instead of running a campaign")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        metavar="N",
+                        help="fuzz only: shard the campaign over N worker "
+                             "processes (digests stay byte-identical to "
+                             "-j1; default 1)")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="fuzz only: checkpoint resolved seeds to a "
+                             "JSONL journal and resume from it on rerun")
     add_topology_argument(parser)
     return parser
 

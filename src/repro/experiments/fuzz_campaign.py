@@ -19,16 +19,26 @@ aggregate verdict plus two content digests:
 ``--replay PATH`` runs a single shrunk repro file instead (the format
 written by :func:`repro.fuzz.write_repro`), reporting whether the
 pinned invariant still fires.
+
+Seeds are independent, so the campaign rides the
+:mod:`repro.parallel` fabric: ``--jobs N`` shards the seed range over N
+worker processes and the merge is order-independent — both digests are
+byte-identical for ``--jobs 1``, ``--jobs 8``, and any interleaving
+(the parallel-smoke CI job pins exactly that).  ``--journal PATH``
+checkpoints resolved seeds so an interrupted campaign resumes instead
+of restarting.
 """
 
 from __future__ import annotations
 
 import hashlib
+from typing import Optional
 
 from repro.errors import ConfigError
 from repro.experiments.common import ExperimentResult
 from repro.fuzz import (corpus_digest, generate_scenario, load_repro,
                         replay_repro, run_scenario, summarize)
+from repro.parallel import run_sharded
 
 #: Default seed window for ``vhadoop fuzz`` / ``vhadoop all``.
 DEFAULT_SEEDS = (0, 50)
@@ -48,27 +58,69 @@ def parse_seed_range(text: str) -> tuple[int, int]:
     return lo, hi
 
 
-def run(seeds: tuple[int, int] = DEFAULT_SEEDS) -> ExperimentResult:
-    """Run the campaign over ``[lo, hi)`` and tabulate any violations."""
+def _run_seed(seed: int) -> dict:
+    """Fabric worker: one seed end to end, summarized as plain JSON.
+
+    Must stay module-level (it crosses a process boundary by reference)
+    and must return only what the merged report needs — the digest, the
+    verdict, and the table row — not the full run context.
+    """
+    scenario = generate_scenario(seed)
+    run_result = run_scenario(scenario)
+    return {
+        "run_digest": run_result.run_digest,
+        "ok": run_result.ok,
+        "invariants": sorted({v.invariant
+                              for v in run_result.violations}),
+        "jobs": len(scenario.jobs),
+        "faults": len(scenario.faults),
+        "advs": len(scenario.adversaries),
+    }
+
+
+def run(seeds: tuple[int, int] = DEFAULT_SEEDS, jobs: int = 1,
+        journal: Optional[str] = None) -> ExperimentResult:
+    """Run the campaign over ``[lo, hi)`` and tabulate any violations.
+
+    ``jobs`` shards the seeds over that many worker processes; the
+    digests are byte-identical to the serial path regardless.
+    """
     lo, hi = seeds
     result = ExperimentResult(
         experiment_id="fuzz",
         title=f"Fuzz campaign: seeds {lo}..{hi} vs the invariant suite",
         columns=("seed", "jobs", "faults", "advs", "violations"))
     scenarios = [generate_scenario(seed) for seed in range(lo, hi)]
+    sharded = run_sharded(list(range(lo, hi)), _run_seed, jobs=jobs,
+                          journal=journal)
+    # The campaign digest folds run digests in ascending-seed order —
+    # the fabric returns results in input order, so this line is
+    # byte-identical to the pre-fabric serial loop.
     campaign = hashlib.sha256()
     failing = 0
-    for seed, scenario in zip(range(lo, hi), scenarios):
-        run_result = run_scenario(scenario)
-        campaign.update(f"{seed}:{run_result.run_digest}\n".encode())
-        if not run_result.ok:
+    fabric_failures = 0
+    for seed, item in zip(range(lo, hi), sharded.results):
+        if not item.ok:  # worker death/timeout — environmental, recorded
+            fabric_failures += 1
+            campaign.update(f"{seed}:fabric-error\n".encode())
+            result.add(seed, "-", "-", "-", f"fabric: {item.error}")
+            continue
+        payload = item.value
+        campaign.update(f"{seed}:{payload['run_digest']}\n".encode())
+        if not payload["ok"]:
             failing += 1
-            result.add(seed, len(scenario.jobs), len(scenario.faults),
-                       len(scenario.adversaries),
-                       "; ".join(sorted({v.invariant
-                                         for v in run_result.violations})))
+            result.add(seed, payload["jobs"], payload["faults"],
+                       payload["advs"], "; ".join(payload["invariants"]))
     result.note(f"{hi - lo} scenarios, {failing} with violations"
-                + ("" if failing else " — all invariants held"))
+                + ("" if failing or fabric_failures
+                   else " — all invariants held"))
+    if fabric_failures:
+        result.note(f"{fabric_failures} seeds lost to worker failures "
+                    "(digest poisoned with fabric-error markers)")
+    if jobs > 1:
+        result.note(f"sharded over {jobs} worker processes")
+    if sharded.n_resumed:
+        result.note(f"{sharded.n_resumed} seeds resumed from journal")
     result.note(f"corpus digest: {corpus_digest(scenarios)}")
     result.note(f"campaign digest: {campaign.hexdigest()[:16]}")
     return result

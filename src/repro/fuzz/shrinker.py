@@ -14,6 +14,15 @@ runs greedy fixpoint passes, cheapest-first:
 Every accepted candidate re-validates and re-runs, so a shrunk repro is
 always an executable scenario; the result serializes to a replayable
 repro file (``write_repro`` / ``load_repro``) that regression tests pin.
+
+Shrinking explores scenarios the fuzzer never generated, so a candidate
+can be pathologically slow even when the original run was not.  A
+``candidate_timeout_s`` budget runs each candidate through
+:func:`repro.parallel.call_guarded` — a killable worker process — and
+treats a timeout as a rejected candidate: the shrink stays correct, it
+just declines that direction.  The guard costs a process spawn per
+candidate, so it is off by default and meant for campaign/CI shrinks,
+not interactive ones.
 """
 
 from __future__ import annotations
@@ -27,9 +36,19 @@ from repro.errors import ConfigError
 from repro.fuzz.execute import FuzzRunResult, run_scenario
 from repro.fuzz.invariants import Violation
 from repro.fuzz.scenario import FORMAT_VERSION, KnobSample, Scenario
+from repro.parallel import call_guarded
 
 #: Default cap on candidate runs per shrink (each run is a full scenario).
 DEFAULT_BUDGET = 150
+
+
+def _guarded_candidate(payload: dict) -> dict:
+    """Module-level worker (pickled by reference into the guard process):
+    run one candidate scenario, return its violations as plain dicts."""
+    scenario = Scenario.from_dict(payload)
+    result = run_scenario(scenario)
+    return {"violations": [{"invariant": v.invariant, "detail": v.detail,
+                            "job": v.job} for v in result.violations]}
 
 
 @dataclass
@@ -52,10 +71,24 @@ class Shrinker:
     """Minimizes scenarios while preserving an invariant violation."""
 
     def __init__(self, budget: int = DEFAULT_BUDGET,
-                 runner: Optional[Callable[[Scenario], FuzzRunResult]] = None):
+                 runner: Optional[Callable[[Scenario], FuzzRunResult]] = None,
+                 candidate_timeout_s: Optional[float] = None,
+                 mp_context: str = "spawn"):
+        if candidate_timeout_s is not None and runner is not None:
+            raise ConfigError(
+                "candidate_timeout_s runs candidates in a worker process "
+                "with the default runner; a custom runner cannot be "
+                "combined with it")
+        if candidate_timeout_s is not None and candidate_timeout_s <= 0:
+            raise ConfigError(f"candidate_timeout_s must be > 0, "
+                              f"got {candidate_timeout_s}")
         self.budget = budget
         self.runner = runner or run_scenario
+        self.candidate_timeout_s = candidate_timeout_s
+        self.mp_context = mp_context
         self.runs = 0
+        #: Candidates rejected because their guarded run hit the budget.
+        self.timeouts = 0
 
     # -- public ------------------------------------------------------------
     def shrink(self, scenario: Scenario, violation: Violation
@@ -96,6 +129,21 @@ class Shrinker:
         except ConfigError:
             return None
         self.runs += 1
+        if self.candidate_timeout_s is not None:
+            guarded = call_guarded(_guarded_candidate, candidate.to_dict(),
+                                   timeout_s=self.candidate_timeout_s,
+                                   mp_context=self.mp_context)
+            if not guarded.ok:
+                # Timed out (or died): reject the candidate — the shrink
+                # stays sound, it just keeps the larger parent.
+                if guarded.timed_out:
+                    self.timeouts += 1
+                return None
+            for v in guarded.value["violations"]:
+                if v["invariant"] == target:
+                    return Violation(invariant=v["invariant"],
+                                     detail=v["detail"], job=v.get("job"))
+            return None
         result = self.runner(candidate)
         for violation in result.violations:
             if violation.invariant == target:

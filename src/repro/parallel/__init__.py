@@ -1,0 +1,26 @@
+"""Process-pool execution fabric with deterministic result merge.
+
+Public surface:
+
+* :func:`run_sharded` — shard independent items over N worker processes;
+  results come back in input order and digest identically for any job
+  count or interleaving.
+* :func:`call_guarded` — one call in a killable child under a wall/RSS
+  budget.
+* :class:`CampaignJournal` — JSONL checkpoint/resume for campaigns.
+"""
+
+from repro.parallel.fabric import (FabricStats, ItemResult, ShardedRun,
+                                   run_sharded)
+from repro.parallel.guard import GuardedResult, call_guarded
+from repro.parallel.journal import CampaignJournal
+
+__all__ = [
+    "CampaignJournal",
+    "FabricStats",
+    "GuardedResult",
+    "ItemResult",
+    "ShardedRun",
+    "call_guarded",
+    "run_sharded",
+]

@@ -6,11 +6,14 @@ predicate over the scenario, so the shrinker's search behaviour can be
 pinned without simulating anything.
 """
 
+import time
+
 import pytest
 
 from repro.errors import ConfigError
 from repro.fuzz import (FuzzRunResult, ShrinkResult, Shrinker, Violation,
                         generate_scenario, load_repro, write_repro)
+from repro.fuzz import shrinker as shrinker_mod
 from repro.fuzz.invariants import RunContext
 
 
@@ -74,6 +77,59 @@ class TestShrink:
         shrinker = Shrinker(budget=5, runner=counting)
         shrinker.shrink(scenario, Violation("crash", "x"))
         assert len(calls) <= 5
+
+
+def _always_violates(scenario):
+    """run_scenario stand-in used *inside* the guard child (fork-inherited)."""
+    return FuzzRunResult(scenario=scenario,
+                         violations=[Violation("crash", "guarded detail",
+                                               job="job-0")],
+                         context=RunContext(scenario=scenario),
+                         run_digest="0" * 16)
+
+
+def _never_returns(scenario):
+    time.sleep(60.0)
+
+
+class TestGuardedCandidates:
+    """candidate_timeout_s runs each candidate in a killable child.
+
+    The stubs monkeypatch ``run_scenario`` *in the shrinker module* and
+    rely on the fork start method: the child inherits the patched global,
+    so no scenario is ever simulated here.
+    """
+
+    def _shrinker(self, timeout_s):
+        return Shrinker(candidate_timeout_s=timeout_s, mp_context="fork")
+
+    def test_timeout_requires_default_runner(self):
+        with pytest.raises(ConfigError, match="custom runner"):
+            Shrinker(runner=lambda s: None, candidate_timeout_s=1.0)
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ConfigError, match="> 0"):
+            Shrinker(candidate_timeout_s=0.0)
+
+    def test_violation_round_trips_through_the_guard(self, monkeypatch):
+        monkeypatch.setattr(shrinker_mod, "run_scenario", _always_violates)
+        shrinker = self._shrinker(timeout_s=30.0)
+        violation = shrinker._still_fails(generate_scenario(0), "crash")
+        assert violation == Violation("crash", "guarded detail", job="job-0")
+        assert shrinker.runs == 1 and shrinker.timeouts == 0
+
+    def test_nonmatching_invariant_rejected(self, monkeypatch):
+        monkeypatch.setattr(shrinker_mod, "run_scenario", _always_violates)
+        shrinker = self._shrinker(timeout_s=30.0)
+        assert shrinker._still_fails(generate_scenario(0), "output") is None
+
+    def test_timed_out_candidate_is_rejected_and_counted(self, monkeypatch):
+        monkeypatch.setattr(shrinker_mod, "run_scenario", _never_returns)
+        shrinker = self._shrinker(timeout_s=0.3)
+        assert shrinker._still_fails(generate_scenario(0), "crash") is None
+        assert shrinker.timeouts == 1
+        # A rejected candidate still spent a run from the budget.
+        assert shrinker.runs == 1
 
 
 class TestReproFiles:

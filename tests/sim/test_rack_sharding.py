@@ -1,0 +1,263 @@
+"""Per-rack component sharding and the incidence-indexed fill.
+
+Three claims guard this optimization layer:
+
+* **maintained incidence is exact** — every component's ``nlive``
+  (per-resource live-flow counts over deduped paths) and ``capped`` set
+  always equal a from-scratch recount, through opens, closes, merges and
+  splits;
+* **indexed fills change nothing** — :func:`_maxmin_rates_scoped` fed
+  the maintained indices returns bit-identical rates to both its own
+  legacy scan path and the :func:`_maxmin_rates` oracle;
+* **rack splits are invisible** — the shear split only re-partitions
+  unions along true-connectivity lines, so every simulated output is
+  bit-identical with ``rack_sharding`` on, off, or fully global, and a
+  flat (untagged) topology never splits at all.
+
+``_RACK_MIN_FLOWS`` is lowered inside the property tests so small
+generated graphs actually reach the shear-split code path.
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.sim import FairShareSystem, SharedResource, Simulator
+from repro.sim import fairshare as fairshare_mod
+from repro.sim.fairshare import _maxmin_rates, _maxmin_rates_scoped
+
+_SLOW = dict(deadline=None,
+             suppress_health_check=[HealthCheck.too_slow])
+
+_CAPACITIES = (50.0, 100.0, 200.0, 400.0)
+_SIZES = (10.0, 100.0, 1000.0, math.inf)
+_CAPS = (None, 25.0, 60.0)
+_DTS = (0.25, 0.5, 1.0, 2.0)
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["open", "close", "setcap", "advance"]),
+              st.integers(0, 2 ** 30), st.integers(0, 2 ** 30)),
+    min_size=1, max_size=30)
+
+
+def _build(n_res, cap_picks, rack_tags=True, **fss_kwargs):
+    sim = Simulator()
+    fss = FairShareSystem(sim, **fss_kwargs)
+    resources = []
+    for i in range(n_res):
+        res = SharedResource(
+            f"r{i}",
+            _CAPACITIES[cap_picks[i % len(cap_picks)] % len(_CAPACITIES)])
+        if rack_tags:
+            res.rack = f"rack{i % 2}"
+        resources.append(res)
+    return sim, fss, resources
+
+
+def _apply(sim, fss, resources, ops):
+    """Interpret an op sequence; yields after every mutation."""
+    flows = []
+    n_res = len(resources)
+    for op, a, b in ops:
+        if op == "open":
+            first = a % n_res
+            path = [resources[first]]
+            if b % 3:  # 1-3 distinct resources (often cross-rack)
+                path.append(resources[(first + 1 + a % (n_res - 1)) % n_res])
+            if b % 3 == 2 and n_res > 2:
+                extra = resources[(first + 2) % n_res]
+                if extra not in path:
+                    path.append(extra)
+            flows.append(fss.open(path, size=_SIZES[a % len(_SIZES)],
+                                  cap=_CAPS[b % len(_CAPS)],
+                                  name=f"f{len(flows)}"))
+        elif op == "close":
+            if flows:
+                flow = flows[a % len(flows)]
+                if flow.active:
+                    fss.close(flow)
+        elif op == "setcap":
+            fss.set_capacity(resources[a % n_res],
+                             _CAPACITIES[b % len(_CAPACITIES)])
+        else:
+            sim.run(until=sim.now + _DTS[a % len(_DTS)])
+        yield flows
+
+
+def _components(fss):
+    return list({id(f._comp): f._comp for f in fss._flows}.values())
+
+
+class _low_rack_threshold:
+    """Temporarily lower ``_RACK_MIN_FLOWS`` so small graphs shear-split."""
+
+    def __init__(self, value=4):
+        self.value = value
+
+    def __enter__(self):
+        self._saved = fairshare_mod._RACK_MIN_FLOWS
+        fairshare_mod._RACK_MIN_FLOWS = self.value
+
+    def __exit__(self, *exc):
+        fairshare_mod._RACK_MIN_FLOWS = self._saved
+
+
+# -- maintained incidence ------------------------------------------------------
+
+@given(n_res=st.integers(2, 6),
+       cap_picks=st.lists(st.integers(0, 3), min_size=6, max_size=6),
+       ops=_ops)
+@settings(max_examples=50, **_SLOW)
+def test_maintained_incidence_matches_recount(n_res, cap_picks, ops):
+    """``nlive``/``capped`` survive attach, detach, merge and both splits."""
+    with _low_rack_threshold():
+        sim, fss, resources = _build(n_res, cap_picks)
+        for _flows in _apply(sim, fss, resources, ops):
+            for comp in _components(fss):
+                nlive = {}
+                capped = set()
+                for f in comp.flows:
+                    for res in f._upath:
+                        nlive[res] = nlive.get(res, 0) + 1
+                    if math.isfinite(f.cap):
+                        capped.add(f)
+                assert comp.nlive == nlive
+                assert comp.capped == capped
+
+
+@given(n_res=st.integers(2, 6),
+       cap_picks=st.lists(st.integers(0, 3), min_size=6, max_size=6),
+       ops=_ops)
+@settings(max_examples=50, **_SLOW)
+def test_indexed_fill_matches_legacy_scan_and_oracle(n_res, cap_picks, ops):
+    """Same rates from the indexed init, the scan init, and the oracle."""
+    with _low_rack_threshold():
+        sim, fss, resources = _build(n_res, cap_picks)
+        for _flows in _apply(sim, fss, resources, ops):
+            for comp in _components(fss):
+                indexed, _, _ = _maxmin_rates_scoped(comp.flows, comp.nlive,
+                                                     comp.capped)
+                scanned, _, _ = _maxmin_rates_scoped(set(comp.flows))
+                oracle = _maxmin_rates(comp.flows)
+                assert indexed == scanned == oracle
+
+
+# -- rack shear split ----------------------------------------------------------
+
+def _open_rack_pure(fss, res, count, size=1000.0):
+    return [fss.open([res], size=size, name=f"{res.name}-{i}")
+            for i in range(count)]
+
+
+def test_shear_split_fires_on_an_unglued_two_rack_union():
+    sim = Simulator()
+    fss = FairShareSystem(sim)
+    res_a, res_b = SharedResource("a", 100.0), SharedResource("b", 200.0)
+    res_a.rack, res_b.rack = "rackA", "rackB"
+    flows_a = _open_rack_pure(fss, res_a, 16)
+    flows_b = _open_rack_pure(fss, res_b, 16)
+    bridge = fss.open([res_a, res_b], size=math.inf, name="bridge")
+    assert flows_a[0]._comp is flows_b[0]._comp  # one union
+    fss.close(bridge)  # close triggers a rebalance over the stale union
+    assert fss.rack_splits == 1
+    assert flows_a[0]._comp is not flows_b[0]._comp
+    oracle = _maxmin_rates(fss._flows)
+    for flow in fss._flows:
+        assert flow.rate == oracle[flow]
+
+
+def test_glued_rack_is_not_sheared():
+    """A live cross-rack flow keeps both racks in the blob (NFS-star case)."""
+    sim = Simulator()
+    fss = FairShareSystem(sim)
+    res_a, res_b = SharedResource("a", 100.0), SharedResource("b", 200.0)
+    res_a.rack, res_b.rack = "rackA", "rackB"
+    _open_rack_pure(fss, res_a, 16)
+    _open_rack_pure(fss, res_b, 16)
+    bridge = fss.open([res_a, res_b], size=math.inf, name="bridge")
+    fss.open([res_a], size=1000.0, name="trigger")  # rebalance the union
+    assert fss.rack_splits == 0
+    assert bridge._comp is next(iter(res_b._flows))._comp
+    oracle = _maxmin_rates(fss._flows)
+    for flow in fss._flows:
+        assert flow.rate == oracle[flow]
+
+
+def test_conflicting_rack_claims_fall_back_to_exact_split():
+    """Two pure flows of different racks over one resource (stale tags
+    after migration retagging): the shortcut must yield to the BFS."""
+    sim = Simulator()
+    fss = FairShareSystem(sim)
+    shared = SharedResource("s", 100.0)
+    res_a, res_b = SharedResource("a", 100.0), SharedResource("b", 200.0)
+    shared.rack = res_a.rack = "rackA"
+    res_b.rack = "rackB"
+    _open_rack_pure(fss, res_a, 8)
+    _open_rack_pure(fss, res_b, 8)
+    fss.open([res_a, shared], size=1000.0, name="claimA")
+    shared.rack = "rackB"  # retag, as VM migration does
+    fss.open([res_b, shared], size=1000.0, name="claimB")
+    with _low_rack_threshold():
+        fss.open([shared], size=1000.0, name="trigger")
+    assert fss.rack_splits == 0  # conflict detected, exact split used
+    oracle = _maxmin_rates(fss._flows)
+    for flow in fss._flows:
+        assert flow.rate == oracle[flow]
+
+
+def test_flat_topology_never_rack_splits():
+    sim = Simulator()
+    fss = FairShareSystem(sim)
+    resources = [SharedResource(f"r{i}", 100.0) for i in range(3)]
+    flows = []
+    for i in range(40):
+        flows.append(fss.open([resources[i % 3]], size=100.0, name=f"f{i}"))
+    for flow in flows[::2]:
+        fss.close(flow)
+    sim.run(until=5.0)
+    assert fss.rack_splits == 0
+
+
+def test_rack_sharding_off_never_rack_splits():
+    sim = Simulator()
+    fss = FairShareSystem(sim, rack_sharding=False)
+    res_a, res_b = SharedResource("a", 100.0), SharedResource("b", 200.0)
+    res_a.rack, res_b.rack = "rackA", "rackB"
+    _open_rack_pure(fss, res_a, 16)
+    _open_rack_pure(fss, res_b, 16)
+    bridge = fss.open([res_a, res_b], size=math.inf, name="bridge")
+    fss.close(bridge)
+    assert fss.rack_splits == 0
+    oracle = _maxmin_rates(fss._flows)
+    for flow in fss._flows:
+        assert flow.rate == oracle[flow]
+
+
+# -- end-to-end bit-identity ---------------------------------------------------
+
+@given(n_res=st.integers(2, 6),
+       cap_picks=st.lists(st.integers(0, 3), min_size=6, max_size=6),
+       ops=_ops)
+@settings(max_examples=50, **_SLOW)
+def test_racked_run_is_bit_identical_across_sharding_modes(n_res, cap_picks,
+                                                           ops):
+    """rack_sharding on / off / global_rebalance: same timestamps,
+    transferred amounts and busy integrals, byte for byte."""
+    results = []
+    with _low_rack_threshold():
+        for kwargs in ({"rack_sharding": True}, {"rack_sharding": False},
+                       {"global_rebalance": True}):
+            sim, fss, resources = _build(n_res, cap_picks, **kwargs)
+            flows = []
+            for flows in _apply(sim, fss, resources, ops):
+                pass
+            sim.run(until=sim.now + 120.0)
+            results.append((
+                [(f.name, f.end_time, f.transferred, f.remaining)
+                 for f in flows],
+                [res.busy_time(sim.now) for res in resources],
+                fss.completed_count,
+                sim.now,
+            ))
+    assert results[0] == results[1] == results[2]

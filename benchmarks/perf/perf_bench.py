@@ -30,6 +30,13 @@ fair-share engine's deterministic counters must stay bit-identical
 overhead (CPU time, detectors on vs off) is recorded in
 ``BENCH_observatory.json`` (<5% target).
 
+``--timeseries`` is the analogous overhead measurement for the
+historical metrics store: the same Wordcount with the registry sampler
+off and on, interleaved repeats, bit-identical sim outputs and engine
+counters asserted, store digest pinned across repeats, and the CPU cost
+of keeping history recorded in ``BENCH_timeseries.json`` (<5% target,
+warn-only).
+
 ``--baseline-tree`` additionally runs every workload in a subprocess
 against a *real* pre-PR checkout (e.g. ``git worktree add /tmp/seed
 <seed-commit>``), records its wall clock as ``baseline.wall_s``, and
@@ -700,6 +707,117 @@ def run_observatory_suite(quick: bool) -> dict:
     }
 
 
+# -- time-series store overhead ----------------------------------------------
+
+#: Same read-only contract as the observatory: the sampler only snapshots
+#: the metrics registry, so these engine counters must not move.
+TIMESERIES_IDENTICAL = OBSERVATORY_IDENTICAL
+
+#: CPU-time overhead target for the sampler-on run (warn-only).
+TIMESERIES_OVERHEAD_TARGET = 0.05
+
+TIMESERIES_REPEATS = 5
+
+
+def _timeseries_wordcount(quick: bool, with_store: bool):
+    """One seeded Wordcount, optionally with the registry sampler running."""
+    scale = 400
+    n_hosts, n_nodes, nbytes, n_reduces = (
+        (2, 16, 256 * C.MB, 8) if quick else (4, 64, 1 * C.GB, 16))
+    platform = VHadoopPlatform(PlatformConfig(n_hosts=n_hosts, seed=0))
+    cluster = platform.provision_cluster(
+        "tsbench", ClusterSpec.spread(n_nodes, hosts=n_hosts))
+    lines = generate_corpus(nbytes // scale,
+                            rng=platform.datacenter.rng.fresh("corpus"))
+    platform.upload(cluster, "/in", lines_as_records(lines),
+                    sizeof=scaled_line_sizeof(scale), timed=False)
+    store = cluster.telemetry.start_timeseries() if with_store else None
+    job = wordcount_job("/in", "/out", n_reduces=n_reduces,
+                        volume_scale=scale)
+    t0, c0 = time.time(), time.process_time()
+    report = platform.run_job(cluster, job)
+    wall = time.time() - t0
+    cpu = time.process_time() - c0
+    store_digest, n_series = "", 0
+    if store is not None:
+        cluster.telemetry.stop_timeseries()
+        store_digest, n_series = store.digest(), len(store)
+    records = platform.collect(cluster, report)
+    output_digest = hashlib.sha256(
+        repr(records).encode("utf-8")).hexdigest()[:16]
+    counters = _counters(platform, wall)
+    counters["cpu_s"] = round(cpu, 3)
+    return (repr(report.elapsed), output_digest, counters,
+            (store_digest, n_series))
+
+
+def _timeseries_fold(runs, with_store: bool):
+    """Fold one configuration's repeats (everything must agree bit-exact,
+    including the store digest); the minimum cpu/wall is the measurement."""
+    elapsed, digest, counters, store = runs[0]
+    label = "on: " if with_store else "off:"
+    for other_elapsed, other_digest, other, other_store in runs[1:]:
+        same = (other_elapsed == elapsed and other_digest == digest
+                and other_store == store
+                and all(other[k] == counters[k]
+                        for k in TIMESERIES_IDENTICAL))
+        if not same:
+            raise SystemExit(
+                f"timeseries: sampler {label.strip()} run is not "
+                "deterministic across repeats")
+    counters = dict(counters)
+    counters["wall_s"] = min(r[2]["wall_s"] for r in runs)
+    counters["cpu_s"] = min(r[2]["cpu_s"] for r in runs)
+    print(f"[timeseries] sampler {label} cpu {counters['cpu_s']}s, "
+          f"wall {counters['wall_s']}s (min of {TIMESERIES_REPEATS}), "
+          f"{counters['events_processed']} events"
+          + (f", {store[1]} series, store digest {store[0]}"
+             if with_store else ""))
+    return elapsed, digest, counters, store
+
+
+def run_timeseries_suite(quick: bool) -> dict:
+    """Registry sampler off vs on: zero simulated perturbation, measure
+    the CPU cost of keeping history."""
+    off_runs, on_runs = [], []
+    for _ in range(TIMESERIES_REPEATS):  # interleaved, like --observatory
+        off_runs.append(_timeseries_wordcount(quick, False))
+        on_runs.append(_timeseries_wordcount(quick, True))
+    off_elapsed, off_digest, off, _ = _timeseries_fold(off_runs, False)
+    on_elapsed, on_digest, on, store = _timeseries_fold(on_runs, True)
+    if on_elapsed != off_elapsed:
+        raise SystemExit(
+            f"timeseries: sampler perturbed the simulation — elapsed "
+            f"{on_elapsed} != {off_elapsed}")
+    if on_digest != off_digest:
+        raise SystemExit(
+            "timeseries: sampler changed the job's output records")
+    for key in TIMESERIES_IDENTICAL:
+        if on[key] != off[key]:
+            raise SystemExit(
+                f"timeseries: engine counter {key} drifted with the "
+                f"sampler on: {on[key]} != {off[key]}")
+    overhead = on["cpu_s"] / max(off["cpu_s"], 1e-9) - 1.0
+    status = "within" if overhead < TIMESERIES_OVERHEAD_TARGET else "OVER"
+    print(f"[timeseries] cpu overhead {overhead:+.1%} "
+          f"({status} the {TIMESERIES_OVERHEAD_TARGET:.0%} target), "
+          "sim outputs and engine counters bit-identical")
+    return {
+        "generated_by": "benchmarks/perf/perf_bench.py --timeseries",
+        "mode": "quick" if quick else "full",
+        "workload": "wordcount",
+        "sim_elapsed": off_elapsed,
+        "output_digest": off_digest,
+        "sampler_off": off,
+        "sampler_on": on,
+        "n_series": store[1],
+        "store_digest": store[0],
+        "identical_counters": list(TIMESERIES_IDENTICAL),
+        "cpu_overhead": round(overhead, 4),
+        "cpu_overhead_target": TIMESERIES_OVERHEAD_TARGET,
+    }
+
+
 # -- harness -----------------------------------------------------------------
 
 def run_suite(quick: bool, with_legacy: bool) -> dict:
@@ -856,6 +974,10 @@ def main(argv=None) -> int:
                         help=argparse.SUPPRESS)  # internal subprocess entry
     parser.add_argument("--scale-probe", metavar="FILE",
                         help=argparse.SUPPRESS)
+    parser.add_argument("--timeseries", action="store_true",
+                        help="measure the time-series store's sampling "
+                             "overhead instead (registry sampler off vs "
+                             "on; writes BENCH_timeseries.json)")
     parser.add_argument("--parallel", action="store_true",
                         help="measure the parallel campaign fabric instead: "
                              "the same fuzz campaign serial and sharded, "
@@ -913,6 +1035,14 @@ def main(argv=None) -> int:
     if args.observatory:
         results = run_observatory_suite(quick=args.quick)
         out = args.out or "BENCH_observatory.json"
+        Path(out).write_text(json.dumps(results, indent=2) + "\n",
+                             encoding="utf-8")
+        print(f"wrote {out}")
+        return 0
+
+    if args.timeseries:
+        results = run_timeseries_suite(quick=args.quick)
+        out = args.out or "BENCH_timeseries.json"
         Path(out).write_text(json.dumps(results, indent=2) + "\n",
                              encoding="utf-8")
         print(f"wrote {out}")

@@ -112,8 +112,15 @@ def _run_fuzz(args) -> list:
     else:
         seeds = (fuzz_campaign.QUICK_SEEDS if args.quick
                  else fuzz_campaign.DEFAULT_SEEDS)
+    console = args.console_out
+    if console is None and args.console:
+        from repro.parallel.console import CONSOLE_SUFFIX
+        console = ((args.journal + CONSOLE_SUFFIX) if args.journal
+                   else "fuzz" + CONSOLE_SUFFIX)
     return [fuzz_campaign.run(seeds=seeds, jobs=args.jobs,
-                              journal=args.journal)]
+                              journal=args.journal, console=console,
+                              live=console is not None
+                              and sys.stderr.isatty())]
 
 
 _EXPERIMENTS: dict[str, Callable] = {
@@ -164,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--journal", metavar="PATH", default=None,
                         help="fuzz only: checkpoint resolved seeds to a "
                              "JSONL journal and resume from it on rerun")
+    parser.add_argument("--console", action="store_true",
+                        help="fuzz only: stream worker progress/RSS to a "
+                             "sidecar JSONL, render a live status line on "
+                             "a tty, and write a control-room HTML report")
+    parser.add_argument("--console-out", metavar="PATH", default=None,
+                        help="fuzz only: explicit sidecar stream path "
+                             "(implies --console; HTML lands at PATH.html)")
     add_topology_argument(parser)
     return parser
 

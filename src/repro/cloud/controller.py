@@ -326,6 +326,8 @@ class ServiceReport:
         self.timeline: list[TimelinePoint] = []
         self.actions: list = []          # autoscaler ScalingActions
         self.trace_digest = ""
+        #: Time-series store digest when burn-rate SLOs were on ("" off).
+        self.burn_digest = ""
         self.horizon_s = 0.0
         self.finished_at = 0.0
 
@@ -367,6 +369,8 @@ class ServiceReport:
             h.update(b"\n")
         h.update(self.book.digest().encode())
         h.update(self.trace_digest.encode())
+        if self.burn_digest:
+            h.update(self.burn_digest.encode())
         return h.hexdigest()[:16]
 
     def as_dict(self, timeline_stride: int = 1) -> dict:
@@ -390,6 +394,7 @@ class ServiceReport:
             "scaling_actions": [a.line() for a in self.actions],
             "alerts": [a.slo for a in self.book.alerts],
             "trace_digest": self.trace_digest,
+            "burn_digest": self.burn_digest,
             "digest": self.digest(),
         }
 
@@ -413,7 +418,8 @@ class ServiceController:
                  latency_target_s: float = 600.0,
                  rolling_ticks: int = 24,
                  tracer=None, metrics=None,
-                 verbose_telemetry: bool = False):
+                 verbose_telemetry: bool = False,
+                 burn_engine=None):
         if tick_s <= 0:
             raise ConfigError("tick_s must be positive")
         if rolling_ticks < 1:
@@ -429,6 +435,12 @@ class ServiceController:
             if spec.name not in self.book.slos:
                 self.book.register(spec)
         self.autoscaler = autoscaler
+        #: Optional :class:`~repro.observatory.burnrate.BurnRateEngine`.
+        #: When set, the per-tick SLO evaluation is error-budget math
+        #: over the engine's time-series store instead of instantaneous
+        #: thresholds; the engine fires the same SLO names into the same
+        #: book, so the autoscaler is unaffected by the swap.
+        self.burn_engine = burn_engine
         self.name = name
         self.tick_s = tick_s
         self.latency_target_s = latency_target_s
@@ -463,6 +475,8 @@ class ServiceController:
         self.sim.run_until(done)
         self.report.finished_at = self.sim.now
         self.report.trace_digest = self._trace_hash.hexdigest()[:16]
+        if self.burn_engine is not None:
+            self.report.burn_digest = self.burn_engine.digest()
         if self.autoscaler is not None:
             self.report.actions = list(self.autoscaler.actions)
         return self.report
@@ -555,17 +569,31 @@ class ServiceController:
 
     def _tick(self) -> None:
         now = self.sim.now
+        slots = self.backend.total_slots()
+        backlog = self.backend.backlog()
+        utilization = self.backend.utilization()
+        backlog_per_slot = backlog / max(1, slots)
+        if self.burn_engine is not None:
+            # Error fractions of *this* tick, recorded before the
+            # accumulators reset: the engine's windows do the rolling.
+            self.burn_engine.observe_service_tick(
+                now,
+                latency_error=self._tick_hist.fraction_above(
+                    self.latency_target_s),
+                rejection_frac=(self._tick_rejected / self._tick_submitted
+                                if self._tick_submitted else 0.0),
+                backlog_per_slot=backlog_per_slot)
         self._window.append((self._tick_hist, self._tick_submitted,
                              self._tick_rejected))
         self._tick_hist = LatencyHistogram()
         self._tick_submitted = 0
         self._tick_rejected = 0
 
-        slots = self.backend.total_slots()
-        backlog = self.backend.backlog()
-        utilization = self.backend.utilization()
         p99, rejection_rate = self._rolling()
-        self._evaluate_slos(backlog / max(1, slots), p99, rejection_rate)
+        if self.burn_engine is not None:
+            self.burn_engine.evaluate(now)
+        else:
+            self._evaluate_slos(backlog_per_slot, p99, rejection_rate)
         if self.autoscaler is not None:
             self.autoscaler.tick(now, utilization)
         self.report.timeline.append(TimelinePoint(

@@ -91,6 +91,22 @@ class LatencyHistogram:
     def p99(self) -> float:
         return self.quantile(0.99)
 
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples whose *bin* lies above ``threshold``.
+
+        A sample counts as "bad" when the upper edge of its bin exceeds
+        the threshold — consistent with :meth:`quantile`, which also
+        answers in upper edges, so ``fraction_above(quantile(q)) <= 1-q``
+        deterministically.  Returns 0.0 when empty.
+        """
+        if self.n == 0:
+            return 0.0
+        bad = 0
+        for index, count in enumerate(self.counts):
+            if count and self._edge(index) > threshold:
+                bad += count
+        return bad / self.n
+
     def merge(self, other: "LatencyHistogram") -> None:
         if (other.lo, other.hi, other.n_bins) != (self.lo, self.hi,
                                                   self.n_bins):

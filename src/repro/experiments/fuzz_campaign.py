@@ -32,6 +32,8 @@ of restarting.
 from __future__ import annotations
 
 import hashlib
+import sys
+import time
 from typing import Optional
 
 from repro.errors import ConfigError
@@ -79,11 +81,22 @@ def _run_seed(seed: int) -> dict:
 
 
 def run(seeds: tuple[int, int] = DEFAULT_SEEDS, jobs: int = 1,
-        journal: Optional[str] = None) -> ExperimentResult:
+        journal: Optional[str] = None, console: Optional[str] = None,
+        console_html: Optional[str] = None,
+        live: bool = False) -> ExperimentResult:
     """Run the campaign over ``[lo, hi)`` and tabulate any violations.
 
     ``jobs`` shards the seeds over that many worker processes; the
     digests are byte-identical to the serial path regardless.
+
+    ``console`` names a sidecar JSONL stream: workers and the parent
+    append progress/RSS records to it, and after the run a control-room
+    HTML report lands at ``console_html`` (default: the stream path with
+    ``.html`` appended).  ``live`` additionally renders a ``\\r`` status
+    line to stderr while the campaign runs.  The control-room digest in
+    the notes hashes only sim-time content, so it is byte-identical
+    across processes and ``--jobs`` levels even though the stream itself
+    is wall-clock data.
     """
     lo, hi = seeds
     result = ExperimentResult(
@@ -91,8 +104,27 @@ def run(seeds: tuple[int, int] = DEFAULT_SEEDS, jobs: int = 1,
         title=f"Fuzz campaign: seeds {lo}..{hi} vs the invariant suite",
         columns=("seed", "jobs", "faults", "advs", "violations"))
     scenarios = [generate_scenario(seed) for seed in range(lo, hi)]
+
+    tailer = None
+    on_poll = None
+    if console is not None:
+        from repro.parallel import ConsoleTailer
+        tailer = ConsoleTailer(console)
+        last_render = [0.0]
+
+        def on_poll() -> None:
+            now = time.monotonic()
+            if now - last_render[0] < 0.5:
+                return
+            last_render[0] = now
+            tailer.poll()
+            if live:
+                print("\r" + tailer.status_line(), end="",
+                      file=sys.stderr, flush=True)
+
     sharded = run_sharded(list(range(lo, hi)), _run_seed, jobs=jobs,
-                          journal=journal)
+                          journal=journal, console=console,
+                          on_poll=on_poll)
     # The campaign digest folds run digests in ascending-seed order —
     # the fabric returns results in input order, so this line is
     # byte-identical to the pre-fabric serial loop.
@@ -123,6 +155,37 @@ def run(seeds: tuple[int, int] = DEFAULT_SEEDS, jobs: int = 1,
         result.note(f"{sharded.n_resumed} seeds resumed from journal")
     result.note(f"corpus digest: {corpus_digest(scenarios)}")
     result.note(f"campaign digest: {campaign.hexdigest()[:16]}")
+
+    if console is not None:
+        from repro.experiments.service import burn_timelines
+        from repro.parallel import control_room_digest, write_control_room
+        tailer.poll()
+        if live:
+            print("\r" + tailer.status_line(), file=sys.stderr, flush=True)
+        burn_series, burn_digests = burn_timelines()
+        digest = control_room_digest(sharded.digest(),
+                                     campaign.hexdigest()[:16],
+                                     burn_digests)
+        html_path = console_html or console + ".html"
+        write_control_room(
+            html_path, tailer,
+            title=f"fuzz seeds {lo}:{hi} x{jobs} jobs",
+            digest=digest,
+            notes=[f"campaign digest {campaign.hexdigest()[:16]}",
+                   f"corpus digest {corpus_digest(scenarios)}",
+                   f"{failing} failing seeds, {fabric_failures} "
+                   f"fabric failures",
+                   "burn-rate timelines from the quick burst-burn "
+                   "service universe (sim-time, deterministic)"],
+            series=burn_series)
+        if sharded.workers:
+            result.note(
+                f"fleet peak rss {sharded.peak_rss_mb:.0f} MB over "
+                f"{len(sharded.workers)} workers "
+                f"({sum(w.items_completed for w in sharded.workers)} "
+                f"items)")
+        result.note(f"control room: {html_path}")
+        result.note(f"control room digest: {digest}")
     return result
 
 

@@ -8,7 +8,7 @@ real wordcount jobs** on a shared vHadoop cluster — so the million-job
 surrogate inherits the full simulator's cost structure without paying
 its per-task event price.
 
-Four arrival mixes, each a fresh same-seed universe:
+Six arrival mixes, each a fresh same-seed universe:
 
 * ``steady``   — homogeneous Poisson at ~80% utilisation.  The clean
   run: the experiment *asserts* zero SLO alerts and zero scaling
@@ -18,6 +18,11 @@ Four arrival mixes, each a fresh same-seed universe:
 * ``burst-on``  — the *same arrival trace* (asserted by digest) with
   the alert-driven autoscaler enabled.  The experiment asserts the
   p99 latency improves — the ablation the ISSUE calls for.
+* ``steady-burn`` / ``burst-burn`` — the same steady/burst universes
+  with :class:`~repro.observatory.burnrate.BurnRateEngine` error-budget
+  alerting instead of instantaneous thresholds.  Asserted: zero
+  clean-run false positives, identical burst trace, and an
+  earlier-or-equal first alert than the threshold path.
 
 Writes ``BENCH_service.json`` (``BENCH_service.quick.json`` under
 ``--quick``) with per-mix latency/goodput/rejection curves, tenant
@@ -118,12 +123,16 @@ def _scenario_sizes(quick: bool) -> dict:
 
 def _run_scenario(name: str, seed: int, cost: CostModel, sizes: dict,
                   rate: float, make_traffic, horizon_s: float,
-                  autoscale: bool) -> ServiceReport:
+                  autoscale: bool, slo_mode: str = "threshold",
+                  store_out: Optional[list] = None) -> ServiceReport:
     """One arrival mix in a fresh simulator universe.
 
     Capacity, quotas and the latency target all derive from the
     *calibrated* cost model and the offered rate, so the scenario stays
-    balanced whatever the calibration produced.
+    balanced whatever the calibration produced.  ``slo_mode`` picks the
+    alerting path: ``"threshold"`` (instantaneous, PR 6) or
+    ``"burnrate"`` (error-budget windows over a time-series store); both
+    feed the same book/autoscaler contract.
     """
     sim = Simulator()
     rngs = RngRegistry(seed)
@@ -147,12 +156,59 @@ def _run_scenario(name: str, seed: int, cost: CostModel, sizes: dict,
             backend.pool, book, service=name, cooldown_s=30.0,
             grow_step=max(2, slots // 8), scale_in_util=0.3,
             scale_in_ticks=24)
+    burn_engine = None
+    if slo_mode == "burnrate":
+        from repro.observatory.burnrate import BurnRateEngine
+        from repro.telemetry.timeseries import TimeSeriesStore
+        store = TimeSeriesStore(sim, step=sizes["tick_s"])
+        burn_engine = BurnRateEngine(store, book, target=name)
+        if store_out is not None:
+            store_out.append(store)
+    elif slo_mode != "threshold":
+        raise ValueError(f"unknown slo_mode {slo_mode!r}")
     controller = ServiceController(
         sim, backend, tenants, traffic,
         admission=AdmissionController(shed_start=12.0, shed_hard=24.0),
         book=book, autoscaler=autoscaler, name=name,
-        tick_s=sizes["tick_s"], latency_target_s=latency_target_s)
+        tick_s=sizes["tick_s"], latency_target_s=latency_target_s,
+        burn_engine=burn_engine)
     return controller.run(horizon_s)
+
+
+def burn_timelines(seed: int = 0) -> tuple[
+        dict[str, list[tuple[float, float]]], list[str]]:
+    """Quick burst-burn universe → sim-time SLO error timelines.
+
+    Returns ``(series, digests)`` where ``series`` maps each
+    ``slo.error.*`` series to ``[(t, mean), ...]`` points from the 10×
+    downsampling tier (the tier that retains the whole quick horizon)
+    and ``digests`` carries each series' content digest.  Everything is
+    sim-time and deterministic, so the campaign control room can both
+    chart the timelines and fold the digests into the digest CI pins.
+    """
+    sizes = _scenario_sizes(True)
+    cost = calibrate_cost_model(seed, True)
+    bu = sizes["burst"]
+    holder: list = []
+    _run_scenario(
+        "burst-burn", seed, cost, sizes, bu["rate"],
+        lambda tenants, rng: BurstTraffic(
+            "burst", tenants, rng, base_rate_per_s=bu["rate"],
+            burst_factor=bu["factor"], burst_every_s=bu["every"],
+            burst_duration_s=bu["duration"]),
+        bu["horizon"], autoscale=True, slo_mode="burnrate",
+        store_out=holder)
+    store = holder[0]
+    series: dict[str, list[tuple[float, float]]] = {}
+    digests: list[str] = []
+    for (name, _labels), ts in store.items():
+        if not name.startswith("slo.error."):
+            continue
+        series[name] = [(start, bucket.mean)
+                        for start, bucket in ts.range(0.0, math.inf,
+                                                      tier=1)]
+        digests.append(ts.digest())
+    return series, digests
 
 
 def run(seed: int = 0, quick: bool = False,
@@ -191,6 +247,16 @@ def run(seed: int = 0, quick: bool = False,
         "burst-on", seed, cost, sizes, bu["rate"], burst_traffic,
         bu["horizon"], autoscale=True)
 
+    # Burn-rate arms: same traffic universes, error-budget alerting.
+    reports["steady-burn"] = _run_scenario(
+        "steady-burn", seed, cost, sizes, st["rate"],
+        lambda tenants, rng: PoissonTraffic(
+            "steady", tenants, rng, rate_per_s=st["rate"]),
+        st["horizon"], autoscale=True, slo_mode="burnrate")
+    reports["burst-burn"] = _run_scenario(
+        "burst-burn", seed, cost, sizes, bu["rate"], burst_traffic,
+        bu["horizon"], autoscale=True, slo_mode="burnrate")
+
     # -- the promises this mode makes, asserted ---------------------------
     steady = reports["steady"]
     if steady.counters()["alerts"]:
@@ -210,9 +276,31 @@ def run(seed: int = 0, quick: bool = False,
             f"autoscaler did not improve burst p99: "
             f"on={on.latency.p99:.1f}s vs off={off.latency.p99:.1f}s")
 
+    # -- burn-rate ablation: budget math vs instantaneous thresholds ------
+    steady_burn, burn = reports["steady-burn"], reports["burst-burn"]
+    if steady_burn.counters()["alerts"]:
+        raise AssertionError(
+            f"clean steady run fired {steady_burn.counters()['alerts']} "
+            f"burn-rate alerts: "
+            f"{[a.slo for a in steady_burn.book.alerts]}")
+    if burn.trace_digest != off.trace_digest:
+        raise AssertionError(
+            f"burn arm saw different traffic: "
+            f"{burn.trace_digest} != {off.trace_digest}")
+    first_burn = min((a.fired_at for a in burn.book.alerts),
+                     default=math.inf)
+    first_threshold = min((a.fired_at for a in on.book.alerts),
+                          default=math.inf)
+    if not burn.book.alerts:
+        raise AssertionError("burn arm fired no alerts on burst traffic")
+    if first_burn > first_threshold:
+        raise AssertionError(
+            f"burn-rate alerting was slower than thresholds: first alert "
+            f"{first_burn:.0f}s vs {first_threshold:.0f}s")
+
     result = ExperimentResult(
         experiment_id="service",
-        title="Always-on service mode: 4 arrival mixes, "
+        title=f"Always-on service mode: {len(reports)} arrival mixes, "
               f"{sizes['n_tenants']} tenants",
         columns=("mix", "autoscaler", "submitted", "completed",
                  "rejected", "goodput", "p50_s", "p99_s", "workers_peak",
@@ -241,7 +329,11 @@ def run(seed: int = 0, quick: bool = False,
     result.note(f"burst p99 {off.latency.p99:.1f}s -> "
                 f"{on.latency.p99:.1f}s with autoscaler "
                 f"({len(on.actions)} actions)")
-    result.note(f"service digest {digest} (4 mixes, deterministic)")
+    result.note(f"burn-rate first alert {first_burn:.0f}s vs threshold "
+                f"{first_threshold:.0f}s (0 clean-run false positives)")
+    result.note(f"burn store digest {burn.burn_digest}")
+    result.note(f"service digest {digest} "
+                f"({len(reports)} mixes, deterministic)")
 
     if out_path is None:
         out_path = "BENCH_service.quick.json" if quick \
@@ -257,6 +349,16 @@ def run(seed: int = 0, quick: bool = False,
         "total_submitted": total_submitted,
         "scenarios": {name: report.as_dict(timeline_stride=stride)
                       for name, report in reports.items()},
+        "burn_ablation": {
+            "first_alert_burn_s": (round(first_burn, 3)
+                                   if math.isfinite(first_burn) else None),
+            "first_alert_threshold_s": (
+                round(first_threshold, 3)
+                if math.isfinite(first_threshold) else None),
+            "steady_false_positives": steady_burn.counters()["alerts"],
+            "burn_digest": burn.burn_digest,
+            "p99_burn_s": round(burn.latency.p99, 3),
+        },
         "ablation": {
             "trace_digest": on.trace_digest,
             "p99_off_s": round(off.latency.p99, 3),

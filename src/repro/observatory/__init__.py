@@ -19,6 +19,9 @@ from repro.observatory.attribution import (FlowLog, FlowRecord,
                                            JobBottleneckReport,
                                            SegmentAttribution, attribute,
                                            classify)
+from repro.observatory.burnrate import (DEFAULT_BURN_WINDOWS,
+                                        SERVICE_BURN_POLICIES, BurnPolicy,
+                                        BurnRateEngine, BurnWindow)
 from repro.observatory.core import Observatory
 from repro.observatory.detectors import DEFAULT_DETECTORS, Detector
 from repro.observatory.report import ObservatoryReport, build_report
@@ -26,8 +29,9 @@ from repro.observatory.slo import (DEFAULT_SLOS, SEVERITIES, Alert,
                                    AlertBook, SloSpec)
 
 __all__ = [
-    "Alert", "AlertBook", "DEFAULT_DETECTORS", "DEFAULT_SLOS", "Detector",
+    "Alert", "AlertBook", "BurnPolicy", "BurnRateEngine", "BurnWindow",
+    "DEFAULT_BURN_WINDOWS", "DEFAULT_DETECTORS", "DEFAULT_SLOS", "Detector",
     "FlowLog", "FlowRecord", "JobBottleneckReport", "Observatory",
-    "ObservatoryReport", "SEVERITIES", "SegmentAttribution", "SloSpec",
-    "attribute", "build_report", "classify",
+    "ObservatoryReport", "SERVICE_BURN_POLICIES", "SEVERITIES",
+    "SegmentAttribution", "SloSpec", "attribute", "build_report", "classify",
 ]

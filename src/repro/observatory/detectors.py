@@ -13,9 +13,11 @@ Detectors fire/resolve alerts through the shared :class:`AlertBook`;
 thresholds come from the registered :class:`SloSpec`s so experiments can
 tighten or loosen them declaratively.
 
-All state is plain counters and dicts: detectors never open flows, never
-consume randomness, and never block — a detectors-on run must leave the
-simulated outcome bit-identical (asserted by the perf bench).
+All state is plain counters, dicts, and (for the rate detectors)
+sim-time series buckets in a :class:`~repro.telemetry.timeseries.
+TimeSeriesStore`: detectors never open flows, never consume randomness,
+and never block — a detectors-on run must leave the simulated outcome
+bit-identical (asserted by the perf bench).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from typing import TYPE_CHECKING
 
 from repro.observatory.attribution import classify
 from repro.telemetry import events as EV
+from repro.telemetry.timeseries import TimeSeriesStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.observatory.core import Observatory
@@ -189,7 +192,12 @@ class HostLoadDetector(Detector):
 
     def __init__(self, obs: "Observatory"):
         super().__init__(obs)
-        self._prev: dict[str, tuple[float, float]] = {}  # res → (t, busy)
+        # Counter samples live in a time-series store rather than an
+        # ad-hoc (t, busy) dict: the newest bucket's last/last_at *is*
+        # the previous tick's sample, so the difference quotient below
+        # is bit-identical to the old per-detector state while the
+        # series stay queryable and digestable like any other metric.
+        self._store = TimeSeriesStore(obs.sim, step=obs.interval)
 
     def _busy_rates(self, now: float) -> dict[str, float]:
         rates: dict[str, float] = {}
@@ -197,11 +205,14 @@ class HostLoadDetector(Detector):
             if not res.name.endswith(".cpu"):
                 continue
             busy = res.busy_time(now)
-            prev = self._prev.get(res.name)
-            self._prev[res.name] = (now, busy)
-            if prev is None or now - prev[0] <= _EPS:
+            series = self._store.series("observatory.host.busy_s",
+                                        labels={"res": res.name})
+            prev = series.latest(1)
+            series.observe(now, busy)
+            if not prev or now - prev[0].last_at <= _EPS:
                 continue
-            rates[res.name] = (busy - prev[1]) / (now - prev[0])
+            rates[res.name] = ((busy - prev[0].last)
+                               / (now - prev[0].last_at))
         return rates
 
     def tick(self, now: float) -> None:
@@ -242,8 +253,10 @@ class LinkHealthDetector(Detector):
     def __init__(self, obs: "Observatory"):
         super().__init__(obs)
         self._nominal: dict[str, float] = {}
-        #: resource name → (t, busy_time, moved_through) at last tick
-        self._prev: dict[str, tuple[float, float, float]] = {}
+        # Both interface counters stream into per-resource series (see
+        # HostLoadDetector for why this is a bit-identical drop-in for
+        # the old (t, busy, moved) tuples).
+        self._store = TimeSeriesStore(obs.sim, step=obs.interval)
         self._watched = [res for res in obs.resources
                          if res.name.endswith((".nic", ".bridge"))]
         for res in self._watched:
@@ -255,13 +268,21 @@ class LinkHealthDetector(Detector):
         for res in self._watched:
             busy = res.busy_time(now)
             moved = res.moved_through(now)
-            prev = self._prev.get(res.name)
-            self._prev[res.name] = (now, busy, moved)
-            if prev is None or now - prev[0] <= _EPS:
+            labels = {"res": res.name}
+            busy_series = self._store.series("observatory.link.busy_s",
+                                             labels=labels)
+            moved_series = self._store.series("observatory.link.moved_b",
+                                              labels=labels)
+            prev_busy = busy_series.latest(1)
+            prev_moved = moved_series.latest(1)
+            busy_series.observe(now, busy)
+            moved_series.observe(now, moved)
+            if not prev_busy or now - prev_busy[0].last_at <= _EPS:
                 continue
-            dt = now - prev[0]
-            busy_rate = (busy - prev[1]) / dt
-            fraction = (moved - prev[2]) / dt / self._nominal[res.name]
+            dt = now - prev_busy[0].last_at
+            busy_rate = (busy - prev_busy[0].last) / dt
+            fraction = ((moved - prev_moved[0].last) / dt
+                        / self._nominal[res.name])
             pegged = busy_rate >= self.SATURATED
             if pegged and partitioned.violated_by(fraction):
                 self.book.resolve("degraded-link", res.name)

@@ -18,17 +18,15 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.observatory.attribution import (CLASSES, JobBottleneckReport)
+from repro.observatory.htmlkit import (CLASS_COLOURS as _CLASS_COLOURS,
+                                       SEVERITY_COLOURS as _SEVERITY_COLOURS,
+                                       page, timeline_bar)
 from repro.observatory.slo import Alert
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.monitor.window import WindowSummary
     from repro.observatory.core import Observatory
     from repro.telemetry.timeline import CriticalPath, JobTimeline
-
-_SEVERITY_COLOURS = {"info": "#4c78a8", "warning": "#e8a838",
-                     "critical": "#d62f2f"}
-_CLASS_COLOURS = {"cpu": "#4c78a8", "network": "#59a14f",
-                  "disk": "#e8a838", "nfs": "#b07aa1", "wait": "#bab0ac"}
 
 
 @dataclass
@@ -69,40 +67,10 @@ class ObservatoryReport:
             end = max(end, self.timeline.job_span.end)
         total = max(end - start, 1e-9)
 
-        def pct(t: float) -> float:
-            return 100.0 * (t - start) / total
-
         def bar(t0: float, t1: float, colour: str, label: str) -> str:
-            left = pct(t0)
-            width = max(pct(t1) - left, 0.15)
-            return (f'<div class="row"><span class="lbl">'
-                    f'{_html.escape(label)}</span>'
-                    f'<span class="lane"><span class="bar" style="left:'
-                    f'{left:.2f}%;width:{width:.2f}%;background:'
-                    f'{colour}"></span></span></div>')
+            return timeline_bar(t0, t1, start, total, colour, label)
 
         parts = [
-            "<!DOCTYPE html><html><head><meta charset='utf-8'>",
-            "<title>observatory report</title><style>",
-            "body{font:13px/1.5 -apple-system,Segoe UI,sans-serif;"
-            "margin:2em;color:#222;max-width:70em}",
-            "h1{font-size:1.3em}h2{font-size:1.05em;margin-top:1.6em}",
-            ".row{display:flex;align-items:center;margin:2px 0}",
-            ".lbl{flex:0 0 22em;overflow:hidden;text-overflow:ellipsis;"
-            "white-space:nowrap;font-family:ui-monospace,monospace;"
-            "font-size:11px;padding-right:.6em}",
-            ".lane{position:relative;flex:1;height:14px;"
-            "background:#f4f4f4;border-radius:3px}",
-            ".bar{position:absolute;top:1px;bottom:1px;border-radius:2px;"
-            "min-width:2px}",
-            "table{border-collapse:collapse;margin-top:.5em}",
-            "td,th{border:1px solid #ddd;padding:3px 8px;"
-            "text-align:right;font-size:12px}",
-            "td:first-child,th:first-child,td:nth-child(2),"
-            "th:nth-child(2){text-align:left;"
-            "font-family:ui-monospace,monospace}",
-            ".meta{color:#666}",
-            "</style></head><body>",
             f"<h1>Cluster observatory</h1><p class='meta'>generated at "
             f"t={self.generated_at:.2f}&thinsp;s &middot; "
             f"{len(self.alerts)} alerts &middot; digest "
@@ -194,8 +162,7 @@ class ObservatoryReport:
                     f"<td>{w.activity_mean:.1f}</td></tr>")
             parts.append("</table>")
 
-        parts.append("</body></html>")
-        return "".join(parts)
+        return page("observatory report", parts)
 
     def write_html(self, path: str) -> str:
         with open(path, "w", encoding="utf-8") as fh:

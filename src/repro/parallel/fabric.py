@@ -126,12 +126,41 @@ class FabricStats:
 
 
 @dataclass
+class WorkerStats:
+    """One worker's observed footprint (never part of digests).
+
+    ``peak_rss_mb`` is the max of the worker's own ``ru_maxrss`` reports
+    and the parent's ``/proc`` samples — the fabric was already watching
+    RSS for the ceiling; now the observed peak is recorded instead of
+    discarded.
+    """
+
+    wid: int
+    items_completed: int = 0
+    peak_rss_mb: float = 0.0
+    outcome: str = "ok"   # ok | retired:* | killed:timeout | killed:rss
+    #                     # | died
+
+    def as_dict(self) -> dict:
+        return {"wid": self.wid,
+                "items_completed": self.items_completed,
+                "peak_rss_mb": round(self.peak_rss_mb, 1),
+                "outcome": self.outcome}
+
+
+@dataclass
 class ShardedRun:
     """Merged outcome of one :func:`run_sharded` campaign."""
 
     results: list[ItemResult]
     stats: FabricStats = field(default_factory=FabricStats)
     wall_s: float = 0.0
+    #: Per-worker footprints, wid order (wall/RSS data — never digested).
+    workers: list[WorkerStats] = field(default_factory=list)
+
+    @property
+    def peak_rss_mb(self) -> float:
+        return max((w.peak_rss_mb for w in self.workers), default=0.0)
 
     @property
     def n_ok(self) -> int:
@@ -168,7 +197,8 @@ class ShardedRun:
 
 def _worker_main(worker_id: int, worker: Callable, tasks, results,
                  rss_limit_mb: Optional[float],
-                 tasks_per_worker: Optional[int]) -> None:
+                 tasks_per_worker: Optional[int],
+                 console_path: Optional[str] = None) -> None:
     """Worker loop: pull a chunk, run its items, report, maybe retire."""
     done_items = 0
     while True:
@@ -189,7 +219,16 @@ def _worker_main(worker_id: int, worker: Callable, tasks, results,
                 payload = {"ok": False,
                            "error": f"{type(exc).__name__}: {exc}",
                            "wall_s": time.monotonic() - t0}
+            payload["rss_mb"] = _rss_peak_mb()
             results.put(("done", worker_id, key, payload))
+            if console_path is not None:
+                from repro.parallel.console import console_append
+                console_append(console_path, {
+                    "kind": "done", "wid": worker_id, "key": key,
+                    "ok": payload["ok"],
+                    "wall_s": round(payload["wall_s"], 3),
+                    "rss_mb": round(payload["rss_mb"], 1),
+                    "t": round(time.time(), 3)})
             done_items += 1
             over_rss = (rss_limit_mb is not None
                         and _rss_peak_mb() > rss_limit_mb)
@@ -207,7 +246,7 @@ class _Worker:
     """Parent-side view of one worker process."""
 
     __slots__ = ("id", "proc", "results", "assigned", "current",
-                 "started_at", "stopped")
+                 "started_at", "stopped", "stats")
 
     def __init__(self, wid: int, proc, results):
         self.id = wid
@@ -218,6 +257,7 @@ class _Worker:
         self.current: Optional[str] = None
         self.started_at: float = 0.0
         self.stopped = False
+        self.stats = WorkerStats(wid=wid)
 
 
 class _Pool:
@@ -225,7 +265,8 @@ class _Pool:
 
     def __init__(self, worker: Callable, jobs: int,
                  timeout_s: Optional[float], rss_limit_mb: Optional[float],
-                 tasks_per_worker: Optional[int], mp_context: str):
+                 tasks_per_worker: Optional[int], mp_context: str,
+                 console=None):
         self.worker = worker
         self.jobs = jobs
         self.timeout_s = timeout_s
@@ -233,6 +274,10 @@ class _Pool:
         self.tasks_per_worker = tasks_per_worker
         self.ctx = multiprocessing.get_context(mp_context)
         self.stats = FabricStats(jobs=jobs)
+        #: Optional :class:`~repro.parallel.console.ConsoleWriter`.
+        self.console = console
+        #: Per-worker footprints, kept across worker death/reap.
+        self.worker_stats: dict[int, WorkerStats] = {}
         #: Bounded respawn budget: a deterministic crasher must not spawn
         #: workers forever (each retry fails again and eats budget).
         self.spawn_budget = jobs + max(4, 2 * jobs)
@@ -249,10 +294,12 @@ class _Pool:
         wid = self._next_wid
         self._next_wid += 1
         results = self.ctx.Queue()
+        console_path = (self.console.path if self.console is not None
+                        else None)
         proc = self.ctx.Process(
             target=_worker_main,
             args=(wid, self.worker, self.tasks, results,
-                  self.rss_limit_mb, self.tasks_per_worker),
+                  self.rss_limit_mb, self.tasks_per_worker, console_path),
             daemon=True, name=f"shard-worker-{wid}")
         # A spawned child only inherits PYTHONPATH, not the parent's
         # runtime sys.path — exporting it keeps ``repro`` importable in
@@ -269,6 +316,9 @@ class _Pool:
                 os.environ["PYTHONPATH"] = saved
         w = _Worker(wid, proc, results)
         self.workers[wid] = w
+        self.worker_stats[wid] = w.stats
+        if self.console is not None:
+            self.console.event("spawn", wid=wid)
         return w
 
     def _kill(self, w: _Worker) -> None:
@@ -299,7 +349,7 @@ class _Pool:
     # -- main loop -------------------------------------------------------
     def run(self, chunks: list[list[tuple[str, Any]]],
             items_by_key: dict[str, Any], resolve,
-            pending_keys: set[str]) -> None:
+            pending_keys: set[str], on_poll=None) -> None:
         for chunk in chunks:
             self.tasks.put(chunk)
         self.stats.chunks = len(chunks)
@@ -310,6 +360,8 @@ class _Pool:
             while pending_keys:
                 progressed = self._drain(resolve, pending_keys)
                 self._police(resolve, items_by_key, pending_keys)
+                if on_poll is not None:
+                    on_poll()
                 if not self._ensure_liveness(resolve, items_by_key,
                                              pending_keys):
                     break
@@ -381,8 +433,15 @@ class _Pool:
                     w.assigned.discard(a)
                     if w.current == a:
                         w.current = None
+                    w.stats.items_completed += 1
+                    rss = b.get("rss_mb")
+                    if rss is not None and rss > w.stats.peak_rss_mb:
+                        w.stats.peak_rss_mb = rss
                 elif kind == "retire":
                     self.stats.retirements += 1
+                    w.stats.outcome = f"retired:{a}"
+                    if self.console is not None:
+                        self.console.event("retire", wid=wid, reason=a)
                     w.stopped = True
                     # Voluntary retirement is healthy turnover, not a
                     # failure: refund the respawn budget so per-rung
@@ -393,29 +452,51 @@ class _Pool:
         return progressed
 
     def _police(self, resolve, items_by_key, pending_keys) -> None:
-        """Enforce the per-item wall budget and the RSS ceiling."""
+        """Enforce the per-item wall budget and the RSS ceiling.
+
+        Always samples ``/proc`` RSS for live workers — even with no
+        ceiling set — so the observed peaks land in the worker stats and
+        the console stream instead of being discarded.
+        """
         now = time.monotonic()
+        rss_by_wid: dict[int, float] = {}
         for w in list(self.workers.values()):
-            if w.stopped or not w.proc.is_alive() or w.current is None:
+            if w.stopped or not w.proc.is_alive():
+                continue
+            if w.proc.pid:
+                rss = _proc_rss_mb(w.proc.pid)
+                if rss is not None:
+                    rss_by_wid[w.id] = rss
+                    if rss > w.stats.peak_rss_mb:
+                        w.stats.peak_rss_mb = rss
+            if w.current is None:
                 continue
             if (self.timeout_s is not None
                     and now - w.started_at > self.timeout_s):
                 self.stats.timeouts += 1
+                w.stats.outcome = "killed:timeout"
+                if self.console is not None:
+                    self.console.event("kill", wid=w.id, reason="timeout")
                 self._kill(w)
                 self._fail_current(
                     w, f"timeout: exceeded {self.timeout_s}s budget",
                     resolve)
                 self._requeue(w, pending_keys, items_by_key)
                 continue
-            if self.rss_limit_mb is not None and w.proc.pid:
-                rss = _proc_rss_mb(w.proc.pid)
+            if self.rss_limit_mb is not None:
+                rss = rss_by_wid.get(w.id)
                 if rss is not None and rss > self.rss_limit_mb:
                     self.stats.rss_kills += 1
+                    w.stats.outcome = "killed:rss"
+                    if self.console is not None:
+                        self.console.event("kill", wid=w.id, reason="rss")
                     self._kill(w)
                     self._fail_current(
                         w, f"rss: {rss:.0f} MB exceeded the "
                            f"{self.rss_limit_mb:.0f} MB ceiling", resolve)
                     self._requeue(w, pending_keys, items_by_key)
+        if self.console is not None and rss_by_wid:
+            self.console.rss_sample(rss_by_wid, pending=len(pending_keys))
 
     def _ensure_liveness(self, resolve, items_by_key,
                          pending_keys) -> bool:
@@ -428,6 +509,9 @@ class _Pool:
             if not w.proc.is_alive():
                 if not w.stopped:
                     self.stats.worker_deaths += 1
+                    w.stats.outcome = "died"
+                    if self.console is not None:
+                        self.console.event("kill", wid=wid, reason="died")
                     self._fail_current(
                         w, "worker died "
                            f"(exitcode {w.proc.exitcode})", resolve)
@@ -473,6 +557,8 @@ def run_sharded(items: Sequence[Any], worker: Callable[[Any], Any],
                 rss_limit_mb: Optional[float] = None,
                 tasks_per_worker: Optional[int] = None,
                 journal: "Optional[str]" = None,
+                console: "Optional[str]" = None,
+                on_poll: Optional[Callable[[], None]] = None,
                 mp_context: str = "spawn") -> ShardedRun:
     """Run ``worker(item)`` for every item, sharded over ``jobs`` processes.
 
@@ -487,6 +573,12 @@ def run_sharded(items: Sequence[Any], worker: Callable[[Any], Any],
     job, because guards need a killable process boundary; so does
     ``tasks_per_worker``, whose point is a fresh process per batch (the
     scale ladder uses ``tasks_per_worker=1`` for attributable peak RSS).
+
+    ``console=PATH`` appends a live progress/RSS sidecar stream (see
+    :mod:`repro.parallel.console`); ``on_poll`` is invoked repeatedly
+    from the parent's event loop (and between items on the serial path)
+    — the CLI hangs its ``\\r`` status line off it.  Neither affects
+    results or digests.
     """
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -509,6 +601,13 @@ def run_sharded(items: Sequence[Any], worker: Callable[[Any], Any],
         k: ItemResult.from_journal(entry) for k, entry in resumed.items()}
     pending = [(k, item) for k, item in keyed if k not in by_key]
     stats = FabricStats(jobs=jobs)
+    worker_stats: list[WorkerStats] = []
+    writer = None
+    if console is not None:
+        from repro.parallel.console import ConsoleWriter
+        writer = ConsoleWriter(console, worker_ref=_worker_ref(worker),
+                               total=len(pending), jobs=jobs,
+                               rss_limit_mb=rss_limit_mb)
     t0 = time.monotonic()
 
     def resolve(result: ItemResult) -> None:
@@ -522,18 +621,33 @@ def run_sharded(items: Sequence[Any], worker: Callable[[Any], Any],
                 or rss_limit_mb is not None or tasks_per_worker is not None)
     try:
         if not use_pool:
+            serial = WorkerStats(wid=0)
+            if pending:
+                worker_stats.append(serial)
+                if writer is not None:
+                    writer.event("spawn", wid=0)
             for k, item in pending:
                 item_t0 = time.monotonic()
                 try:
                     value = worker(item)
-                    resolve(ItemResult(
+                    result = ItemResult(
                         key=k, ok=True, value=value,
-                        wall_s=time.monotonic() - item_t0, worker=0))
+                        wall_s=time.monotonic() - item_t0, worker=0)
                 except Exception as exc:  # noqa: BLE001 — recorded
-                    resolve(ItemResult(
+                    result = ItemResult(
                         key=k, ok=False,
                         error=f"{type(exc).__name__}: {exc}",
-                        wall_s=time.monotonic() - item_t0, worker=0))
+                        wall_s=time.monotonic() - item_t0, worker=0)
+                resolve(result)
+                serial.items_completed += 1
+                serial.peak_rss_mb = max(serial.peak_rss_mb,
+                                         _rss_peak_mb())
+                if writer is not None:
+                    writer.event("done", wid=0, key=k, ok=result.ok,
+                                 wall_s=round(result.wall_s, 3),
+                                 rss_mb=round(serial.peak_rss_mb, 1))
+                if on_poll is not None:
+                    on_poll()
         elif pending:
             size = chunk_size or _default_chunk_size(len(pending), jobs)
             if tasks_per_worker is not None:
@@ -541,17 +655,25 @@ def run_sharded(items: Sequence[Any], worker: Callable[[Any], Any],
             chunks = [pending[i:i + size]
                       for i in range(0, len(pending), size)]
             pool = _Pool(worker, jobs, timeout_s, rss_limit_mb,
-                         tasks_per_worker, mp_context)
+                         tasks_per_worker, mp_context, console=writer)
             pool.run(chunks, dict(pending), resolve,
-                     pending_keys=_PendingView(by_key, keys))
+                     pending_keys=_PendingView(by_key, keys),
+                     on_poll=on_poll)
             stats = pool.stats
+            worker_stats = [pool.worker_stats[wid]
+                            for wid in sorted(pool.worker_stats)]
     finally:
         if jnl is not None:
             jnl.close()
 
     results = [by_key[k] for k in keys]
-    return ShardedRun(results=results, stats=stats,
-                      wall_s=round(time.monotonic() - t0, 3))
+    run_out = ShardedRun(results=results, stats=stats,
+                         wall_s=round(time.monotonic() - t0, 3),
+                         workers=worker_stats)
+    if writer is not None:
+        writer.event("end", ok=run_out.n_ok, failed=run_out.n_failed,
+                     wall_s=run_out.wall_s)
+    return run_out
 
 
 class _PendingView:

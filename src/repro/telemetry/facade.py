@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.monitor.window import RollingWindow
     from repro.observatory.attribution import FlowLog, JobBottleneckReport
     from repro.observatory.core import Observatory
+    from repro.telemetry.timeseries import TimeSeriesStore
     from repro.virt.datacenter import Datacenter
     from repro.virt.vm import VirtualMachine
 
@@ -57,6 +58,7 @@ class Telemetry:
         self._analyser: Optional["NmonAnalyser"] = None
         self._windows: dict[float, "RollingWindow"] = {}
         self._flow_log: Optional["FlowLog"] = None
+        self._timeseries: Optional["TimeSeriesStore"] = None
 
     # -- scope -----------------------------------------------------------
     @property
@@ -172,6 +174,35 @@ class Telemetry:
             self._windows[key] = window
         return window
 
+    # -- time-series store -------------------------------------------------
+    @property
+    def timeseries(self) -> "TimeSeriesStore":
+        """The scope's historical metrics store (created on first access).
+
+        Passive until :meth:`start_timeseries` begins the periodic
+        registry sampler; subsystems may also :meth:`record
+        <repro.telemetry.timeseries.TimeSeriesStore.record>` into it
+        directly.
+        """
+        if self._timeseries is None:
+            from repro.telemetry.timeseries import TimeSeriesStore
+            self._timeseries = TimeSeriesStore(
+                self.sim, registry=self.metrics,
+                step=self.monitor_interval)
+        return self._timeseries
+
+    def start_timeseries(self, step: Optional[float] = None
+                         ) -> "TimeSeriesStore":
+        """Begin periodic counter/gauge snapshots; returns the store."""
+        store = self.timeseries
+        if step is not None and not store.running:
+            store.step = float(step)
+        return store.start()
+
+    def stop_timeseries(self) -> None:
+        if self._timeseries is not None:
+            self._timeseries.stop()
+
     # -- flow accounting ---------------------------------------------------
     def enable_flow_log(self) -> "FlowLog":
         """Start recording completed fair-share flows (idempotent).
@@ -284,6 +315,18 @@ class Telemetry:
     def spans_csv(self) -> str:
         from repro.telemetry.export import spans_csv
         return spans_csv(self.tracer.spans)
+
+    def timeseries_csv(self) -> str:
+        from repro.telemetry.export import timeseries_csv
+        return timeseries_csv(self.timeseries)
+
+    def timeseries_json(self) -> dict:
+        from repro.telemetry.export import timeseries_json
+        return timeseries_json(self.timeseries)
+
+    def timeseries_prometheus(self) -> str:
+        from repro.telemetry.export import timeseries_prometheus
+        return timeseries_prometheus(self.timeseries)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<Telemetry vms={len(self.vms)} "

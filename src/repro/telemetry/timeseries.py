@@ -1,0 +1,500 @@
+"""Bounded time-series store behind the metrics registry.
+
+The registry (:mod:`repro.telemetry.metrics`) answers "what is the value
+*now*"; this module answers "how did it evolve".  A
+:class:`TimeSeriesStore` holds one :class:`TimeSeries` per
+``(name, labels)`` pair, each a fixed set of **ring buffers over
+sim-time buckets**:
+
+* the **raw tier** buckets samples at ``step`` seconds;
+* the **×10** and **×100 tiers** bucket the same samples at
+  ``10*step`` and ``100*step`` — every sample updates every tier, so a
+  coarse bucket is exactly the merge of its fine buckets without any
+  eviction-time compaction;
+* every bucket keeps the five *mergeable* aggregates
+  ``min / max / sum / count / last`` (plus the exact time of the last
+  sample, which is what makes :meth:`TimeSeries.rate` bit-exact).
+
+Memory is bounded by construction: ``capacity`` buckets per tier per
+series, old buckets overwritten as sim-time advances.  Retention grows
+with coarseness — at the default ``step=5 s, capacity=360`` the raw tier
+remembers 30 sim-minutes, the ×100 tier 50 sim-hours.
+
+Everything is deterministic: samples only arrive from the
+single-threaded simulation, floats are fixed-formatted into
+:meth:`digest`, and two same-seed runs must produce byte-identical
+series digests (asserted by tests and the CI ``controlroom-smoke``
+job).
+
+Histogram-valued series (:class:`HistogramSeries`) hold one mergeable
+:class:`~repro.cloud.tenants.LatencyHistogram` per bucket, giving
+``quantile_over_time`` with bounded relative error at bounded memory.
+
+Exporters live in :mod:`repro.telemetry.export`
+(:func:`~repro.telemetry.export.timeseries_prometheus` /
+``timeseries_csv`` / ``timeseries_json``); the
+:class:`~repro.telemetry.facade.Telemetry` facade wires a store to each
+cluster as ``telemetry.timeseries``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional
+
+from repro.errors import ConfigError
+from repro.telemetry.metrics import Counter, Gauge, LabelSet, _labelset
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.tenants import LatencyHistogram
+    from repro.telemetry.metrics import MetricsRegistry
+
+#: Tier multipliers: raw, 10x, 100x downsampling.
+TIER_MULTIPLIERS = (1, 10, 100)
+
+
+def _fmt(value: float) -> str:
+    """Fixed float formatting for digests (repr is stable but verbose)."""
+    return f"{value:.9g}"
+
+
+class Bucket:
+    """Mergeable aggregates of the samples that fell into one interval."""
+
+    __slots__ = ("index", "count", "total", "min", "max", "last", "last_at")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.last = 0.0
+        self.last_at = 0.0
+
+    def observe(self, at: float, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+        self.last_at = at
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def line(self, start: float) -> str:
+        """Digest row with fixed float formatting."""
+        return (f"{_fmt(start)}|{self.count}|{_fmt(self.total)}|"
+                f"{_fmt(self.min)}|{_fmt(self.max)}|{_fmt(self.last)}|"
+                f"{_fmt(self.last_at)}")
+
+
+class _Tier:
+    """One resolution: a ring of ``capacity`` buckets of width ``width``."""
+
+    __slots__ = ("width", "capacity", "slots")
+
+    def __init__(self, width: float, capacity: int):
+        self.width = width
+        self.capacity = capacity
+        self.slots: list[Optional[Bucket]] = [None] * capacity
+
+    def bucket_for(self, at: float) -> Bucket:
+        index = int(at // self.width)
+        slot = index % self.capacity
+        bucket = self.slots[slot]
+        if bucket is None or bucket.index != index:
+            bucket = Bucket(index)
+            self.slots[slot] = bucket
+        return bucket
+
+    def buckets(self) -> list[Bucket]:
+        """Live buckets in time order (ring walked by bucket index)."""
+        live = [b for b in self.slots if b is not None]
+        live.sort(key=lambda b: b.index)
+        return live
+
+    def retention_s(self) -> float:
+        return self.width * self.capacity
+
+
+class TimeSeries:
+    """One named series: the same samples at three resolutions."""
+
+    __slots__ = ("name", "labels", "step", "tiers")
+
+    def __init__(self, name: str, labels: LabelSet = (),
+                 step: float = 5.0, capacity: int = 360):
+        if step <= 0:
+            raise ConfigError(f"step must be > 0, got {step}")
+        if capacity < 2:
+            raise ConfigError(f"capacity must be >= 2, got {capacity}")
+        self.name = name
+        self.labels = labels
+        self.step = float(step)
+        self.tiers = tuple(_Tier(self.step * mult, capacity)
+                           for mult in TIER_MULTIPLIERS)
+
+    # -- write -----------------------------------------------------------
+    def observe(self, at: float, value: float) -> None:
+        """Record one sample at sim-time ``at`` into every tier."""
+        value = float(value)
+        for tier in self.tiers:
+            tier.bucket_for(at).observe(at, value)
+
+    # -- read ------------------------------------------------------------
+    def _pick_tier(self, t0: float, now: float) -> int:
+        """Finest tier whose retention still covers ``t0``."""
+        for i, tier in enumerate(self.tiers):
+            if now - t0 <= tier.retention_s():
+                return i
+        return len(self.tiers) - 1
+
+    def range(self, t0: float, t1: float,
+              tier: Optional[int] = None) -> list[tuple[float, Bucket]]:
+        """Buckets whose interval intersects ``[t0, t1)`` in time order.
+
+        ``tier=None`` auto-selects the finest tier that still retains
+        ``t0`` (judged against the newest sample seen).
+        """
+        if tier is None:
+            newest = self.latest(1)
+            now = newest[0].last_at if newest else t1
+            tier = self._pick_tier(t0, now)
+        chosen = self.tiers[tier]
+        out = []
+        for bucket in chosen.buckets():
+            start = bucket.index * chosen.width
+            if start + chosen.width <= t0 or start >= t1:
+                continue
+            out.append((start, bucket))
+        return out
+
+    def latest(self, n: int = 1, tier: int = 0) -> list[Bucket]:
+        """The ``n`` most recent live buckets of a tier, oldest first."""
+        return self.tiers[tier].buckets()[-n:]
+
+    def mean_over(self, t0: float, t1: float,
+                  tier: Optional[int] = None) -> float:
+        """Sample-weighted mean over the range (0.0 when empty)."""
+        total = 0.0
+        count = 0
+        for _, bucket in self.range(t0, t1, tier):
+            total += bucket.total
+            count += bucket.count
+        return total / count if count else 0.0
+
+    def rate(self, t0: float, t1: float,
+             tier: Optional[int] = None) -> float:
+        """Per-second rate of a cumulative (counter-style) series.
+
+        Uses the exact last-sample values and times of the first and
+        last bucket in range — bit-identical to differencing the raw
+        samples, which is what lets detectors drop their ad-hoc
+        ``(t, value)`` state for a store series.
+        """
+        buckets = self.range(t0, t1, tier)
+        if len(buckets) < 2:
+            return 0.0
+        first, last = buckets[0][1], buckets[-1][1]
+        dt = last.last_at - first.last_at
+        if dt <= 0:
+            return 0.0
+        return (last.last - first.last) / dt
+
+    # -- determinism -----------------------------------------------------
+    def digest(self) -> str:
+        """Stable sha256 content digest over all tiers' live buckets."""
+        h = hashlib.sha256()
+        self._hash_into(h)
+        return h.hexdigest()[:16]
+
+    def _hash_into(self, h) -> None:
+        labels = ",".join(f"{k}={v}" for k, v in self.labels)
+        h.update(f"series|{self.name}|{labels}|{_fmt(self.step)}\n"
+                 .encode("utf-8"))
+        for ti, tier in enumerate(self.tiers):
+            for bucket in tier.buckets():
+                start = bucket.index * tier.width
+                h.update(f"t{ti}|{bucket.line(start)}\n".encode("utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        live = sum(len(t.buckets()) for t in self.tiers)
+        return (f"<TimeSeries {self.name} labels={dict(self.labels)} "
+                f"step={self.step} buckets={live}>")
+
+
+class HistogramSeries:
+    """Latency-histogram-valued series: one mergeable histogram per bucket.
+
+    Buckets hold :class:`~repro.cloud.tenants.LatencyHistogram` deltas
+    (what was observed *during* that interval), so
+    :meth:`quantile_over_time` is an exact merge of the covered
+    intervals.  Only the raw and ×10 tiers are kept — a histogram bucket
+    is ~256 ints, two tiers bound memory at the same order as a scalar
+    series' three.
+    """
+
+    __slots__ = ("name", "labels", "step", "capacity", "_tiers")
+
+    TIERS = (1, 10)
+
+    def __init__(self, name: str, labels: LabelSet = (),
+                 step: float = 5.0, capacity: int = 360):
+        if step <= 0:
+            raise ConfigError(f"step must be > 0, got {step}")
+        self.name = name
+        self.labels = labels
+        self.step = float(step)
+        self.capacity = capacity
+        #: tier -> {slot: (index, LatencyHistogram)}
+        self._tiers: list[dict[int, tuple[int, "LatencyHistogram"]]] = [
+            {} for _ in self.TIERS]
+
+    def _fresh_hist(self) -> "LatencyHistogram":
+        from repro.cloud.tenants import LatencyHistogram
+        return LatencyHistogram()
+
+    def observe(self, at: float, hist: "LatencyHistogram") -> None:
+        """Merge one interval's histogram delta into every tier."""
+        if hist.n == 0:
+            return
+        for ti, mult in enumerate(self.TIERS):
+            width = self.step * mult
+            index = int(at // width)
+            slot = index % self.capacity
+            held = self._tiers[ti].get(slot)
+            if held is None or held[0] != index:
+                held = (index, self._fresh_hist())
+                self._tiers[ti][slot] = held
+            held[1].merge(hist)
+
+    def _buckets(self, tier: int) -> list[tuple[int, "LatencyHistogram"]]:
+        return sorted(self._tiers[tier].values(), key=lambda iv: iv[0])
+
+    def merged_over(self, t0: float, t1: float,
+                    tier: int = 0) -> "LatencyHistogram":
+        """One histogram covering every bucket intersecting ``[t0, t1)``."""
+        width = self.step * self.TIERS[tier]
+        merged = self._fresh_hist()
+        for index, hist in self._buckets(tier):
+            start = index * width
+            if start + width <= t0 or start >= t1:
+                continue
+            merged.merge(hist)
+        return merged
+
+    def quantile_over_time(self, q: float, t0: float, t1: float,
+                           tier: int = 0) -> float:
+        """q-quantile of everything observed in ``[t0, t1)``."""
+        return self.merged_over(t0, t1, tier).quantile(q)
+
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        self._hash_into(h)
+        return h.hexdigest()[:16]
+
+    def _hash_into(self, h) -> None:
+        labels = ",".join(f"{k}={v}" for k, v in self.labels)
+        h.update(f"hseries|{self.name}|{labels}|{_fmt(self.step)}\n"
+                 .encode("utf-8"))
+        for ti in range(len(self.TIERS)):
+            for index, hist in self._buckets(ti):
+                counts = ",".join(str(c) for c in hist.counts if c) or "0"
+                h.update((f"t{ti}|{index}|{hist.n}|{_fmt(hist.total)}|"
+                          f"{_fmt(hist.max_seen)}|{counts}\n")
+                         .encode("utf-8"))
+
+
+class TimeSeriesStore:
+    """All time series of one scope, plus the optional registry sampler.
+
+    Construction is cheap and passive.  With ``sim`` and ``registry``
+    wired (the facade does both), :meth:`start` launches a periodic sim
+    process that snapshots every counter and gauge in the registry into
+    same-named series — the historical view of the live metrics.  Like
+    the nmon monitor and the observatory ticker, the sampler's parked
+    timeout is withdrawn on :meth:`stop` so it never keeps the
+    simulation alive.
+    """
+
+    def __init__(self, sim=None, registry: Optional["MetricsRegistry"] = None,
+                 step: float = 5.0, capacity: int = 360):
+        if step <= 0:
+            raise ConfigError(f"step must be > 0, got {step}")
+        if capacity < 2:
+            raise ConfigError(f"capacity must be >= 2, got {capacity}")
+        self.sim = sim
+        self.registry = registry
+        self.step = float(step)
+        self.capacity = capacity
+        self._series: dict[tuple[str, LabelSet], TimeSeries] = {}
+        self._hist_series: dict[tuple[str, LabelSet], HistogramSeries] = {}
+        self.samples_taken = 0
+        self._running = False
+        self._proc = None
+        self._pending = None
+
+    # -- series access ---------------------------------------------------
+    def series(self, name: str,
+               labels: Optional[Mapping[str, str]] = None) -> TimeSeries:
+        key = (name, _labelset(labels))
+        made = self._series.get(key)
+        if made is None:
+            made = TimeSeries(name, key[1], step=self.step,
+                              capacity=self.capacity)
+            self._series[key] = made
+        return made
+
+    def histogram_series(self, name: str,
+                         labels: Optional[Mapping[str, str]] = None
+                         ) -> HistogramSeries:
+        key = (name, _labelset(labels))
+        made = self._hist_series.get(key)
+        if made is None:
+            made = HistogramSeries(name, key[1], step=self.step,
+                                   capacity=self.capacity)
+            self._hist_series[key] = made
+        return made
+
+    def get(self, name: str, labels: Optional[Mapping[str, str]] = None
+            ) -> Optional[TimeSeries]:
+        return self._series.get((name, _labelset(labels)))
+
+    def items(self) -> Iterator[tuple[tuple[str, LabelSet], TimeSeries]]:
+        return iter(sorted(self._series.items()))
+
+    def histogram_items(self) -> Iterator[
+            tuple[tuple[str, LabelSet], HistogramSeries]]:
+        return iter(sorted(self._hist_series.items()))
+
+    def __len__(self) -> int:
+        return len(self._series) + len(self._hist_series)
+
+    # -- write -----------------------------------------------------------
+    def record(self, name: str, value: float,
+               labels: Optional[Mapping[str, str]] = None,
+               at: Optional[float] = None) -> None:
+        """Record one scalar sample (``at`` defaults to sim now)."""
+        if at is None:
+            at = self.sim.now if self.sim is not None else 0.0
+        self.series(name, labels).observe(at, value)
+
+    def record_histogram(self, name: str, hist: "LatencyHistogram",
+                         labels: Optional[Mapping[str, str]] = None,
+                         at: Optional[float] = None) -> None:
+        """Merge one interval's latency-histogram delta into a series."""
+        if at is None:
+            at = self.sim.now if self.sim is not None else 0.0
+        self.histogram_series(name, labels).observe(at, hist)
+
+    # -- query conveniences ----------------------------------------------
+    def mean_over(self, name: str, t0: float, t1: float,
+                  labels: Optional[Mapping[str, str]] = None) -> float:
+        made = self.get(name, labels)
+        return made.mean_over(t0, t1) if made is not None else 0.0
+
+    def rate(self, name: str, t0: float, t1: float,
+             labels: Optional[Mapping[str, str]] = None) -> float:
+        made = self.get(name, labels)
+        return made.rate(t0, t1) if made is not None else 0.0
+
+    def quantile_over_time(self, name: str, q: float, t0: float, t1: float,
+                           labels: Optional[Mapping[str, str]] = None
+                           ) -> float:
+        made = self._hist_series.get((name, _labelset(labels)))
+        return made.quantile_over_time(q, t0, t1) if made is not None \
+            else 0.0
+
+    # -- registry sampling -----------------------------------------------
+    def sample_registry(self, at: Optional[float] = None) -> int:
+        """Snapshot every counter/gauge child into a same-named series.
+
+        Returns the number of samples recorded.  Metric histograms are
+        skipped — their bucket layout differs from the latency
+        histograms this store can merge; record those explicitly via
+        :meth:`record_histogram`.
+        """
+        if self.registry is None:
+            raise ConfigError("store has no metrics registry to sample")
+        if at is None:
+            at = self.sim.now if self.sim is not None else 0.0
+        n = 0
+        for name in sorted(self.registry.families):
+            family = self.registry.families[name]
+            if family.kind == "histogram":
+                continue
+            for labelset, child in family.items():
+                assert isinstance(child, (Counter, Gauge))
+                key = (name, labelset)
+                made = self._series.get(key)
+                if made is None:
+                    made = TimeSeries(name, labelset, step=self.step,
+                                      capacity=self.capacity)
+                    self._series[key] = made
+                made.observe(at, child.value)
+                n += 1
+        self.samples_taken += n
+        return n
+
+    # -- the sampler process ---------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "TimeSeriesStore":
+        """Begin periodic registry sampling (idempotent); returns self."""
+        if self._running:
+            return self
+        if self.sim is None:
+            raise ConfigError("store has no simulator to tick on")
+        if self.registry is None:
+            raise ConfigError("store has no metrics registry to sample")
+        self._running = True
+        self._proc = self.sim.process(self._ticker(), name="timeseries")
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling and withdraw the parked wakeup (idempotent)."""
+        if not self._running:
+            return
+        self._running = False
+        if self._pending is not None and not self._pending.processed:
+            self._pending.cancel()
+        self._pending = None
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("timeseries sampler stopped")
+        self._proc = None
+
+    def _ticker(self):
+        from repro.sim.kernel import Interrupt
+        while self._running:
+            self.sample_registry(self.sim.now)
+            self._pending = self.sim.timeout(self.step)
+            try:
+                yield self._pending
+            except Interrupt:
+                return None
+            finally:
+                self._pending = None
+        return None
+
+    # -- determinism -----------------------------------------------------
+    def digest(self) -> str:
+        """Stable sha256 digest over every series' every live bucket."""
+        h = hashlib.sha256()
+        for _, made in self.items():
+            made._hash_into(h)
+        for _, made in self.histogram_items():
+            made._hash_into(h)
+        return h.hexdigest()[:16]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<TimeSeriesStore series={len(self._series)} "
+                f"hist={len(self._hist_series)} step={self.step} "
+                f"{'running' if self._running else 'idle'}>")

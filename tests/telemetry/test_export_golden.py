@@ -15,6 +15,8 @@ To regenerate after an intentional format change::
 
 import json
 import os
+import subprocess
+import sys
 import zlib
 from pathlib import Path
 
@@ -22,9 +24,12 @@ import pytest
 
 from repro.sim.trace import Tracer
 from repro.telemetry import (MetricsRegistry, chrome_trace, events as EV,
-                             metrics_csv, prometheus_text, spans_csv)
+                             metrics_csv, prometheus_text, spans_csv,
+                             timeseries_csv, timeseries_json,
+                             timeseries_prometheus)
 
 GOLDENS = Path(__file__).parent / "goldens"
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 def golden(name: str, rendered: str) -> None:
@@ -72,6 +77,24 @@ def fixture_registry() -> MetricsRegistry:
     registry.counter("weird.labels", 'help with "quotes"\nand a newline',
                      {"path": 'C:\\tmp\\"in"\nout'}).inc()
     return registry
+
+
+def fixture_store():
+    """A small deterministic time-series store: wrapped ring, labels,
+    a histogram series — every exporter code path."""
+    from repro.cloud.tenants import LatencyHistogram
+    from repro.telemetry import TimeSeriesStore
+
+    store = TimeSeriesStore(step=5.0, capacity=4)
+    for i in range(7):                           # 7 samples: the ring wraps
+        store.record("service.backlog", float(i % 3), at=i * 5.0)
+        store.record("pool.utilization", 0.5 + 0.05 * i,
+                     labels={"pool": "workers"}, at=i * 5.0)
+    hist = LatencyHistogram()
+    for value in (0.5, 1.0, 2.0, 40.0):
+        hist.observe(value)
+    store.record_histogram("service.latency", hist, at=10.0)
+    return store
 
 
 def test_chrome_trace_matches_golden():
@@ -128,7 +151,54 @@ def test_spans_csv_excludes_open_spans():
     assert "vm-open" not in text
 
 
+def test_timeseries_csv_matches_golden():
+    golden("timeseries.csv", timeseries_csv(fixture_store()))
+
+
+def test_timeseries_json_matches_golden():
+    payload = timeseries_json(fixture_store())
+    golden("timeseries.json",
+           json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def test_timeseries_prometheus_matches_golden():
+    golden("timeseries.prom", timeseries_prometheus(fixture_store()))
+
+
+_DIGEST_SNIPPET = """
+import hashlib, json, sys
+sys.path.insert(0, {src!r}); sys.path.insert(0, {root!r})
+from tests.telemetry.test_export_golden import fixture_store
+from repro.telemetry import (timeseries_csv, timeseries_json,
+                             timeseries_prometheus)
+store = fixture_store()
+print(store.digest())
+for text in (timeseries_csv(store), timeseries_prometheus(store),
+             json.dumps(timeseries_json(store), sort_keys=True)):
+    print(hashlib.sha256(text.encode()).hexdigest()[:16])
+"""
+
+
+def test_digests_identical_across_fresh_salted_processes():
+    """Two fresh interpreters with different PYTHONHASHSEEDs must agree
+    on the store digest and every exporter byte — no dict/set iteration
+    order anywhere in the pipeline."""
+    snippet = _DIGEST_SNIPPET.format(src=str(REPO_ROOT / "src"),
+                                     root=str(REPO_ROOT))
+    outputs = []
+    for seed in ("1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        proc = subprocess.run([sys.executable, "-c", snippet],
+                              capture_output=True, text=True, env=env,
+                              check=True)
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
+    assert len(outputs[0].splitlines()) == 4    # digest + 3 exporter hashes
+
+
 @pytest.mark.parametrize("name", ["chrome_trace.json", "metrics.prom",
-                                  "metrics.csv", "spans.csv"])
+                                  "metrics.csv", "spans.csv",
+                                  "timeseries.csv", "timeseries.json",
+                                  "timeseries.prom"])
 def test_goldens_are_checked_in(name):
     assert (GOLDENS / name).is_file()

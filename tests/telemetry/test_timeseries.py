@@ -1,0 +1,195 @@
+"""Unit tests for the bounded ring-buffer time-series store."""
+
+import math
+
+import pytest
+
+from repro.cloud.tenants import LatencyHistogram
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.timeseries import (TIER_MULTIPLIERS, HistogramSeries,
+                                        TimeSeries, TimeSeriesStore)
+
+
+def filled(n=40, step=1.0, capacity=10):
+    series = TimeSeries("s", step=step, capacity=capacity)
+    for i in range(n):
+        series.observe(i * step, float(i))
+    return series
+
+
+# -- TimeSeries --------------------------------------------------------------
+
+def test_ring_overwrites_and_bounds_memory():
+    series = filled(n=40, capacity=10)
+    raw = series.tiers[0].buckets()
+    assert len(raw) == 10                       # capacity, not 40
+    assert [b.index for b in raw] == list(range(30, 40))
+    assert raw[0].last == 30.0 and raw[-1].last == 39.0
+
+
+def test_coarse_tier_is_exact_merge_of_fine():
+    series = filled(n=40, capacity=10)
+    # x10 tier: bucket 3 covers samples 30..39 — count 10, sum 345.
+    ten = {b.index: b for b in series.tiers[1].buckets()}
+    assert ten[3].count == 10
+    assert ten[3].total == sum(range(30, 40))
+    assert ten[3].min == 30.0 and ten[3].max == 39.0
+    # x100 tier: everything in one bucket.
+    hundred = series.tiers[2].buckets()
+    assert len(hundred) == 1 and hundred[0].count == 40
+
+
+def test_rate_matches_raw_sample_differencing():
+    series = TimeSeries("ctr", step=5.0)
+    for i, value in enumerate((0.0, 3.0, 9.0, 10.0)):
+        series.observe(i * 5.0, value)
+    # (10 - 0) / (15 - 0): exact last-sample values, not bucket means.
+    assert series.rate(0.0, 20.0) == (10.0 - 0.0) / 15.0
+    assert series.rate(0.0, 4.9) == 0.0         # single bucket → no rate
+
+
+def test_mean_over_is_sample_weighted():
+    series = TimeSeries("g", step=1.0)
+    series.observe(0.0, 1.0)
+    series.observe(0.5, 3.0)                    # same bucket, two samples
+    series.observe(1.0, 5.0)
+    assert series.mean_over(0.0, 2.0) == (1.0 + 3.0 + 5.0) / 3.0
+    assert series.mean_over(50.0, 60.0) == 0.0
+
+
+def test_range_auto_picks_finest_retaining_tier():
+    series = filled(n=200, step=1.0, capacity=10)
+    # t0=195 is within raw retention (10 s from newest at 199).
+    assert all(b.index >= 190
+               for _, b in series.range(195.0, 200.0))
+    # t0=120 fell off raw (10 s) but fits x10 (100 s).
+    starts = [start for start, _ in series.range(120.0, 200.0)]
+    assert starts and starts[0] % 10.0 == 0.0   # x10-width buckets
+    # t0=-1e9 only fits the coarsest tier.
+    assert series.range(-1e9, 200.0)
+
+
+def test_digest_stable_and_content_sensitive():
+    a, b = filled(), filled()
+    assert a.digest() == b.digest()
+    b.observe(40.0, 40.0)
+    assert a.digest() != b.digest()
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        TimeSeries("bad", step=0.0)
+    with pytest.raises(ConfigError):
+        TimeSeries("bad", capacity=1)
+    with pytest.raises(ConfigError):
+        TimeSeriesStore(step=-1.0)
+
+
+# -- HistogramSeries ---------------------------------------------------------
+
+def delta(*values):
+    hist = LatencyHistogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+def test_quantile_over_time_merges_covered_buckets():
+    series = HistogramSeries("lat", step=10.0)
+    series.observe(0.0, delta(1.0, 1.0, 1.0))
+    series.observe(10.0, delta(100.0, 100.0, 100.0))
+    fast = series.quantile_over_time(0.99, 0.0, 10.0)
+    slow = series.quantile_over_time(0.99, 0.0, 20.0)
+    assert fast < 2.0                           # only the fast interval
+    assert slow >= 100.0                        # merge includes the spike
+    assert series.merged_over(0.0, 20.0).n == 6
+    assert series.quantile_over_time(0.5, 500.0, 600.0) == 0.0
+
+
+def test_histogram_series_digest_tracks_content():
+    a = HistogramSeries("lat")
+    b = HistogramSeries("lat")
+    a.observe(0.0, delta(1.0))
+    b.observe(0.0, delta(1.0))
+    assert a.digest() == b.digest()
+    b.observe(5.0, delta(9.0))
+    assert a.digest() != b.digest()
+    assert a.digest() != TimeSeries("lat").digest()
+
+
+def test_empty_delta_is_ignored():
+    series = HistogramSeries("lat")
+    series.observe(0.0, LatencyHistogram())
+    assert series.merged_over(0.0, 10.0).n == 0
+
+
+# -- TimeSeriesStore ---------------------------------------------------------
+
+def test_store_record_and_query_roundtrip():
+    store = TimeSeriesStore(step=5.0)
+    store.record("q", 2.0, at=0.0)
+    store.record("q", 4.0, at=5.0)
+    store.record("q", 4.0, labels={"vm": "a"}, at=5.0)
+    assert store.mean_over("q", 0.0, 10.0) == 3.0
+    assert store.mean_over("q", 0.0, 10.0, labels={"vm": "a"}) == 4.0
+    assert store.rate("missing", 0.0, 10.0) == 0.0
+    assert len(store) == 2
+    assert store.get("q") is store.series("q")
+    assert store.get("nope") is None
+
+
+def test_store_digest_covers_every_series():
+    a, b = TimeSeriesStore(), TimeSeriesStore()
+    for s in (a, b):
+        s.record("x", 1.0, at=0.0)
+        s.record_histogram("h", delta(1.0), at=0.0)
+    assert a.digest() == b.digest()
+    b.record("y", 1.0, at=0.0)
+    assert a.digest() != b.digest()
+
+
+def test_registry_sampler_snapshots_counters_and_gauges():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    counter = registry.counter("jobs.done", "d", {"q": "a"})
+    gauge = registry.gauge("util", "u")
+    registry.histogram("skipped.hist", "h", buckets=(1.0,)).observe(0.5)
+    store = TimeSeriesStore(sim, registry=registry, step=5.0)
+    store.start()
+    counter.inc(3)
+    gauge.set(0.5)
+    sim.run(until=12.0)                         # perpetual ticker: bound it
+    store.stop()
+    assert store.running is False
+    series = store.get("jobs.done", {"q": "a"})
+    assert series is not None and series.latest(1)[0].last == 3.0
+    assert store.get("util").latest(1)[0].last == 0.5
+    assert store.get("skipped.hist") is None    # histograms not sampled
+    assert store.samples_taken > 0
+
+
+def test_stopped_sampler_does_not_keep_sim_alive():
+    sim = Simulator()
+    store = TimeSeriesStore(sim, registry=MetricsRegistry(), step=5.0)
+    store.start()
+    store.stop()
+    sim.run()                                   # returns: no parked timeout
+    assert sim.now < 5.0
+
+
+def test_start_requires_sim_and_registry():
+    with pytest.raises(ConfigError):
+        TimeSeriesStore().start()
+    with pytest.raises(ConfigError):
+        TimeSeriesStore(Simulator()).start()
+    with pytest.raises(ConfigError):
+        TimeSeriesStore().sample_registry()
+
+
+def test_tier_multipliers_shape():
+    assert TIER_MULTIPLIERS == (1, 10, 100)
+    series = TimeSeries("s", step=2.0)
+    assert [t.width for t in series.tiers] == [2.0, 20.0, 200.0]
+    assert math.isclose(series.tiers[0].retention_s(), 720.0)
